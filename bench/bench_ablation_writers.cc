@@ -1,0 +1,99 @@
+// A4 — ablation: concurrent writers and appenders scaling (paper section
+// 4.3, "support for heavy access concurrency"): data and metadata writes
+// proceed in parallel; only version assignment and publication serialize at
+// the version manager. Aggregate throughput should scale with writers until
+// provider/DHT contention, not the versioning protocol, saturates.
+//
+// Also sweeps the provider-allocation strategies (the paper notes the
+// provider manager's distribution strategy is central to avoiding
+// serialization on providers).
+#include <cinttypes>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/string_util.h"
+#include "core/cluster.h"
+
+using namespace blobseer;
+
+namespace {
+
+constexpr uint64_t kPsize = 64 * 1024;
+constexpr uint64_t kAppendBytes = 4 * kPsize;
+
+double RunWriters(size_t writers, size_t appends_each,
+                  const std::string& allocation, bool distinct_blobs) {
+  core::ClusterOptions opts;
+  opts.num_providers = 8;
+  opts.num_meta = 8;
+  opts.allocation = allocation;
+  auto cluster = core::EmbeddedCluster::Start(opts);
+  if (!cluster.ok()) return 0;
+  auto owner = (*cluster)->NewClient();
+  if (!owner.ok()) return 0;
+
+  std::vector<BlobId> ids;
+  size_t nblobs = distinct_blobs ? writers : 1;
+  for (size_t b = 0; b < nblobs; b++) {
+    auto id = (*owner)->Create(kPsize);
+    if (!id.ok()) return 0;
+    ids.push_back(*id);
+  }
+
+  Stopwatch sw;
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < writers; w++) {
+    threads.emplace_back([&, w] {
+      auto client = (*cluster)->NewClient();
+      if (!client.ok()) return;
+      std::string data(kAppendBytes, static_cast<char>('a' + w % 26));
+      BlobId id = ids[distinct_blobs ? w : 0];
+      for (size_t i = 0; i < appends_each; i++) {
+        if (!(*client)->Append(id, Slice(data)).ok()) return;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double secs = sw.ElapsedSeconds();
+  return static_cast<double>(writers * appends_each * kAppendBytes) / secs /
+         1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t appends = bench::FlagU64(argc, argv, "appends_each", 50);
+
+  printf("== Ablation A4: concurrent update scaling ==\n");
+  printf("   (8 providers + 8 metadata nodes, %zu x 256 KB appends per "
+         "writer)\n\n",
+         appends);
+
+  {
+    bench::Table table({"writers", "same blob MB/s", "distinct blobs MB/s"});
+    for (size_t w : {1, 2, 4, 8, 16}) {
+      double shared = RunWriters(w, appends, "round_robin", false);
+      double distinct = RunWriters(w, appends, "round_robin", true);
+      table.AddRow({std::to_string(w), StrFormat("%.0f", shared),
+                    StrFormat("%.0f", distinct)});
+    }
+    table.Print();
+  }
+
+  printf("\n-- allocation strategy sweep (8 writers, one blob) --\n\n");
+  {
+    bench::Table table({"strategy", "aggregate MB/s"});
+    for (const char* strat :
+         {"round_robin", "random", "least_loaded", "power_of_two"}) {
+      table.AddRow({strat, StrFormat("%.0f", RunWriters(8, appends, strat,
+                                                        false))});
+    }
+    table.Print();
+  }
+  printf("\nshape check: same-blob scaling should track distinct-blob "
+         "scaling closely\n(version assignment is the only shared step); "
+         "allocation strategies should be within\na small factor of each "
+         "other on this uniform workload.\n");
+  return 0;
+}

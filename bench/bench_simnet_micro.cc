@@ -1,0 +1,109 @@
+// E3 — validation of the section-5 testbed constants inside the simulator:
+// point-to-point bandwidth must match the measured 117.5 MB/s TCP rate and
+// the 0.1 ms latency of the Grid'5000 Rennes cluster, and fair sharing must
+// split the NIC evenly.
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "simnet/network.h"
+
+using namespace blobseer;
+using simnet::SimNetwork;
+using simnet::SimNetworkOptions;
+using simnet::SimScheduler;
+
+int main(int argc, char** argv) {
+  double nic = bench::FlagDouble(argc, argv, "nic_mbps", 117.5) * 1e6;
+  double latency = bench::FlagDouble(argc, argv, "latency_us", 100);
+
+  printf("== Simnet micro-validation (paper section 5 constants) ==\n\n");
+  bench::Table table({"scenario", "expected", "measured"});
+
+  {  // Point-to-point bandwidth.
+    SimScheduler sched;
+    double mbps = 0;
+    sched.Run([&] {
+      SimNetworkOptions opts;
+      opts.nic_bytes_per_sec = nic;
+      opts.latency_us = latency;
+      SimNetwork net(&sched, 2, opts);
+      const uint64_t bytes = 1ull << 30;
+      double t0 = sched.Now();
+      net.Transfer(0, 1, bytes);
+      mbps = static_cast<double>(bytes) / (sched.Now() - t0);
+    });
+    table.AddRow({"1 GiB point-to-point", StrFormat("%.1f MB/s", nic / 1e6),
+                  StrFormat("%.1f MB/s", mbps)});
+  }
+  {  // Latency (zero-byte message).
+    SimScheduler sched;
+    double us = 0;
+    sched.Run([&] {
+      SimNetworkOptions opts;
+      opts.nic_bytes_per_sec = nic;
+      opts.latency_us = latency;
+      SimNetwork net(&sched, 2, opts);
+      double t0 = sched.Now();
+      net.Transfer(0, 1, 0);
+      us = sched.Now() - t0;
+    });
+    table.AddRow({"one-way latency", StrFormat("%.1f us", latency),
+                  StrFormat("%.1f us", us)});
+  }
+  for (int flows : {2, 4, 8}) {  // Fair sharing of one uplink.
+    SimScheduler sched;
+    double per_flow = 0;
+    sched.Run([&] {
+      SimNetworkOptions opts;
+      opts.nic_bytes_per_sec = nic;
+      opts.latency_us = 0;
+      SimNetwork net(&sched, 1 + static_cast<size_t>(flows), opts);
+      const uint64_t bytes = 64ull << 20;
+      double t0 = sched.Now();
+      std::vector<SimScheduler::TaskId> ids;
+      for (int f = 0; f < flows; f++) {
+        ids.push_back(sched.Spawn([&net, f, bytes] {
+          net.Transfer(0, static_cast<uint32_t>(f + 1), bytes);
+        }));
+      }
+      for (auto id : ids) sched.Join(id);
+      per_flow = static_cast<double>(bytes) * flows / (sched.Now() - t0) /
+                 static_cast<double>(flows);
+    });
+    // per_flow is in bytes/us, numerically equal to MB/s.
+    table.AddRow({StrFormat("%d flows sharing an uplink", flows),
+                  StrFormat("%.1f MB/s each", nic / 1e6 / flows),
+                  StrFormat("%.1f MB/s each", per_flow)});
+  }
+  {  // Max-min vs endpoint-share on an asymmetric pattern.
+    for (auto sharing : {SimNetworkOptions::Sharing::kEndpointShare,
+                         SimNetworkOptions::Sharing::kMaxMin}) {
+      SimScheduler sched;
+      double elapsed = 0;
+      sched.Run([&] {
+        SimNetworkOptions opts;
+        opts.nic_bytes_per_sec = nic;
+        opts.latency_us = 0;
+        opts.sharing = sharing;
+        SimNetwork net(&sched, 4, opts);
+        double t0 = sched.Now();
+        // Node 0 sends to 1 and 2; node 3 also sends to 1.
+        auto a = sched.Spawn([&] { net.Transfer(0, 1, 32 << 20); });
+        auto b = sched.Spawn([&] { net.Transfer(0, 2, 32 << 20); });
+        auto c = sched.Spawn([&] { net.Transfer(3, 1, 32 << 20); });
+        sched.Join(a);
+        sched.Join(b);
+        sched.Join(c);
+        elapsed = sched.Now() - t0;
+      });
+      table.AddRow(
+          {sharing == SimNetworkOptions::Sharing::kMaxMin
+               ? "asymmetric pattern, max-min"
+               : "asymmetric pattern, endpoint-share",
+           "-", StrFormat("%.0f ms total", elapsed / 1000)});
+    }
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Shared helpers for the figure-reproduction benchmarks: flag parsing and
+// paper-style table output.
+#ifndef BLOBSEER_BENCH_BENCH_UTIL_H_
+#define BLOBSEER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace blobseer::bench {
+
+/// --name=value flag lookup.
+inline std::string FlagValue(int argc, char** argv, const std::string& name,
+                             const std::string& def) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; i++) {
+    if (strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return std::string(argv[i]).substr(prefix.size());
+  }
+  return def;
+}
+
+inline uint64_t FlagU64(int argc, char** argv, const std::string& name,
+                        uint64_t def) {
+  std::string v = FlagValue(argc, argv, name, "");
+  return v.empty() ? def : strtoull(v.c_str(), nullptr, 10);
+}
+
+inline double FlagDouble(int argc, char** argv, const std::string& name,
+                         double def) {
+  std::string v = FlagValue(argc, argv, name, "");
+  return v.empty() ? def : strtod(v.c_str(), nullptr);
+}
+
+inline bool FlagBool(int argc, char** argv, const std::string& name,
+                     bool def) {
+  std::string v = FlagValue(argc, argv, name, def ? "true" : "false");
+  return v == "true" || v == "1" || v == "yes";
+}
+
+/// Aligned table printer: header row then data rows, also echoed as CSV
+/// lines prefixed with "csv," for scripting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> width(columns_.size());
+    for (size_t c = 0; c < columns_.size(); c++) width[c] = columns_[c].size();
+    for (const auto& r : rows_) {
+      for (size_t c = 0; c < r.size() && c < width.size(); c++) {
+        if (r[c].size() > width[c]) width[c] = r[c].size();
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& r) {
+      printf("  ");
+      for (size_t c = 0; c < r.size(); c++) {
+        printf("%-*s  ", static_cast<int>(width[c]), r[c].c_str());
+      }
+      printf("\n");
+    };
+    print_row(columns_);
+    std::string rule;
+    for (size_t c = 0; c < columns_.size(); c++) {
+      rule += std::string(width[c], '-') + "  ";
+    }
+    printf("  %s\n", rule.c_str());
+    for (const auto& r : rows_) print_row(r);
+    // CSV echo for downstream plotting.
+    printf("\n");
+    auto csv_row = [](const std::vector<std::string>& r) {
+      printf("csv");
+      for (const auto& cell : r) printf(",%s", cell.c_str());
+      printf("\n");
+    };
+    csv_row(columns_);
+    for (const auto& r : rows_) csv_row(r);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace blobseer::bench
+
+#endif  // BLOBSEER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,242 @@
+#include "baseline/central_meta.h"
+
+#include "common/math_util.h"
+#include "rpc/call.h"
+
+namespace blobseer::baseline {
+
+namespace {
+
+struct CreateRequest {
+  uint64_t psize = 0;
+  void EncodeTo(BinaryWriter* w) const { w->PutU64(psize); }
+  Status DecodeFrom(BinaryReader* r) { return r->GetU64(&psize); }
+};
+struct CreateResponse {
+  BlobId id = kInvalidBlobId;
+  void EncodeTo(BinaryWriter* w) const { w->PutU64(id); }
+  Status DecodeFrom(BinaryReader* r) { return r->GetU64(&id); }
+};
+
+struct UpdateRequest {
+  BlobId id = kInvalidBlobId;
+  uint64_t first_page = 0;
+  uint64_t new_size = 0;
+  std::vector<PageRef> refs;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU64(id);
+    w->PutU64(first_page);
+    w->PutU64(new_size);
+    PutVector(w, refs);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetU64(&id));
+    BS_RETURN_NOT_OK(r->GetU64(&first_page));
+    BS_RETURN_NOT_OK(r->GetU64(&new_size));
+    return GetVector(r, &refs);
+  }
+};
+struct UpdateResponse {
+  uint64_t version = 0;
+  uint64_t new_size = 0;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU64(version);
+    w->PutU64(new_size);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetU64(&version));
+    return r->GetU64(&new_size);
+  }
+};
+
+struct LayoutRequest {
+  BlobId id = kInvalidBlobId;
+  Version version = 0;
+  uint64_t first_page = 0;
+  uint64_t num_pages = 0;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU64(id);
+    w->PutU64(version);
+    w->PutU64(first_page);
+    w->PutU64(num_pages);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetU64(&id));
+    BS_RETURN_NOT_OK(r->GetU64(&version));
+    BS_RETURN_NOT_OK(r->GetU64(&first_page));
+    return r->GetU64(&num_pages);
+  }
+};
+struct LayoutResponse {
+  std::vector<PageRef> refs;
+  void EncodeTo(BinaryWriter* w) const { PutVector(w, refs); }
+  Status DecodeFrom(BinaryReader* r) { return GetVector(r, &refs); }
+};
+
+struct RecentRequest {
+  BlobId id = kInvalidBlobId;
+  void EncodeTo(BinaryWriter* w) const { w->PutU64(id); }
+  Status DecodeFrom(BinaryReader* r) { return r->GetU64(&id); }
+};
+struct RecentResponse {
+  uint64_t version = 0;
+  uint64_t size = 0;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU64(version);
+    w->PutU64(size);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetU64(&version));
+    return r->GetU64(&size);
+  }
+};
+
+}  // namespace
+
+Status CentralMetaService::Handle(rpc::Method method, Slice payload,
+                                  std::string* response) {
+  using rpc::DispatchTyped;
+  switch (method) {
+    case rpc::Method::kCentralCreate:
+      return DispatchTyped<CreateRequest, CreateResponse>(
+          payload, response, [this](const CreateRequest& req, CreateResponse* rsp) {
+            if (!IsPow2(req.psize))
+              return Status::InvalidArgument("psize must be a power of two");
+            std::lock_guard<std::mutex> lock(mu_);
+            BlobState st;
+            st.psize = req.psize;
+            st.versions.push_back(
+                std::make_shared<const std::vector<PageRef>>());
+            st.sizes.push_back(0);
+            rsp->id = next_id_;
+            blobs_.emplace(next_id_++, std::move(st));
+            return Status::OK();
+          });
+    case rpc::Method::kCentralUpdate:
+      return DispatchTyped<UpdateRequest, UpdateResponse>(
+          payload, response, [this](const UpdateRequest& req, UpdateResponse* rsp) {
+            uint64_t copied = 0;
+            {
+              std::lock_guard<std::mutex> lock(mu_);
+              auto it = blobs_.find(req.id);
+              if (it == blobs_.end()) return Status::NotFound("blob");
+              BlobState& st = it->second;
+              // Deep copy of the predecessor's full page table: this is
+              // the O(total pages) cost per update that BlobSeer's shared
+              // segment trees avoid.
+              auto table = std::make_shared<std::vector<PageRef>>(
+                  *st.versions.back());
+              uint64_t needed = req.first_page + req.refs.size();
+              if (table->size() < needed) table->resize(needed);
+              for (size_t i = 0; i < req.refs.size(); i++) {
+                (*table)[req.first_page + i] = req.refs[i];
+              }
+              copied = table->size();
+              total_page_refs_ += copied;
+              total_versions_++;
+              st.sizes.push_back(std::max(st.sizes.back(), req.new_size));
+              rsp->new_size = st.sizes.back();
+              st.versions.push_back(std::move(table));
+              rsp->version = st.versions.size() - 1;
+            }
+            // Outside the lock: the hook may suspend the (simulated) task.
+            if (cost_hook_) cost_hook_(copied);
+            return Status::OK();
+          });
+    case rpc::Method::kCentralGetLayout:
+      return DispatchTyped<LayoutRequest, LayoutResponse>(
+          payload, response, [this](const LayoutRequest& req, LayoutResponse* rsp) {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = blobs_.find(req.id);
+            if (it == blobs_.end()) return Status::NotFound("blob");
+            const BlobState& st = it->second;
+            if (req.version >= st.versions.size())
+              return Status::NotFound("version not published");
+            const auto& table = *st.versions[req.version];
+            if (req.first_page + req.num_pages > table.size())
+              return Status::OutOfRange("layout range");
+            rsp->refs.assign(table.begin() + req.first_page,
+                             table.begin() + req.first_page + req.num_pages);
+            return Status::OK();
+          });
+    case rpc::Method::kCentralGetRecent:
+      return DispatchTyped<RecentRequest, RecentResponse>(
+          payload, response, [this](const RecentRequest& req, RecentResponse* rsp) {
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = blobs_.find(req.id);
+            if (it == blobs_.end()) return Status::NotFound("blob");
+            rsp->version = it->second.versions.size() - 1;
+            rsp->size = it->second.sizes.back();
+            return Status::OK();
+          });
+    default:
+      return Status::NotSupported("central meta method");
+  }
+}
+
+CentralMetaStats CentralMetaService::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CentralMetaStats st;
+  st.blobs = blobs_.size();
+  st.versions = total_versions_;
+  st.page_refs = total_page_refs_;
+  return st;
+}
+
+CentralMetaClient::CentralMetaClient(rpc::Transport* transport,
+                                     std::string address, size_t channels)
+    : address_(std::move(address)), pool_(transport, channels) {}
+
+Result<BlobId> CentralMetaClient::Create(uint64_t psize) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  CreateRequest req{psize};
+  CreateResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kCentralCreate, req, &rsp));
+  return rsp.id;
+}
+
+Result<CentralUpdateResult> CentralMetaClient::Update(
+    BlobId id, uint64_t first_page, const std::vector<PageRef>& refs,
+    uint64_t new_size) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  UpdateRequest req;
+  req.id = id;
+  req.first_page = first_page;
+  req.new_size = new_size;
+  req.refs = refs;
+  UpdateResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kCentralUpdate, req, &rsp));
+  return CentralUpdateResult{rsp.version, rsp.new_size};
+}
+
+Result<std::vector<PageRef>> CentralMetaClient::GetLayout(BlobId id,
+                                                          Version version,
+                                                          uint64_t first_page,
+                                                          uint64_t num_pages) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  LayoutRequest req{id, version, first_page, num_pages};
+  LayoutResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kCentralGetLayout, req, &rsp));
+  return std::move(rsp.refs);
+}
+
+Status CentralMetaClient::GetRecent(BlobId id, Version* version,
+                                    uint64_t* size) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  RecentRequest req{id};
+  RecentResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kCentralGetRecent, req, &rsp));
+  *version = rsp.version;
+  *size = rsp.size;
+  return Status::OK();
+}
+
+}  // namespace blobseer::baseline

@@ -1,0 +1,532 @@
+#include "client/blob_client.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "meta/layout.h"
+
+namespace blobseer::client {
+
+using meta::MetaNode;
+using meta::NodeKey;
+using meta::PageFragment;
+using vmanager::AssignTicket;
+
+BlobClient::BlobClient(rpc::Transport* transport, std::string vmanager_address,
+                       std::string pmanager_address,
+                       std::vector<std::string> dht_nodes,
+                       ClientOptions options, Clock* clock, Executor* executor)
+    : transport_(transport),
+      options_(options),
+      clock_(clock ? clock : RealClock::Default()),
+      owned_executor_(executor
+                          ? nullptr
+                          : std::make_unique<ThreadPoolExecutor>(
+                                options.io_threads)),
+      executor_(executor ? executor : owned_executor_.get()),
+      vm_(transport, std::move(vmanager_address),
+          options.channels_per_endpoint),
+      pm_(transport, std::move(pmanager_address),
+          options.channels_per_endpoint),
+      dht_(transport, std::move(dht_nodes),
+           [&options] {
+             dht::DhtClientOptions o = options.dht;
+             o.channels_per_endpoint = options.channels_per_endpoint;
+             return o;
+           }()),
+      meta_(&dht_, executor_,
+            meta::MetaClientOptions{options.cache_metadata,
+                                    options.cache_capacity,
+                                    options.meta_fanout}),
+      providers_(transport, options.channels_per_endpoint) {
+  // Non-zero, process-unique prefix for page ids.
+  Rng rng(RealClock::Default()->NowMicros() ^
+          reinterpret_cast<uintptr_t>(this));
+  do {
+    client_id_ = rng.Next();
+  } while (client_id_ == 0);
+}
+
+BlobClient::~BlobClient() = default;
+
+PageId BlobClient::NewPageId() {
+  return PageId{client_id_, page_seq_.fetch_add(1, std::memory_order_relaxed)};
+}
+
+Result<BlobDescriptor> BlobClient::Descriptor(BlobId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = descriptors_.find(id);
+    if (it != descriptors_.end()) return it->second;
+  }
+  return Open(id);
+}
+
+Result<BlobId> BlobClient::Create(uint64_t psize) {
+  auto desc = vm_.CreateBlob(psize);
+  if (!desc.ok()) return desc.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  BlobId id = desc->id;
+  descriptors_[id] = std::move(desc).ValueUnsafe();
+  return id;
+}
+
+Result<BlobDescriptor> BlobClient::Open(BlobId id) {
+  auto desc = vm_.OpenBlob(id, nullptr, nullptr);
+  if (!desc.ok()) return desc.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  descriptors_[id] = *desc;
+  return std::move(desc).ValueUnsafe();
+}
+
+std::vector<BlobClient::PageWrite> BlobClient::SplitIntoPages(
+    Slice data, uint64_t offset, uint64_t psize) const {
+  std::vector<PageWrite> out;
+  uint64_t end = offset + data.size();
+  uint64_t first = offset / psize;
+  uint64_t last = (end - 1) / psize;
+  out.reserve(last - first + 1);
+  for (uint64_t p = first; p <= last; p++) {
+    Extent page{p * psize, psize};
+    uint64_t seg_begin = std::max(offset, page.offset);
+    uint64_t seg_end = std::min(end, page.end());
+    PageWrite w;
+    w.page_index = p;
+    w.frag.page_off = static_cast<uint32_t>(seg_begin - page.offset);
+    w.frag.len = static_cast<uint32_t>(seg_end - seg_begin);
+    w.frag.data_off = 0;
+    w.bytes = data.SubSlice(seg_begin - offset, seg_end - seg_begin);
+    out.push_back(w);
+  }
+  return out;
+}
+
+Status BlobClient::StorePages(std::vector<PageWrite>* writes) {
+  auto provider_ids = pm_.Allocate(static_cast<uint32_t>(writes->size()));
+  if (!provider_ids.ok()) return provider_ids.status();
+  std::vector<std::string> addresses(writes->size());
+  for (size_t i = 0; i < writes->size(); i++) {
+    (*writes)[i].frag.pid = NewPageId();
+    (*writes)[i].frag.provider = (*provider_ids)[i];
+    auto addr = ProviderAddress((*provider_ids)[i]);
+    if (!addr.ok()) return addr.status();
+    addresses[i] = std::move(addr).ValueUnsafe();
+  }
+  BS_RETURN_NOT_OK(executor_->ParallelFor(
+      writes->size(), options_.data_fanout, [&](size_t i) {
+        const PageWrite& w = (*writes)[i];
+        return providers_.WritePage(addresses[i], w.frag.pid, w.bytes);
+      }));
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.pages_stored += writes->size();
+  return Status::OK();
+}
+
+void BlobClient::DeletePages(const std::vector<PageWrite>& writes) {
+  (void)executor_->ParallelFor(
+      writes.size(), options_.data_fanout, [&](size_t i) {
+        if (!writes[i].frag.pid.valid()) return Status::OK();
+        auto addr = ProviderAddress(writes[i].frag.provider);
+        if (!addr.ok()) return Status::OK();
+        (void)providers_.DeletePage(*addr, writes[i].frag.pid);
+        return Status::OK();
+      });
+}
+
+Result<std::string> BlobClient::ProviderAddress(ProviderId id) {
+  return pm_.ResolveAddress(id);
+}
+
+Status BlobClient::BuildAndWriteMeta(const BlobDescriptor& desc,
+                                     const AssignTicket& ticket,
+                                     std::vector<PageWrite>* writes) {
+  const uint64_t psize = desc.psize;
+  const Extent range = ticket.range();
+  const BranchAncestry ancestry = desc.Ancestry();
+  const Version vw = ticket.version;
+
+  std::map<Extent, Version> border_map;
+  for (const auto& b : ticket.borders) border_map[b.block] = b.version;
+  meta::MetaClient::NodeMemo memo;  // shared across this update's descents
+  auto resolve = [&](const Extent& block) -> Result<Version> {
+    auto it = border_map.find(block);
+    if (it != border_map.end()) return it->second;
+    return meta_.ResolveBlockVersion(ancestry, ticket.published,
+                                     ticket.published_size, psize, block,
+                                     &memo);
+  };
+
+  std::vector<std::pair<NodeKey, MetaNode>> nodes;
+  const BlobId self_origin = ancestry.Resolve(vw);
+
+  // --- Leaves (paper Algorithm 4, first loop). ---
+  for (PageWrite& w : *writes) {
+    Extent block{w.page_index * psize, psize};
+    // Content length of this page in the new and old snapshots.
+    uint64_t cs_new =
+        std::min(block.end(), ticket.new_size) - block.offset;
+    uint64_t cs_old =
+        block.offset >= ticket.old_size
+            ? 0
+            : std::min(block.end(), ticket.old_size) - block.offset;
+    uint64_t frag_end = w.frag.page_off + w.frag.len;
+    bool head_missing = w.frag.page_off > 0;
+    bool tail_missing = frag_end < cs_new;
+    bool needs_prev = head_missing || tail_missing;
+
+    if (!needs_prev) {
+      nodes.emplace_back(NodeKey{self_origin, vw, block},
+                         MetaNode::Leaf({w.frag}, kNoVersion, 1));
+      continue;
+    }
+
+    BS_ASSIGN_OR_RETURN(Version prev, resolve(block));
+    if (prev == kNoVersion) {
+      return Status::Internal("missing previous leaf for partial page at " +
+                              block.ToString());
+    }
+
+    uint32_t chain = meta::kUnknownChainLen;
+    MetaNode prev_leaf;
+    bool have_prev_leaf = false;
+    if (prev <= ticket.published) {
+      // The previous leaf is published, hence readable: learn its chain
+      // length and compact if the chain grew too long.
+      auto pl = meta_.GetNode(
+          NodeKey{ancestry.Resolve(prev), prev, block});
+      if (!pl.ok()) return pl.status();
+      prev_leaf = std::move(pl).ValueUnsafe();
+      have_prev_leaf = true;
+      if (prev_leaf.chain_len != meta::kUnknownChainLen &&
+          prev_leaf.chain_len + 1 <= options_.max_chain) {
+        chain = prev_leaf.chain_len + 1;
+      }
+    }
+
+    if (have_prev_leaf && chain == meta::kUnknownChainLen) {
+      // Compaction: materialize the merged page so the chain resets.
+      std::string merged(cs_new, '\0');
+      if (cs_old > 0) {
+        std::vector<FetchPiece> pieces;
+        BS_RETURN_NOT_OK(ResolveLeafPieces(ancestry, block, prev_leaf,
+                                           {Interval{0, cs_old}}, &pieces));
+        BS_RETURN_NOT_OK(FetchPieces(pieces, 0, 0, merged.data()));
+      }
+      std::memcpy(merged.data() + w.frag.page_off, w.bytes.data(),
+                  w.bytes.size());
+      PageWrite compacted;
+      compacted.page_index = w.page_index;
+      compacted.frag.page_off = 0;
+      compacted.frag.len = static_cast<uint32_t>(cs_new);
+      compacted.frag.data_off = 0;
+      compacted.bytes = Slice(merged);
+      std::vector<PageWrite> one{compacted};
+      BS_RETURN_NOT_OK(StorePages(&one));
+      nodes.emplace_back(NodeKey{self_origin, vw, block},
+                         MetaNode::Leaf({one[0].frag}, kNoVersion, 1));
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        stats_.compactions++;
+      }
+      continue;
+    }
+
+    nodes.emplace_back(NodeKey{self_origin, vw, block},
+                       MetaNode::Leaf({w.frag}, prev, chain));
+  }
+
+  // --- Inner nodes, bottom-up (paper Algorithm 4, second loop). ---
+  for (const Extent& block :
+       meta::UpdateNodeSet(range, ticket.new_size, psize)) {
+    if (meta::IsLeafBlock(block, psize)) continue;
+    Extent left = meta::LeftChildBlock(block);
+    Extent right = meta::RightChildBlock(block);
+    Version vl, vr;
+    if (left.Intersects(range)) {
+      vl = vw;
+    } else {
+      BS_ASSIGN_OR_RETURN(vl, resolve(left));
+    }
+    if (right.Intersects(range)) {
+      vr = vw;
+    } else {
+      BS_ASSIGN_OR_RETURN(vr, resolve(right));
+    }
+    nodes.emplace_back(NodeKey{self_origin, vw, block},
+                       MetaNode::Inner(vl, vr));
+  }
+
+  BS_RETURN_NOT_OK(meta_.WriteNodes(nodes));
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.meta_nodes_written += nodes.size();
+  return Status::OK();
+}
+
+Result<Version> BlobClient::Write(BlobId id, Slice data, uint64_t offset) {
+  if (data.empty()) return Status::InvalidArgument("empty write");
+  BS_ASSIGN_OR_RETURN(BlobDescriptor desc, Descriptor(id));
+
+  // Paper Algorithm 2: store the new pages first, fully in parallel, with
+  // no synchronization; only then register the update.
+  std::vector<PageWrite> writes = SplitIntoPages(data, offset, desc.psize);
+  Status stored = StorePages(&writes);
+  if (!stored.ok()) {
+    DeletePages(writes);
+    return stored;
+  }
+
+  auto ticket = vm_.AssignVersion(id, /*is_append=*/false, offset, data.size());
+  if (!ticket.ok()) {
+    DeletePages(writes);
+    return ticket.status();
+  }
+
+  Status built = BuildAndWriteMeta(desc, *ticket, &writes);
+  if (!built.ok()) {
+    (void)Abort(id, ticket->version);
+    return built;
+  }
+  BS_RETURN_NOT_OK(vm_.NotifySuccess(id, ticket->version));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.writes++;
+    stats_.bytes_written += data.size();
+  }
+  return ticket->version;
+}
+
+Result<Version> BlobClient::Append(BlobId id, Slice data) {
+  if (data.empty()) return Status::InvalidArgument("empty append");
+  BS_ASSIGN_OR_RETURN(BlobDescriptor desc, Descriptor(id));
+
+  // Appends learn their offset from the version manager (paper section
+  // 3.3); with unaligned blob sizes the page split depends on it, so the
+  // version is assigned before the pages are stored (DESIGN.md 3.3).
+  auto ticket = vm_.AssignVersion(id, /*is_append=*/true, 0, data.size());
+  if (!ticket.ok()) return ticket.status();
+
+  std::vector<PageWrite> writes =
+      SplitIntoPages(data, ticket->offset, desc.psize);
+  Status st = StorePages(&writes);
+  if (st.ok()) st = BuildAndWriteMeta(desc, *ticket, &writes);
+  if (!st.ok()) {
+    (void)Abort(id, ticket->version);
+    return st;
+  }
+  BS_RETURN_NOT_OK(vm_.NotifySuccess(id, ticket->version));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.appends++;
+    stats_.bytes_written += data.size();
+  }
+  return ticket->version;
+}
+
+Status BlobClient::ResolveLeafPieces(const BranchAncestry& ancestry,
+                                     const Extent& block,
+                                     const meta::MetaNode& leaf,
+                                     std::vector<Interval> needed,
+                                     std::vector<FetchPiece>* out) {
+  MetaNode cur = leaf;
+  for (;;) {
+    // Overlay this leaf's fragments onto whatever is still uncovered.
+    for (const PageFragment& frag : cur.fragments) {
+      uint64_t fb = frag.page_off;
+      uint64_t fe = frag.page_off + frag.len;
+      std::vector<Interval> rest;
+      rest.reserve(needed.size() + 1);
+      for (const Interval& iv : needed) {
+        uint64_t ob = std::max(iv.begin, fb);
+        uint64_t oe = std::min(iv.end, fe);
+        if (ob >= oe) {
+          rest.push_back(iv);
+          continue;
+        }
+        out->push_back(FetchPiece{frag.pid, frag.provider,
+                                  frag.data_off + (ob - fb), oe - ob, ob});
+        if (iv.begin < ob) rest.push_back(Interval{iv.begin, ob});
+        if (oe < iv.end) rest.push_back(Interval{oe, iv.end});
+      }
+      needed = std::move(rest);
+      if (needed.empty()) return Status::OK();
+    }
+    if (cur.prev_version == kNoVersion) {
+      return Status::Corruption("page bytes not covered by fragment chain at " +
+                                block.ToString());
+    }
+    auto next = meta_.GetNode(
+        NodeKey{ancestry.Resolve(cur.prev_version), cur.prev_version, block});
+    if (!next.ok()) return next.status();
+    cur = std::move(next).ValueUnsafe();
+  }
+}
+
+Status BlobClient::FetchPieces(const std::vector<FetchPiece>& pieces,
+                               uint64_t page_base, uint64_t range_offset,
+                               char* dst) {
+  std::vector<std::string> addresses(pieces.size());
+  for (size_t i = 0; i < pieces.size(); i++) {
+    auto addr = ProviderAddress(pieces[i].provider);
+    if (!addr.ok()) return addr.status();
+    addresses[i] = std::move(addr).ValueUnsafe();
+  }
+  return executor_->ParallelFor(
+      pieces.size(), options_.data_fanout, [&](size_t i) {
+        const FetchPiece& p = pieces[i];
+        std::string chunk;
+        BS_RETURN_NOT_OK(providers_.ReadPage(addresses[i], p.pid, p.src_off,
+                                             p.len, &chunk));
+        if (chunk.size() != p.len)
+          return Status::Corruption("short page read");
+        std::memcpy(dst + (page_base + p.page_local_off - range_offset),
+                    chunk.data(), chunk.size());
+        return Status::OK();
+      });
+}
+
+Status BlobClient::Read(BlobId id, Version version, uint64_t offset,
+                        uint64_t size, std::string* out) {
+  BS_ASSIGN_OR_RETURN(BlobDescriptor desc, Descriptor(id));
+  // GET_SIZE doubles as the publication check (paper Algorithm 1 line 1).
+  auto blob_size = vm_.GetSize(id, version);
+  if (!blob_size.ok()) return blob_size.status();
+  if (offset + size > *blob_size)
+    return Status::OutOfRange(
+        StrFormat("read [%llu,+%llu) beyond snapshot size %llu",
+                  static_cast<unsigned long long>(offset),
+                  static_cast<unsigned long long>(size),
+                  static_cast<unsigned long long>(*blob_size)));
+  out->clear();
+  out->resize(size);
+  if (size == 0) return Status::OK();
+
+  const BranchAncestry ancestry = desc.Ancestry();
+  const Extent range{offset, size};
+  std::vector<meta::LeafRef> leaves;
+  BS_RETURN_NOT_OK(meta_.ReadMeta(ancestry, version, *blob_size, desc.psize,
+                                  range, &leaves));
+
+  // Resolve fragment chains per leaf (parallel across leaves), then fetch
+  // all pieces in one parallel wave.
+  std::vector<std::vector<FetchPiece>> per_leaf(leaves.size());
+  BS_RETURN_NOT_OK(executor_->ParallelFor(
+      leaves.size(), options_.meta_fanout, [&](size_t i) {
+        const meta::LeafRef& leaf = leaves[i];
+        Extent needed_abs = leaf.block.Clip(range);
+        Interval needed{needed_abs.offset - leaf.block.offset,
+                        needed_abs.end() - leaf.block.offset};
+        return ResolveLeafPieces(ancestry, leaf.block, leaf.node, {needed},
+                                 &per_leaf[i]);
+      }));
+
+  std::vector<FetchPiece> pieces;
+  std::vector<uint64_t> bases;
+  for (size_t i = 0; i < leaves.size(); i++) {
+    for (const FetchPiece& p : per_leaf[i]) {
+      pieces.push_back(p);
+      bases.push_back(leaves[i].block.offset);
+    }
+  }
+  // FetchPieces assumes one base per call; inline the fetch here instead to
+  // allow mixed bases in a single parallel wave.
+  std::vector<std::string> addresses(pieces.size());
+  for (size_t i = 0; i < pieces.size(); i++) {
+    auto addr = ProviderAddress(pieces[i].provider);
+    if (!addr.ok()) return addr.status();
+    addresses[i] = std::move(addr).ValueUnsafe();
+  }
+  BS_RETURN_NOT_OK(executor_->ParallelFor(
+      pieces.size(), options_.data_fanout, [&](size_t i) {
+        const FetchPiece& p = pieces[i];
+        std::string chunk;
+        BS_RETURN_NOT_OK(providers_.ReadPage(addresses[i], p.pid, p.src_off,
+                                             p.len, &chunk));
+        if (chunk.size() != p.len)
+          return Status::Corruption("short page read");
+        std::memcpy(out->data() + (bases[i] + p.page_local_off - offset),
+                    chunk.data(), chunk.size());
+        return Status::OK();
+      }));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.reads++;
+    stats_.bytes_read += size;
+  }
+  return Status::OK();
+}
+
+Result<Version> BlobClient::GetRecent(BlobId id, uint64_t* size) {
+  Version v;
+  uint64_t sz;
+  BS_RETURN_NOT_OK(vm_.GetRecent(id, &v, &sz));
+  if (size) *size = sz;
+  return v;
+}
+
+Result<uint64_t> BlobClient::GetSize(BlobId id, Version version) {
+  return vm_.GetSize(id, version);
+}
+
+Status BlobClient::Sync(BlobId id, Version version, uint64_t timeout_us) {
+  const uint64_t slice_us = 250 * 1000;
+  uint64_t waited = 0;
+  for (;;) {
+    uint64_t remaining =
+        timeout_us == kNoTimeout ? slice_us : timeout_us - waited;
+    uint64_t server_wait =
+        options_.blocking_sync ? std::min(remaining, slice_us) : 0;
+    Status s = vm_.AwaitPublished(id, version, server_wait);
+    if (s.ok()) return s;
+    if (!s.IsTimedOut()) return s;
+    uint64_t step = server_wait;
+    if (!options_.blocking_sync) {
+      uint64_t nap = std::min<uint64_t>(options_.sync_poll_us, remaining);
+      clock_->SleepForMicros(nap);
+      step = nap;
+    }
+    if (timeout_us != kNoTimeout) {
+      waited += step;
+      if (waited >= timeout_us) return Status::TimedOut("SYNC timeout");
+    }
+  }
+}
+
+Result<BlobId> BlobClient::Branch(BlobId id, Version version) {
+  auto desc = vm_.Branch(id, version);
+  if (!desc.ok()) return desc.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  BlobId bid = desc->id;
+  descriptors_[bid] = std::move(desc).ValueUnsafe();
+  return bid;
+}
+
+Status BlobClient::Abort(BlobId id, Version version) {
+  BS_ASSIGN_OR_RETURN(BlobDescriptor desc, Descriptor(id));
+  auto outcome = vm_.AbortUpdate(id, version);
+  if (!outcome.ok()) return outcome.status();
+  if (outcome->retracted) return Status::OK();
+
+  // Repair: replay the aborted update as zeros (DESIGN.md 3.3) so that
+  // every node key later updates may have border-referenced exists.
+  const AssignTicket& ticket = outcome->repair;
+  std::string zeros(ticket.size, '\0');
+  std::vector<PageWrite> writes =
+      SplitIntoPages(Slice(zeros), ticket.offset, desc.psize);
+  BS_RETURN_NOT_OK(StorePages(&writes));
+  BS_RETURN_NOT_OK(BuildAndWriteMeta(desc, ticket, &writes));
+  BS_RETURN_NOT_OK(vm_.NotifySuccess(id, version));
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.repairs++;
+  return Status::OK();
+}
+
+ClientStats BlobClient::GetStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace blobseer::client

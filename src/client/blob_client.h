@@ -1,0 +1,199 @@
+// BlobSeer client library: implements the paper's access primitives
+// (section 2.1) — CREATE, READ, WRITE, APPEND, GET_RECENT, GET_SIZE, SYNC,
+// BRANCH — over the version manager, provider manager, data providers and
+// the DHT-backed metadata store.
+#ifndef BLOBSEER_CLIENT_BLOB_CLIENT_H_
+#define BLOBSEER_CLIENT_BLOB_CLIENT_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/blob_descriptor.h"
+#include "common/clock.h"
+#include "common/executor.h"
+#include "common/result.h"
+#include "dht/client.h"
+#include "meta/meta_client.h"
+#include "pmanager/client.h"
+#include "provider/client.h"
+#include "vmanager/client.h"
+
+namespace blobseer::client {
+
+struct ClientOptions {
+  /// Worker threads for the client's internally-owned executor (ignored
+  /// when an external executor is supplied).
+  size_t io_threads = 16;
+  /// Maximum parallel page transfers per operation.
+  size_t data_fanout = 8;
+  /// Maximum parallel metadata (DHT) operations per batch/level.
+  size_t meta_fanout = 16;
+  /// Leaf fragment-chain length that triggers page compaction on the next
+  /// write to the page (unaligned-write bookkeeping; DESIGN.md 3.2).
+  uint32_t max_chain = 16;
+  /// If true, SYNC uses server-side blocking waits; otherwise it polls
+  /// (required under the virtual-time simulator).
+  bool blocking_sync = true;
+  uint64_t sync_poll_us = 1000;
+  /// Metadata node cache (immutable nodes; safe to cache).
+  bool cache_metadata = true;
+  size_t cache_capacity = 1 << 16;
+  /// Channels per endpoint for parallel RPCs.
+  size_t channels_per_endpoint = 8;
+  dht::DhtClientOptions dht;
+};
+
+struct ClientStats {
+  uint64_t writes = 0;
+  uint64_t appends = 0;
+  uint64_t reads = 0;
+  uint64_t bytes_written = 0;
+  uint64_t bytes_read = 0;
+  uint64_t pages_stored = 0;
+  uint64_t meta_nodes_written = 0;
+  uint64_t compactions = 0;
+  uint64_t repairs = 0;
+};
+
+/// One BlobSeer client process. Thread-safe: concurrent operations on the
+/// same client are allowed and proceed in parallel.
+class BlobClient {
+ public:
+  static constexpr uint64_t kNoTimeout = UINT64_MAX;
+
+  /// `dht_nodes` must list the metadata-provider endpoints in the same
+  /// order on every client (placement is positional).
+  /// `clock`/`executor` default to the real clock and an owned thread pool;
+  /// the simulator injects virtual-time equivalents.
+  BlobClient(rpc::Transport* transport, std::string vmanager_address,
+             std::string pmanager_address, std::vector<std::string> dht_nodes,
+             ClientOptions options = {}, Clock* clock = nullptr,
+             Executor* executor = nullptr);
+  ~BlobClient();
+
+  BlobClient(const BlobClient&) = delete;
+  BlobClient& operator=(const BlobClient&) = delete;
+
+  /// CREATE: new empty blob with the given page size (power of two).
+  Result<BlobId> Create(uint64_t psize);
+
+  /// Fetches (and caches) a blob's descriptor.
+  Result<BlobDescriptor> Open(BlobId id);
+
+  /// WRITE: replaces `data.size()` bytes at `offset`, producing a new
+  /// snapshot. Returns the assigned version; the snapshot may not be
+  /// published yet when this returns (use Sync for read-your-writes).
+  /// Fails with OutOfRange if `offset` exceeds the size of the preceding
+  /// snapshot.
+  Result<Version> Write(BlobId id, Slice data, uint64_t offset);
+
+  /// APPEND: WRITE at the implicit offset = size of the preceding snapshot.
+  Result<Version> Append(BlobId id, Slice data);
+
+  /// READ from published snapshot `version`. Fails if the version is not
+  /// yet published or the range exceeds the snapshot size.
+  Status Read(BlobId id, Version version, uint64_t offset, uint64_t size,
+              std::string* out);
+
+  /// GET_RECENT: a recently published version (>= anything published before
+  /// the call) and its size.
+  Result<Version> GetRecent(BlobId id, uint64_t* size = nullptr);
+
+  /// GET_SIZE of a published snapshot.
+  Result<uint64_t> GetSize(BlobId id, Version version);
+
+  /// SYNC: blocks until `version` is published (or timeout).
+  Status Sync(BlobId id, Version version, uint64_t timeout_us = kNoTimeout);
+
+  /// BRANCH: new blob sharing content with `id` up to `version`.
+  Result<BlobId> Branch(BlobId id, Version version);
+
+  /// Abandons an assigned-but-unpublished update: retracts it when
+  /// possible, otherwise repairs it as a zero-filled update and publishes
+  /// it so the version chain keeps advancing (writer-crash recovery).
+  Status Abort(BlobId id, Version version);
+
+  ClientStats GetStats() const;
+
+  vmanager::VersionManagerClient& vmanager() { return vm_; }
+  pmanager::ProviderManagerClient& pmanager() { return pm_; }
+  dht::DhtClient& dht() { return dht_; }
+  meta::MetaClient& meta() { return meta_; }
+  const ClientOptions& options() const { return options_; }
+
+ private:
+  struct PageWrite {
+    uint64_t page_index = 0;
+    meta::PageFragment frag;
+    Slice bytes;  // fragment payload (borrowed from caller / zero buffer)
+  };
+  struct FetchPiece {
+    PageId pid;
+    ProviderId provider = kInvalidProvider;
+    uint64_t src_off = 0;
+    uint64_t len = 0;
+    uint64_t page_local_off = 0;
+  };
+  struct Interval {
+    uint64_t begin = 0;
+    uint64_t end = 0;
+  };
+
+  Result<BlobDescriptor> Descriptor(BlobId id);
+  PageId NewPageId();
+
+  /// Splits an update's payload along the page grid.
+  std::vector<PageWrite> SplitIntoPages(Slice data, uint64_t offset,
+                                        uint64_t psize) const;
+  /// Allocates providers and stores all page objects in parallel.
+  Status StorePages(std::vector<PageWrite>* writes);
+  /// Best-effort deletion of already-stored pages (failure cleanup).
+  void DeletePages(const std::vector<PageWrite>& writes);
+
+  /// Builds the new snapshot's tree (paper Algorithm 4) and writes it.
+  Status BuildAndWriteMeta(const BlobDescriptor& desc,
+                           const vmanager::AssignTicket& ticket,
+                           std::vector<PageWrite>* writes);
+
+  /// Chain-walk composition: which stored bytes satisfy `needed` (page-
+  /// local intervals) for the page `block` whose newest leaf is `leaf`.
+  Status ResolveLeafPieces(const BranchAncestry& ancestry, const Extent& block,
+                           const meta::MetaNode& leaf,
+                           std::vector<Interval> needed,
+                           std::vector<FetchPiece>* out);
+
+  /// Fetches pieces into `dst` (page-local base `dst_base` subtracted).
+  Status FetchPieces(const std::vector<FetchPiece>& pieces, uint64_t page_base,
+                     uint64_t range_offset, char* dst);
+
+  Result<std::string> ProviderAddress(ProviderId id);
+
+  rpc::Transport* transport_;
+  ClientOptions options_;
+  Clock* clock_;
+  std::unique_ptr<Executor> owned_executor_;
+  Executor* executor_;
+
+  vmanager::VersionManagerClient vm_;
+  pmanager::ProviderManagerClient pm_;
+  dht::DhtClient dht_;
+  meta::MetaClient meta_;
+  provider::ProviderClient providers_;
+
+  std::mutex mu_;
+  std::map<BlobId, BlobDescriptor> descriptors_;
+
+  uint64_t client_id_;
+  std::atomic<uint64_t> page_seq_{1};
+
+  mutable std::mutex stats_mu_;
+  ClientStats stats_;
+};
+
+}  // namespace blobseer::client
+
+#endif  // BLOBSEER_CLIENT_BLOB_CLIENT_H_

@@ -1,0 +1,31 @@
+#include "client/blob_handle.h"
+
+namespace blobseer::client {
+
+Status Blob::ReadRecent(uint64_t offset, uint64_t size, std::string* out) {
+  auto v = client_->GetRecent(id_);
+  if (!v.ok()) return v.status();
+  return client_->Read(id_, *v, offset, size, out);
+}
+
+Result<Blob> Blob::Branch(Version version) {
+  auto bid = client_->Branch(id_, version);
+  if (!bid.ok()) return bid.status();
+  return Blob(client_, *bid);
+}
+
+Result<Version> Blob::AppendSync(Slice data) {
+  auto v = client_->Append(id_, data);
+  if (!v.ok()) return v;
+  BS_RETURN_NOT_OK(client_->Sync(id_, *v));
+  return v;
+}
+
+Result<Version> Blob::WriteSync(Slice data, uint64_t offset) {
+  auto v = client_->Write(id_, data, offset);
+  if (!v.ok()) return v;
+  BS_RETURN_NOT_OK(client_->Sync(id_, *v));
+  return v;
+}
+
+}  // namespace blobseer::client

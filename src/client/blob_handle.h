@@ -1,0 +1,56 @@
+// Convenience handle: a blob id bound to a client.
+#ifndef BLOBSEER_CLIENT_BLOB_HANDLE_H_
+#define BLOBSEER_CLIENT_BLOB_HANDLE_H_
+
+#include <string>
+
+#include "client/blob_client.h"
+
+namespace blobseer::client {
+
+/// Lightweight, copyable view of one blob through one client. All calls
+/// forward to BlobClient; see its documentation for semantics.
+class Blob {
+ public:
+  Blob() = default;
+  Blob(BlobClient* client, BlobId id) : client_(client), id_(id) {}
+
+  bool valid() const { return client_ != nullptr && id_ != kInvalidBlobId; }
+  BlobId id() const { return id_; }
+  BlobClient* client() const { return client_; }
+
+  Result<Version> Write(Slice data, uint64_t offset) {
+    return client_->Write(id_, data, offset);
+  }
+  Result<Version> Append(Slice data) { return client_->Append(id_, data); }
+  Status Read(Version version, uint64_t offset, uint64_t size,
+              std::string* out) {
+    return client_->Read(id_, version, offset, size, out);
+  }
+  /// Reads [offset, offset+size) from the most recent published snapshot.
+  Status ReadRecent(uint64_t offset, uint64_t size, std::string* out);
+  Result<Version> GetRecent(uint64_t* size = nullptr) {
+    return client_->GetRecent(id_, size);
+  }
+  Result<uint64_t> GetSize(Version version) {
+    return client_->GetSize(id_, version);
+  }
+  Status Sync(Version version,
+              uint64_t timeout_us = BlobClient::kNoTimeout) {
+    return client_->Sync(id_, version, timeout_us);
+  }
+  Result<Blob> Branch(Version version);
+
+  /// Appends and waits for publication (read-your-writes convenience).
+  Result<Version> AppendSync(Slice data);
+  /// Writes and waits for publication.
+  Result<Version> WriteSync(Slice data, uint64_t offset);
+
+ private:
+  BlobClient* client_ = nullptr;
+  BlobId id_ = kInvalidBlobId;
+};
+
+}  // namespace blobseer::client
+
+#endif  // BLOBSEER_CLIENT_BLOB_HANDLE_H_

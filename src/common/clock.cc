@@ -1,0 +1,24 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace blobseer {
+
+uint64_t RealClock::NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void RealClock::SleepForMicros(uint64_t micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
+
+Clock* RealClock::Default() {
+  static RealClock clock;
+  return &clock;
+}
+
+}  // namespace blobseer

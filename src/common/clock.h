@@ -1,0 +1,47 @@
+// Pluggable time source so the same client/service code runs on the real
+// clock or under the simnet virtual-time scheduler.
+#ifndef BLOBSEER_COMMON_CLOCK_H_
+#define BLOBSEER_COMMON_CLOCK_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace blobseer {
+
+/// Abstract monotonic clock, microsecond resolution.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Monotonic timestamp in microseconds.
+  virtual uint64_t NowMicros() = 0;
+  /// Blocks the calling (real or simulated) thread for `micros`.
+  virtual void SleepForMicros(uint64_t micros) = 0;
+};
+
+/// Wall clock backed by std::chrono::steady_clock.
+class RealClock : public Clock {
+ public:
+  uint64_t NowMicros() override;
+  void SleepForMicros(uint64_t micros) override;
+
+  /// Process-wide shared instance.
+  static Clock* Default();
+};
+
+/// Simple elapsed-time helper.
+class Stopwatch {
+ public:
+  explicit Stopwatch(Clock* clock = RealClock::Default())
+      : clock_(clock), start_(clock_->NowMicros()) {}
+  void Reset() { start_ = clock_->NowMicros(); }
+  uint64_t ElapsedMicros() const { return clock_->NowMicros() - start_; }
+  double ElapsedSeconds() const { return ElapsedMicros() / 1e6; }
+
+ private:
+  Clock* clock_;
+  uint64_t start_;
+};
+
+}  // namespace blobseer
+
+#endif  // BLOBSEER_COMMON_CLOCK_H_

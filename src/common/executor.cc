@@ -1,0 +1,78 @@
+#include "common/executor.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_pool.h"
+
+namespace blobseer {
+
+Status SerialExecutor::ParallelFor(size_t n, size_t /*max_parallel*/,
+                                   const std::function<Status(size_t)>& fn) {
+  Status first;
+  for (size_t i = 0; i < n; i++) {
+    Status s = fn(i);
+    if (!s.ok() && first.ok()) first = s;
+  }
+  return first;
+}
+
+ThreadPoolExecutor::ThreadPoolExecutor(size_t threads)
+    : pool_(std::make_unique<ThreadPool>(threads)) {}
+
+ThreadPoolExecutor::~ThreadPoolExecutor() = default;
+
+Status ThreadPoolExecutor::ParallelFor(
+    size_t n, size_t max_parallel, const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  if (max_parallel == 0) max_parallel = pool_->num_threads();
+
+  // Shared-ownership state: straggler task copies (submitted but finding no
+  // index left) may run after this frame returns, so the synchronization
+  // state must outlive the call.
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t next = 0;
+    size_t done = 0;
+    size_t n;
+    const std::function<Status(size_t)>* fn;
+    Status first;
+  };
+  auto state = std::make_shared<State>();
+  state->n = n;
+  state->fn = &fn;
+
+  // Window-of-max_parallel scheduling: `initial` workers each loop pulling
+  // the next unclaimed index, bounding in-flight work without
+  // materializing n closures.
+  size_t initial = n < max_parallel ? n : max_parallel;
+  auto worker = [state]() {
+    for (;;) {
+      size_t i;
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        if (state->next >= state->n) return;
+        i = state->next++;
+      }
+      // fn is guaranteed alive: indices are only handed out before done==n,
+      // and the caller does not return until done==n.
+      Status s = (*state->fn)(i);
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!s.ok() && state->first.ok()) state->first = s;
+      state->done++;
+      if (state->done == state->n) {
+        state->cv.notify_all();
+        return;
+      }
+    }
+  };
+  for (size_t i = 0; i < initial; i++) pool_->Submit(worker);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] { return state->done == state->n; });
+  return state->first;
+}
+
+}  // namespace blobseer

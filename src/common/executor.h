@@ -1,0 +1,56 @@
+// Parallel-execution strategy abstraction. The client library expresses its
+// page/metadata fan-out as ParallelFor over closures; the binding to real
+// threads (ThreadPoolExecutor), the calling thread (SerialExecutor) or
+// simulated threads (simnet::SimExecutor) is injected.
+#ifndef BLOBSEER_COMMON_EXECUTOR_H_
+#define BLOBSEER_COMMON_EXECUTOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace blobseer {
+
+class ThreadPool;
+
+/// Runs a batch of independent tasks, each returning a Status, and reports
+/// the first failure (all tasks always run to completion).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Executes tasks [0, n) by invoking `fn(i)`; at most `max_parallel`
+  /// run concurrently (0 means implementation default). Collects the first
+  /// non-OK status.
+  virtual Status ParallelFor(size_t n, size_t max_parallel,
+                             const std::function<Status(size_t)>& fn) = 0;
+};
+
+/// Runs everything inline on the calling thread. Deterministic; used in
+/// unit tests and as a safe fallback.
+class SerialExecutor : public Executor {
+ public:
+  Status ParallelFor(size_t n, size_t max_parallel,
+                     const std::function<Status(size_t)>& fn) override;
+};
+
+/// Fans tasks out over a shared ThreadPool.
+class ThreadPoolExecutor : public Executor {
+ public:
+  /// Creates an executor owning a pool of `threads` workers.
+  explicit ThreadPoolExecutor(size_t threads);
+  ~ThreadPoolExecutor() override;
+
+  Status ParallelFor(size_t n, size_t max_parallel,
+                     const std::function<Status(size_t)>& fn) override;
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace blobseer
+
+#endif  // BLOBSEER_COMMON_EXECUTOR_H_

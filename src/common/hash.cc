@@ -1,0 +1,21 @@
+#include "common/hash.h"
+
+namespace blobseer {
+
+uint64_t Fnv1a64(Slice data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < data.size(); i++) {
+    h ^= static_cast<uint8_t>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace blobseer

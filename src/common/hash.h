@@ -1,0 +1,25 @@
+// Hashing utilities: FNV-1a for DHT key placement, splitmix for RNG seeding.
+#ifndef BLOBSEER_COMMON_HASH_H_
+#define BLOBSEER_COMMON_HASH_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace blobseer {
+
+/// 64-bit FNV-1a over a byte range. Deterministic across platforms; used for
+/// DHT key placement so metadata distribution is reproducible.
+uint64_t Fnv1a64(Slice data);
+
+/// One round of the splitmix64 mixer; good avalanche for integer keys.
+uint64_t Mix64(uint64_t x);
+
+/// Combines two 64-bit hashes.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace blobseer
+
+#endif  // BLOBSEER_COMMON_HASH_H_

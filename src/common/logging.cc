@@ -1,0 +1,75 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace blobseer {
+
+namespace {
+
+LogLevel ParseLevel(const char* s) {
+  if (!s) return LogLevel::kWarn;
+  if (!strcmp(s, "trace")) return LogLevel::kTrace;
+  if (!strcmp(s, "debug")) return LogLevel::kDebug;
+  if (!strcmp(s, "info")) return LogLevel::kInfo;
+  if (!strcmp(s, "warn")) return LogLevel::kWarn;
+  if (!strcmp(s, "error")) return LogLevel::kError;
+  if (!strcmp(s, "off")) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& LevelVar() {
+  static std::atomic<int> level{
+      static_cast<int>(ParseLevel(std::getenv("BLOBSEER_LOG_LEVEL")))};
+  return level;
+}
+
+const char* LevelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(LevelVar().load()); }
+void SetLogLevel(LogLevel level) { LevelVar().store(static_cast<int>(level)); }
+
+namespace internal {
+
+void EmitLog(LogLevel level, const char* file, int line,
+             const std::string& msg) {
+  static std::mutex mu;
+  const char* base = strrchr(file, '/');
+  base = base ? base + 1 : file;
+  std::lock_guard<std::mutex> lock(mu);
+  fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
+          msg.c_str());
+}
+
+CheckFailure::CheckFailure(const char* file, int line, const char* cond) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << cond << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  fprintf(stderr, "%s\n", stream_.str().c_str());
+  fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace blobseer

@@ -1,0 +1,71 @@
+// Minimal leveled logging. Controlled by BLOBSEER_LOG_LEVEL env var
+// (trace|debug|info|warn|error|off) or SetLogLevel().
+#ifndef BLOBSEER_COMMON_LOGGING_H_
+#define BLOBSEER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace blobseer {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+void EmitLog(LogLevel level, const char* file, int line,
+             const std::string& msg);
+
+/// Stream-collecting helper behind the BS_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace blobseer
+
+#define BS_LOG(level)                                                       \
+  if (::blobseer::LogLevel::k##level < ::blobseer::GetLogLevel()) {        \
+  } else                                                                    \
+    ::blobseer::internal::LogMessage(::blobseer::LogLevel::k##level,       \
+                                     __FILE__, __LINE__)                   \
+        .stream()
+
+/// Invariant check that survives NDEBUG; aborts with a message.
+#define BS_CHECK(cond)                                                     \
+  if (cond) {                                                              \
+  } else                                                                   \
+    ::blobseer::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+namespace blobseer::internal {
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* cond);
+  [[noreturn]] ~CheckFailure();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+}  // namespace blobseer::internal
+
+#endif  // BLOBSEER_COMMON_LOGGING_H_

@@ -1,0 +1,31 @@
+// Power-of-two arithmetic used throughout segment-tree layout code.
+#ifndef BLOBSEER_COMMON_MATH_UTIL_H_
+#define BLOBSEER_COMMON_MATH_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace blobseer {
+
+inline bool IsPow2(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Smallest power of two >= x. Precondition: x >= 1 and representable.
+inline uint64_t Pow2Ceil(uint64_t x) { return std::bit_ceil(x); }
+
+/// floor(log2(x)). Precondition: x >= 1.
+inline uint32_t FloorLog2(uint64_t x) {
+  return 63u - static_cast<uint32_t>(std::countl_zero(x));
+}
+
+/// ceil(a / b). Precondition: b != 0.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Rounds a down to a multiple of b (b power of two not required).
+inline uint64_t AlignDown(uint64_t a, uint64_t b) { return a - a % b; }
+
+/// Rounds a up to a multiple of b.
+inline uint64_t AlignUp(uint64_t a, uint64_t b) { return CeilDiv(a, b) * b; }
+
+}  // namespace blobseer
+
+#endif  // BLOBSEER_COMMON_MATH_UTIL_H_

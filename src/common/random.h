@@ -1,0 +1,54 @@
+// Deterministic fast RNG (xoshiro256**) for tests, benchmarks and id minting.
+#ifndef BLOBSEER_COMMON_RANDOM_H_
+#define BLOBSEER_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace blobseer {
+
+/// xoshiro256** seeded via splitmix64. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) {
+    uint64_t x = seed;
+    for (auto& w : s_) w = (x = Mix64(x));
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). Precondition n > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi]. Precondition lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  double NextDouble() {  // [0, 1)
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace blobseer
+
+#endif  // BLOBSEER_COMMON_RANDOM_H_

@@ -1,0 +1,62 @@
+// Result<T>: value-or-Status, mirroring arrow::Result.
+#ifndef BLOBSEER_COMMON_RESULT_H_
+#define BLOBSEER_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace blobseer {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Construction from a value yields ok(); construction from
+/// a Status requires that status to be non-OK.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+    if (status_.ok()) status_ = Status::Internal("Result from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : status_;
+  }
+
+  /// Returns the value; must only be called when ok().
+  T& ValueUnsafe() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& ValueUnsafe() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& ValueUnsafe() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return ValueUnsafe(); }
+  const T& operator*() const& { return ValueUnsafe(); }
+  T* operator->() { return &ValueUnsafe(); }
+  const T* operator->() const { return &ValueUnsafe(); }
+
+  /// Moves the value out or returns `fallback` when in error state.
+  T ValueOr(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace blobseer
+
+#endif  // BLOBSEER_COMMON_RESULT_H_

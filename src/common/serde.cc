@@ -1,0 +1,17 @@
+#include "common/serde.h"
+
+#include "common/string_util.h"
+
+namespace blobseer {
+
+std::string PageId::ToString() const {
+  return StrFormat("page:%016llx%016llx", static_cast<unsigned long long>(hi),
+                   static_cast<unsigned long long>(lo));
+}
+
+std::string Extent::ToString() const {
+  return StrFormat("[%llu,+%llu)", static_cast<unsigned long long>(offset),
+                   static_cast<unsigned long long>(size));
+}
+
+}  // namespace blobseer

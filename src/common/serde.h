@@ -1,0 +1,160 @@
+// Bounds-checked little-endian binary serialization for wire messages.
+//
+// Every RPC message type implements:
+//   void EncodeTo(BinaryWriter* w) const;
+//   Status DecodeFrom(BinaryReader* r);
+#ifndef BLOBSEER_COMMON_SERDE_H_
+#define BLOBSEER_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace blobseer {
+
+/// Append-only encoder. All integers are fixed-width little-endian; byte
+/// strings are length-prefixed with a u32.
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU16(uint16_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  void PutBytes(Slice s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+  void PutString(const std::string& s) { PutBytes(Slice(s)); }
+
+  void PutPageId(const PageId& p) {
+    PutU64(p.hi);
+    PutU64(p.lo);
+  }
+  void PutExtent(const Extent& e) {
+    PutU64(e.offset);
+    PutU64(e.size);
+  }
+
+  /// Appends raw bytes with no length prefix (caller manages framing).
+  void PutRawBytes(Slice s) { buf_.append(s.data(), s.size()); }
+
+  size_t size() const { return buf_.size(); }
+  const std::string& buffer() const { return buf_; }
+  std::string TakeBuffer() && { return std::move(buf_); }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    buf_.append(reinterpret_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+/// Bounds-checked decoder over a borrowed byte range.
+class BinaryReader {
+ public:
+  explicit BinaryReader(Slice s) : data_(s) {}
+
+  Status GetU8(uint8_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetU16(uint16_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetI64(int64_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetDouble(double* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetBool(bool* v) {
+    uint8_t b;
+    BS_RETURN_NOT_OK(GetU8(&b));
+    *v = b != 0;
+    return Status::OK();
+  }
+
+  Status GetBytes(std::string* out) {
+    uint32_t n;
+    BS_RETURN_NOT_OK(GetU32(&n));
+    if (n > data_.size()) return Truncated();
+    out->assign(data_.data(), n);
+    data_.RemovePrefix(n);
+    return Status::OK();
+  }
+  /// Zero-copy variant: the returned slice borrows the reader's input.
+  Status GetBytesView(Slice* out) {
+    uint32_t n;
+    BS_RETURN_NOT_OK(GetU32(&n));
+    if (n > data_.size()) return Truncated();
+    *out = data_.SubSlice(0, n);
+    data_.RemovePrefix(n);
+    return Status::OK();
+  }
+  Status GetString(std::string* out) { return GetBytes(out); }
+
+  Status GetPageId(PageId* p) {
+    BS_RETURN_NOT_OK(GetU64(&p->hi));
+    return GetU64(&p->lo);
+  }
+  Status GetExtent(Extent* e) {
+    BS_RETURN_NOT_OK(GetU64(&e->offset));
+    return GetU64(&e->size);
+  }
+
+  size_t remaining() const { return data_.size(); }
+
+  /// Fails unless the whole input has been consumed: catches trailing
+  /// garbage from mismatched message definitions.
+  Status ExpectEnd() const {
+    if (!data_.empty())
+      return Status::Corruption("trailing bytes in message: " +
+                                std::to_string(data_.size()));
+    return Status::OK();
+  }
+
+ private:
+  Status GetRaw(void* p, size_t n) {
+    if (data_.size() < n) return Truncated();
+    std::memcpy(p, data_.data(), n);
+    data_.RemovePrefix(n);
+    return Status::OK();
+  }
+  static Status Truncated() {
+    return Status::Corruption("truncated message");
+  }
+  Slice data_;
+};
+
+/// Encodes a vector of messages with a u32 count prefix.
+template <typename T>
+void PutVector(BinaryWriter* w, const std::vector<T>& v) {
+  w->PutU32(static_cast<uint32_t>(v.size()));
+  for (const T& e : v) e.EncodeTo(w);
+}
+
+template <typename T>
+Status GetVector(BinaryReader* r, std::vector<T>* out,
+                 uint32_t sanity_max = 64u * 1024 * 1024) {
+  uint32_t n;
+  BS_RETURN_NOT_OK(r->GetU32(&n));
+  // Every element encodes to at least one byte, so a count beyond the
+  // remaining payload is corrupt — this also stops adversarial counts from
+  // forcing gigantic allocations.
+  if (n > sanity_max || n > r->remaining())
+    return Status::Corruption("vector count exceeds payload");
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    T e;
+    BS_RETURN_NOT_OK(e.DecodeFrom(r));
+    out->push_back(std::move(e));
+  }
+  return Status::OK();
+}
+
+}  // namespace blobseer
+
+#endif  // BLOBSEER_COMMON_SERDE_H_

@@ -1,0 +1,72 @@
+// Non-owning byte view, RocksDB-style.
+#ifndef BLOBSEER_COMMON_SLICE_H_
+#define BLOBSEER_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace blobseer {
+
+/// A non-owning view over a contiguous byte range. The viewed memory must
+/// outlive the Slice.
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* cstr) : data_(cstr), size_(std::strlen(cstr)) {}  // NOLINT
+  Slice(std::string_view sv) : data_(sv.data()), size_(sv.size()) {}  // NOLINT
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  /// Drops the first n bytes from the view.
+  void RemovePrefix(size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  Slice SubSlice(size_t off, size_t len) const {
+    assert(off + len <= size_);
+    return Slice(data_ + off, len);
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToStringView() const {
+    return std::string_view(data_, size_);
+  }
+
+  int Compare(const Slice& o) const {
+    size_t n = size_ < o.size_ ? size_ : o.size_;
+    int r = n == 0 ? 0 : std::memcmp(data_, o.data_, n);
+    if (r == 0) {
+      if (size_ < o.size_) return -1;
+      if (size_ > o.size_) return 1;
+    }
+    return r;
+  }
+
+  friend bool operator==(const Slice& a, const Slice& b) {
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+  }
+  friend bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+
+ private:
+  const char* data_;
+  size_t size_;
+};
+
+}  // namespace blobseer
+
+#endif  // BLOBSEER_COMMON_SLICE_H_

@@ -1,0 +1,166 @@
+// Arrow/RocksDB-style Status: no exceptions cross public API boundaries.
+#ifndef BLOBSEER_COMMON_STATUS_H_
+#define BLOBSEER_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace blobseer {
+
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kInvalidArgument = 2,
+  kAlreadyExists = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kUnavailable = 6,
+  kTimedOut = 7,
+  kCorruption = 8,
+  kIOError = 9,
+  kNotSupported = 10,
+  kAborted = 11,
+  kCancelled = 12,
+  kInternal = 13,
+};
+
+/// Returns a stable human-readable name for a status code.
+const char* StatusCodeName(StatusCode code);
+
+/// Operation outcome carrying a code and an optional message. The OK status
+/// is represented with a null state pointer so that the common success path
+/// costs one pointer move.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_unique<State>(State{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status& o) { *this = o; }
+  Status& operator=(const Status& o) {
+    state_ = o.state_ ? std::make_unique<State>(*o.state_) : nullptr;
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m = "") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status InvalidArgument(std::string m = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status AlreadyExists(std::string m = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m = "") {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status OutOfRange(std::string m = "") {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status Unavailable(std::string m = "") {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status TimedOut(std::string m = "") {
+    return Status(StatusCode::kTimedOut, std::move(m));
+  }
+  static Status Corruption(std::string m = "") {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status IOError(std::string m = "") {
+    return Status(StatusCode::kIOError, std::move(m));
+  }
+  static Status NotSupported(std::string m = "") {
+    return Status(StatusCode::kNotSupported, std::move(m));
+  }
+  static Status Aborted(std::string m = "") {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status Cancelled(std::string m = "") {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status Internal(std::string m = "") {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  /// Rebuilds a status from its wire representation (see rpc/wire.h).
+  static Status FromCode(StatusCode code, std::string m) {
+    return Status(code, std::move(m));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  std::string ToString() const;
+
+  /// Appends context to the message, keeping the code. Useful when
+  /// propagating errors up through layers.
+  Status WithContext(const std::string& ctx) const {
+    if (ok()) return *this;
+    return Status(code(), ctx + ": " + message());
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define BS_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::blobseer::Status _st = (expr);           \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Propagates a non-OK status with an added context prefix.
+#define BS_RETURN_NOT_OK_CTX(expr, ctx)        \
+  do {                                         \
+    ::blobseer::Status _st = (expr);           \
+    if (!_st.ok()) return _st.WithContext(ctx); \
+  } while (0)
+
+#define BS_CONCAT_IMPL(a, b) a##b
+#define BS_CONCAT(a, b) BS_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on failure returns the status.
+#define BS_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto BS_CONCAT(_res_, __LINE__) = (expr);                   \
+  if (!BS_CONCAT(_res_, __LINE__).ok())                       \
+    return BS_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(BS_CONCAT(_res_, __LINE__)).ValueUnsafe()
+
+}  // namespace blobseer
+
+#endif  // BLOBSEER_COMMON_STATUS_H_

@@ -1,0 +1,33 @@
+// Small string helpers (printf-style formatting, byte humanization).
+#ifndef BLOBSEER_COMMON_STRING_UTIL_H_
+#define BLOBSEER_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace blobseer {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// "64.0 KiB", "1.5 GiB", ...
+std::string HumanBytes(uint64_t bytes);
+
+/// "117.5 MB/s" style rate formatting (decimal megabytes, like the paper).
+std::string HumanRateMBps(double bytes_per_sec);
+
+/// Joins parts with a separator.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    const std::string& sep);
+
+/// Splits on a single-character separator; keeps empty fields.
+std::vector<std::string> StrSplit(const std::string& s, char sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace blobseer
+
+#endif  // BLOBSEER_COMMON_STRING_UTIL_H_

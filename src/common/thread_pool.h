@@ -1,0 +1,46 @@
+// Fixed-size worker pool for the client library's parallel page and
+// metadata I/O.
+#ifndef BLOBSEER_COMMON_THREAD_POOL_H_
+#define BLOBSEER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace blobseer {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (minimum 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; runs as soon as a worker is free.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace blobseer
+
+#endif  // BLOBSEER_COMMON_THREAD_POOL_H_

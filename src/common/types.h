@@ -1,0 +1,91 @@
+// Core identifier and extent types shared by every BlobSeer subsystem.
+#ifndef BLOBSEER_COMMON_TYPES_H_
+#define BLOBSEER_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace blobseer {
+
+/// Globally unique blob identifier, assigned by the version manager.
+/// Zero is never a valid blob id.
+using BlobId = uint64_t;
+inline constexpr BlobId kInvalidBlobId = 0;
+
+/// Snapshot version label. Version 0 is the (published) empty snapshot every
+/// blob starts with; updates produce versions 1, 2, ... in total order.
+using Version = uint64_t;
+/// Sentinel meaning "no version": used for never-written subtree links
+/// (holes) and for absent previous-leaf links.
+inline constexpr Version kNoVersion = std::numeric_limits<uint64_t>::max();
+
+/// Dense index of a data provider, assigned by the provider manager at
+/// registration time. Stored in metadata leaves instead of full addresses.
+using ProviderId = uint32_t;
+inline constexpr ProviderId kInvalidProvider =
+    std::numeric_limits<uint32_t>::max();
+
+/// Globally unique page identifier. Clients generate these locally as
+/// (client id, sequence number) so that no coordination is required: updates
+/// never overwrite pages, they always mint fresh ids (paper section 3).
+struct PageId {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const PageId&, const PageId&) = default;
+  friend auto operator<=>(const PageId&, const PageId&) = default;
+
+  bool valid() const { return hi != 0 || lo != 0; }
+  std::string ToString() const;
+};
+
+/// A byte range [offset, offset + size) of a blob.
+struct Extent {
+  uint64_t offset = 0;
+  uint64_t size = 0;
+
+  friend bool operator==(const Extent&, const Extent&) = default;
+  friend auto operator<=>(const Extent&, const Extent&) = default;
+
+  uint64_t end() const { return offset + size; }
+  bool empty() const { return size == 0; }
+
+  /// True iff the two half-open ranges share at least one byte.
+  bool Intersects(const Extent& o) const {
+    return offset < o.end() && o.offset < end();
+  }
+  /// True iff `o` is fully contained in this extent.
+  bool Contains(const Extent& o) const {
+    return offset <= o.offset && o.end() <= end();
+  }
+  bool ContainsOffset(uint64_t off) const {
+    return offset <= off && off < end();
+  }
+  /// Intersection of the two ranges; empty extent if disjoint.
+  Extent Clip(const Extent& o) const {
+    uint64_t b = offset > o.offset ? offset : o.offset;
+    uint64_t e = end() < o.end() ? end() : o.end();
+    return b < e ? Extent{b, e - b} : Extent{b, 0};
+  }
+  std::string ToString() const;
+};
+
+}  // namespace blobseer
+
+namespace std {
+template <>
+struct hash<blobseer::PageId> {
+  size_t operator()(const blobseer::PageId& p) const noexcept {
+    // splitmix-style combine; good enough for hash maps.
+    uint64_t x = p.hi * 0x9E3779B97F4A7C15ULL ^ p.lo;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    return static_cast<size_t>(x);
+  }
+};
+}  // namespace std
+
+#endif  // BLOBSEER_COMMON_TYPES_H_

@@ -1,0 +1,128 @@
+#include "core/cluster.h"
+
+#include "common/string_util.h"
+#include "pmanager/client.h"
+
+namespace blobseer::core {
+
+namespace {
+
+std::unique_ptr<provider::PageStore> MakeStore(const std::string& spec,
+                                               size_t index) {
+  if (spec == "null") return provider::MakeNullPageStore();
+  if (StartsWith(spec, "file:")) {
+    return provider::MakeFilePageStore(
+        StrFormat("%s/provider-%zu", spec.substr(5).c_str(), index));
+  }
+  return provider::MakeMemoryPageStore();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EmbeddedCluster>> EmbeddedCluster::Start(
+    const ClusterOptions& options) {
+  if (options.num_providers == 0 || options.num_meta == 0)
+    return Status::InvalidArgument("cluster needs providers and meta nodes");
+
+  std::unique_ptr<EmbeddedCluster> c(new EmbeddedCluster());
+  c->options_ = options;
+  if (options.transport == "tcp") {
+    c->tcp_ = std::make_unique<rpc::TcpTransport>();
+    c->transport_ = c->tcp_.get();
+  } else if (options.transport == "inproc") {
+    c->inproc_ = std::make_unique<rpc::InProcNetwork>();
+    c->transport_ = c->inproc_.get();
+  } else {
+    return Status::InvalidArgument("unknown transport: " + options.transport);
+  }
+  const bool tcp = c->tcp_ != nullptr;
+  auto bind_addr = [&](const std::string& name) {
+    return tcp ? std::string("127.0.0.1:0") : "inproc://" + name;
+  };
+
+  // Version manager and provider manager on dedicated endpoints (the paper
+  // deploys each on a dedicated node).
+  c->vm_service_ = std::make_shared<vmanager::VersionManagerService>();
+  {
+    auto addr = c->transport_->Serve(bind_addr("vmanager"), c->vm_service_);
+    if (!addr.ok()) return addr.status();
+    c->vm_address_ = std::move(addr).ValueUnsafe();
+  }
+  c->pm_service_ = std::make_shared<pmanager::ProviderManagerService>(
+      pmanager::MakeStrategy(options.allocation));
+  {
+    auto addr = c->transport_->Serve(bind_addr("pmanager"), c->pm_service_);
+    if (!addr.ok()) return addr.status();
+    c->pm_address_ = std::move(addr).ValueUnsafe();
+  }
+
+  for (size_t i = 0; i < options.num_meta; i++) {
+    auto svc = std::make_shared<dht::DhtService>(options.dht_shards);
+    auto addr =
+        c->transport_->Serve(bind_addr(StrFormat("meta-%zu", i)), svc);
+    if (!addr.ok()) return addr.status();
+    c->dht_services_.push_back(std::move(svc));
+    c->dht_addresses_.push_back(std::move(addr).ValueUnsafe());
+  }
+
+  pmanager::ProviderManagerClient pm_client(c->transport_, c->pm_address_);
+  for (size_t i = 0; i < options.num_providers; i++) {
+    auto svc = std::make_shared<provider::ProviderService>(
+        MakeStore(options.page_store, i));
+    auto addr =
+        c->transport_->Serve(bind_addr(StrFormat("provider-%zu", i)), svc);
+    if (!addr.ok()) return addr.status();
+    c->provider_services_.push_back(std::move(svc));
+    c->provider_addresses_.push_back(std::move(addr).ValueUnsafe());
+    auto id = pm_client.Register(c->provider_addresses_.back(),
+                                 options.provider_capacity_pages);
+    if (!id.ok()) return id.status();
+  }
+  return c;
+}
+
+EmbeddedCluster::~EmbeddedCluster() {
+  if (!transport_) return;
+  (void)transport_->StopServing(vm_address_);
+  (void)transport_->StopServing(pm_address_);
+  for (const auto& a : dht_addresses_) (void)transport_->StopServing(a);
+  for (const auto& a : provider_addresses_) (void)transport_->StopServing(a);
+}
+
+Result<std::unique_ptr<client::BlobClient>> EmbeddedCluster::NewClient(
+    client::ClientOptions options) {
+  return std::make_unique<client::BlobClient>(
+      transport_, vm_address_, pm_address_, dht_addresses_, options);
+}
+
+Status EmbeddedCluster::TotalProviderUsage(uint64_t* pages,
+                                           uint64_t* bytes) const {
+  *pages = 0;
+  *bytes = 0;
+  for (const auto& svc : provider_services_) {
+    provider::PageStoreStats st = svc->store().GetStats();
+    *pages += st.pages;
+    *bytes += st.bytes;
+  }
+  return Status::OK();
+}
+
+Status EmbeddedCluster::TotalMetadataUsage(uint64_t* keys,
+                                           uint64_t* bytes) const {
+  *keys = 0;
+  *bytes = 0;
+  for (const auto& svc : dht_services_) {
+    dht::StoreStats st = svc->store().GetStats();
+    *keys += st.keys;
+    *bytes += st.bytes;
+  }
+  return Status::OK();
+}
+
+Status EmbeddedCluster::StopProvider(size_t index) {
+  if (index >= provider_addresses_.size())
+    return Status::InvalidArgument("provider index");
+  return transport_->StopServing(provider_addresses_[index]);
+}
+
+}  // namespace blobseer::core

@@ -1,0 +1,98 @@
+// Embedded BlobSeer cluster: starts a version manager, a provider manager,
+// N data providers and M metadata (DHT) providers on one transport, wiring
+// the deployment the paper describes (section 3.1) into one process for
+// tests, examples and benchmarks. With transport = "tcp" the same topology
+// runs over real sockets on loopback.
+#ifndef BLOBSEER_CORE_CLUSTER_H_
+#define BLOBSEER_CORE_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/blob_client.h"
+#include "client/blob_handle.h"
+#include "common/result.h"
+#include "dht/service.h"
+#include "pmanager/service.h"
+#include "provider/service.h"
+#include "rpc/inproc.h"
+#include "rpc/tcp.h"
+#include "vmanager/service.h"
+
+namespace blobseer::core {
+
+struct ClusterOptions {
+  size_t num_providers = 4;
+  size_t num_meta = 4;
+  /// "inproc" or "tcp" (loopback, ephemeral ports).
+  std::string transport = "inproc";
+  /// "memory", "null", or "file:<directory>".
+  std::string page_store = "memory";
+  /// Allocation strategy name (see pmanager/strategy.h).
+  std::string allocation = "round_robin";
+  uint64_t provider_capacity_pages = 0;  // 0 = unbounded
+  size_t dht_shards = 16;
+};
+
+class EmbeddedCluster {
+ public:
+  static Result<std::unique_ptr<EmbeddedCluster>> Start(
+      const ClusterOptions& options);
+  ~EmbeddedCluster();
+
+  EmbeddedCluster(const EmbeddedCluster&) = delete;
+  EmbeddedCluster& operator=(const EmbeddedCluster&) = delete;
+
+  rpc::Transport* transport() { return transport_; }
+  const std::string& vmanager_address() const { return vm_address_; }
+  const std::string& pmanager_address() const { return pm_address_; }
+  const std::vector<std::string>& dht_addresses() const {
+    return dht_addresses_;
+  }
+  const std::vector<std::string>& provider_addresses() const {
+    return provider_addresses_;
+  }
+
+  /// New client bound to this cluster.
+  Result<std::unique_ptr<client::BlobClient>> NewClient(
+      client::ClientOptions options = {});
+
+  /// Direct service access for tests/inspection.
+  vmanager::VersionManagerService& vmanager() { return *vm_service_; }
+  pmanager::ProviderManagerService& pmanager() { return *pm_service_; }
+  dht::DhtService& dht(size_t i) { return *dht_services_[i]; }
+  provider::ProviderService& provider(size_t i) { return *provider_services_[i]; }
+  size_t num_providers() const { return provider_services_.size(); }
+  size_t num_meta() const { return dht_services_.size(); }
+
+  /// Aggregate physical storage across providers (space-overhead benches).
+  Status TotalProviderUsage(uint64_t* pages, uint64_t* bytes) const;
+  /// Aggregate metadata usage across DHT nodes.
+  Status TotalMetadataUsage(uint64_t* keys, uint64_t* bytes) const;
+
+  /// Kills one data provider endpoint (failure-injection tests).
+  Status StopProvider(size_t index);
+
+ private:
+  EmbeddedCluster() = default;
+
+  ClusterOptions options_;
+  std::unique_ptr<rpc::InProcNetwork> inproc_;
+  std::unique_ptr<rpc::TcpTransport> tcp_;
+  rpc::Transport* transport_ = nullptr;
+
+  std::shared_ptr<vmanager::VersionManagerService> vm_service_;
+  std::shared_ptr<pmanager::ProviderManagerService> pm_service_;
+  std::vector<std::shared_ptr<dht::DhtService>> dht_services_;
+  std::vector<std::shared_ptr<provider::ProviderService>> provider_services_;
+
+  std::string vm_address_;
+  std::string pm_address_;
+  std::vector<std::string> dht_addresses_;
+  std::vector<std::string> provider_addresses_;
+};
+
+}  // namespace blobseer::core
+
+#endif  // BLOBSEER_CORE_CLUSTER_H_

@@ -1,0 +1,68 @@
+#include "core/sim_cluster.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "pmanager/client.h"
+
+namespace blobseer::core {
+
+SimCluster::SimCluster(simnet::SimScheduler* sched,
+                       const SimClusterOptions& options)
+    : sched_(sched), options_(options) {
+  size_t total_nodes =
+      2 + options.num_provider_nodes + options.num_client_nodes;
+  net_ = std::make_unique<simnet::SimNetwork>(sched_, total_nodes,
+                                              options.net);
+  transport_ = std::make_unique<simnet::SimTransport>(sched_, net_.get());
+  clock_ = std::make_unique<simnet::SimClock>(sched_);
+  executor_ = std::make_unique<simnet::SimExecutor>(sched_);
+
+  simnet::SimServiceProfile manager_profile{options.manager_cpu_us, 1};
+  simnet::SimServiceProfile dht_profile{options.dht_cpu_us, 4};
+  simnet::SimServiceProfile provider_profile{options.provider_cpu_us,
+                                             options.provider_concurrency};
+
+  vm_service_ = std::make_shared<vmanager::VersionManagerService>();
+  vm_address_ = simnet::SimTransport::MakeAddress(vm_node(), "vmanager");
+  transport_->SetServiceProfile(vm_address_, manager_profile);
+  BS_CHECK(transport_->Serve(vm_address_, vm_service_).ok());
+
+  pm_service_ = std::make_shared<pmanager::ProviderManagerService>(
+      pmanager::MakeStrategy(options.allocation));
+  pm_address_ = simnet::SimTransport::MakeAddress(pm_node(), "pmanager");
+  transport_->SetServiceProfile(pm_address_, manager_profile);
+  BS_CHECK(transport_->Serve(pm_address_, pm_service_).ok());
+
+  pmanager::ProviderManagerClient pm_client(transport_.get(), pm_address_);
+  for (size_t i = 0; i < options.num_provider_nodes; i++) {
+    uint32_t node = provider_node(i);
+
+    auto dht_svc = std::make_shared<dht::DhtService>();
+    std::string dht_addr = simnet::SimTransport::MakeAddress(node, "meta");
+    transport_->SetServiceProfile(dht_addr, dht_profile);
+    BS_CHECK(transport_->Serve(dht_addr, dht_svc).ok());
+    dht_services_.push_back(std::move(dht_svc));
+    dht_addresses_.push_back(std::move(dht_addr));
+
+    auto prov_svc = std::make_shared<provider::ProviderService>(
+        options.page_store == "memory" ? provider::MakeMemoryPageStore()
+                                       : provider::MakeNullPageStore());
+    std::string prov_addr =
+        simnet::SimTransport::MakeAddress(node, "provider");
+    transport_->SetServiceProfile(prov_addr, provider_profile);
+    BS_CHECK(transport_->Serve(prov_addr, prov_svc).ok());
+    provider_services_.push_back(std::move(prov_svc));
+    auto id = pm_client.Register(prov_addr, 0);
+    BS_CHECK(id.ok()) << id.status().ToString();
+  }
+}
+
+std::unique_ptr<client::BlobClient> SimCluster::NewClient(
+    client::ClientOptions base) {
+  base.blocking_sync = false;  // handlers must not block in virtual time
+  return std::make_unique<client::BlobClient>(
+      transport_.get(), vm_address_, pm_address_, dht_addresses_, base,
+      clock_.get(), executor_.get());
+}
+
+}  // namespace blobseer::core

@@ -1,0 +1,94 @@
+// BlobSeer deployed on the simulated Grid'5000-style cluster: the topology
+// of the paper's evaluation (section 5) — version manager and provider
+// manager on dedicated nodes, a data provider and a metadata (DHT) provider
+// co-deployed on every other node, clients on dedicated or co-deployed
+// nodes — running the real client/service code over simnet.
+#ifndef BLOBSEER_CORE_SIM_CLUSTER_H_
+#define BLOBSEER_CORE_SIM_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/blob_client.h"
+#include "dht/service.h"
+#include "pmanager/service.h"
+#include "provider/service.h"
+#include "simnet/network.h"
+#include "simnet/sim.h"
+#include "simnet/transport.h"
+#include "vmanager/service.h"
+
+namespace blobseer::core {
+
+struct SimClusterOptions {
+  /// Nodes hosting a data provider; a metadata provider is co-deployed on
+  /// each (paper section 5 deployment).
+  size_t num_provider_nodes = 50;
+  /// Extra dedicated client nodes (readers in Figure 2(b) instead run
+  /// co-deployed on provider nodes).
+  size_t num_client_nodes = 1;
+  simnet::SimNetworkOptions net;
+  /// Service cost model (calibrated in EXPERIMENTS.md).
+  double provider_cpu_us = 1300.0;
+  size_t provider_concurrency = 1;
+  double dht_cpu_us = 40.0;
+  double manager_cpu_us = 20.0;
+  std::string page_store = "null";
+  std::string allocation = "round_robin";
+};
+
+/// Must be constructed from inside SimScheduler::Run (provider registration
+/// issues simulated RPCs).
+class SimCluster {
+ public:
+  SimCluster(simnet::SimScheduler* sched, const SimClusterOptions& options);
+
+  /// Node ids.
+  uint32_t vm_node() const { return 0; }
+  uint32_t pm_node() const { return 1; }
+  uint32_t provider_node(size_t i) const { return 2 + static_cast<uint32_t>(i); }
+  uint32_t client_node(size_t i) const {
+    return 2 + static_cast<uint32_t>(options_.num_provider_nodes + i);
+  }
+  size_t num_provider_nodes() const { return options_.num_provider_nodes; }
+
+  /// Builds a client whose blocking behaviour, clock and executor are wired
+  /// for virtual time. The client issues RPCs from whichever sim task calls
+  /// it (set the task's node id to place it).
+  std::unique_ptr<client::BlobClient> NewClient(
+      client::ClientOptions base = {});
+
+  simnet::SimScheduler& sched() { return *sched_; }
+  simnet::SimNetwork& net() { return *net_; }
+  simnet::SimTransport& transport() { return *transport_; }
+  simnet::SimClock& clock() { return *clock_; }
+  simnet::SimExecutor& executor() { return *executor_; }
+
+  const std::string& vm_address() const { return vm_address_; }
+  const std::string& pm_address() const { return pm_address_; }
+  const std::vector<std::string>& dht_addresses() const {
+    return dht_addresses_;
+  }
+
+ private:
+  simnet::SimScheduler* sched_;
+  SimClusterOptions options_;
+  std::unique_ptr<simnet::SimNetwork> net_;
+  std::unique_ptr<simnet::SimTransport> transport_;
+  std::unique_ptr<simnet::SimClock> clock_;
+  std::unique_ptr<simnet::SimExecutor> executor_;
+
+  std::shared_ptr<vmanager::VersionManagerService> vm_service_;
+  std::shared_ptr<pmanager::ProviderManagerService> pm_service_;
+  std::vector<std::shared_ptr<dht::DhtService>> dht_services_;
+  std::vector<std::shared_ptr<provider::ProviderService>> provider_services_;
+
+  std::string vm_address_;
+  std::string pm_address_;
+  std::vector<std::string> dht_addresses_;
+};
+
+}  // namespace blobseer::core
+
+#endif  // BLOBSEER_CORE_SIM_CLUSTER_H_

@@ -1,0 +1,97 @@
+#include "dht/client.h"
+
+#include "common/logging.h"
+#include "dht/messages.h"
+#include "rpc/call.h"
+
+namespace blobseer::dht {
+
+DhtClient::DhtClient(rpc::Transport* transport, std::vector<std::string> nodes,
+                     DhtClientOptions options)
+    : transport_(transport),
+      nodes_(std::move(nodes)),
+      options_(options),
+      placement_(options.placement == "ring"
+                     ? MakeRingPlacement(nodes_.size())
+                     : MakeStaticPlacement(nodes_.size())),
+      pool_(transport_, options.channels_per_endpoint) {
+  BS_CHECK(!nodes_.empty()) << "DhtClient requires at least one node";
+}
+
+Status DhtClient::Put(Slice key, Slice value) {
+  PutRequest req{key.ToString(), value.ToString()};
+  Status first_error;
+  size_t ok_count = 0;
+  for (size_t node : placement_->ReplicaNodes(key, options_.replication)) {
+    auto ch = pool_.Get(nodes_[node]);
+    if (!ch.ok()) {
+      if (first_error.ok()) first_error = ch.status();
+      continue;
+    }
+    PutResponse rsp;
+    Status s = rpc::CallMethod(ch->get(), rpc::Method::kDhtPut, req, &rsp);
+    if (s.ok()) {
+      ok_count++;
+    } else if (first_error.ok()) {
+      first_error = s;
+    }
+  }
+  // Write succeeds if at least one replica accepted it; readers fall back
+  // across replicas in the same order.
+  if (ok_count > 0) return Status::OK();
+  return first_error.ok() ? Status::Unavailable("dht put") : first_error;
+}
+
+Status DhtClient::Get(Slice key, std::string* value) {
+  GetRequest req{key.ToString()};
+  Status last = Status::NotFound("dht key");
+  for (size_t node : placement_->ReplicaNodes(key, options_.replication)) {
+    auto ch = pool_.Get(nodes_[node]);
+    if (!ch.ok()) {
+      last = ch.status();
+      continue;
+    }
+    GetResponse rsp;
+    Status s = rpc::CallMethod(ch->get(), rpc::Method::kDhtGet, req, &rsp);
+    if (s.ok()) {
+      *value = std::move(rsp.value);
+      return Status::OK();
+    }
+    last = s;
+  }
+  return last;
+}
+
+Status DhtClient::Delete(Slice key) {
+  DeleteRequest req{key.ToString()};
+  Status first_error;
+  for (size_t node : placement_->ReplicaNodes(key, options_.replication)) {
+    auto ch = pool_.Get(nodes_[node]);
+    if (!ch.ok()) {
+      if (first_error.ok()) first_error = ch.status();
+      continue;
+    }
+    DeleteResponse rsp;
+    Status s = rpc::CallMethod(ch->get(), rpc::Method::kDhtDelete, req, &rsp);
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+Status DhtClient::TotalStats(uint64_t* keys, uint64_t* bytes) {
+  *keys = 0;
+  *bytes = 0;
+  for (const auto& addr : nodes_) {
+    auto ch = pool_.Get(addr);
+    if (!ch.ok()) return ch.status();
+    StatsRequest req;
+    StatsResponse rsp;
+    BS_RETURN_NOT_OK(
+        rpc::CallMethod(ch->get(), rpc::Method::kDhtStats, req, &rsp));
+    *keys += rsp.keys;
+    *bytes += rsp.bytes;
+  }
+  return Status::OK();
+}
+
+}  // namespace blobseer::dht

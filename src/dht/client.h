@@ -1,0 +1,52 @@
+// Client view of the distributed metadata store: placement + replication
+// over a set of DHT node endpoints.
+#ifndef BLOBSEER_DHT_CLIENT_H_
+#define BLOBSEER_DHT_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dht/placement.h"
+#include "rpc/channel_pool.h"
+#include "rpc/transport.h"
+
+namespace blobseer::dht {
+
+struct DhtClientOptions {
+  /// How many replicas each key is written to (read falls back in order).
+  size_t replication = 1;
+  /// Channels opened per endpoint for parallel requests.
+  size_t channels_per_endpoint = 4;
+  /// Placement scheme: "static" (paper) or "ring".
+  std::string placement = "static";
+};
+
+class DhtClient {
+ public:
+  /// `nodes` lists the DHT endpoints; placement is by index, so all clients
+  /// must use the same ordered list (the provider manager distributes it).
+  DhtClient(rpc::Transport* transport, std::vector<std::string> nodes,
+            DhtClientOptions options = {});
+
+  Status Put(Slice key, Slice value);
+  Status Get(Slice key, std::string* value);
+  Status Delete(Slice key);
+
+  /// Aggregate stats across all nodes.
+  Status TotalStats(uint64_t* keys, uint64_t* bytes);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const DhtClientOptions& options() const { return options_; }
+
+ private:
+  rpc::Transport* transport_;
+  std::vector<std::string> nodes_;
+  DhtClientOptions options_;
+  std::unique_ptr<Placement> placement_;
+  rpc::ChannelPool pool_;
+};
+
+}  // namespace blobseer::dht
+
+#endif  // BLOBSEER_DHT_CLIENT_H_

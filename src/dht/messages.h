@@ -1,0 +1,127 @@
+// Wire messages for the DHT (metadata provider) service.
+#ifndef BLOBSEER_DHT_MESSAGES_H_
+#define BLOBSEER_DHT_MESSAGES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+
+namespace blobseer::dht {
+
+struct PutRequest {
+  std::string key;
+  std::string value;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutString(key);
+    w->PutString(value);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetString(&key));
+    return r->GetString(&value);
+  }
+};
+
+struct PutResponse {
+  void EncodeTo(BinaryWriter*) const {}
+  Status DecodeFrom(BinaryReader*) { return Status::OK(); }
+};
+
+struct GetRequest {
+  std::string key;
+  void EncodeTo(BinaryWriter* w) const { w->PutString(key); }
+  Status DecodeFrom(BinaryReader* r) { return r->GetString(&key); }
+};
+
+struct GetResponse {
+  std::string value;
+  void EncodeTo(BinaryWriter* w) const { w->PutString(value); }
+  Status DecodeFrom(BinaryReader* r) { return r->GetString(&value); }
+};
+
+struct DeleteRequest {
+  std::string key;
+  void EncodeTo(BinaryWriter* w) const { w->PutString(key); }
+  Status DecodeFrom(BinaryReader* r) { return r->GetString(&key); }
+};
+
+struct DeleteResponse {
+  void EncodeTo(BinaryWriter*) const {}
+  Status DecodeFrom(BinaryReader*) { return Status::OK(); }
+};
+
+struct MultiGetRequest {
+  std::vector<std::string> keys;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU32(static_cast<uint32_t>(keys.size()));
+    for (const auto& k : keys) w->PutString(k);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    uint32_t n;
+    BS_RETURN_NOT_OK(r->GetU32(&n));
+    // Each key costs at least its 4-byte length prefix.
+    if (static_cast<uint64_t>(n) * 4 > r->remaining())
+      return Status::Corruption("multiget count exceeds payload");
+    keys.resize(n);
+    for (auto& k : keys) BS_RETURN_NOT_OK(r->GetString(&k));
+    return Status::OK();
+  }
+};
+
+struct MultiGetResponse {
+  /// found[i] says whether keys[i] existed; values carries entries only for
+  /// found keys, in order.
+  std::vector<uint8_t> found;
+  std::vector<std::string> values;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU32(static_cast<uint32_t>(found.size()));
+    for (uint8_t f : found) w->PutU8(f);
+    w->PutU32(static_cast<uint32_t>(values.size()));
+    for (const auto& v : values) w->PutString(v);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    uint32_t n;
+    BS_RETURN_NOT_OK(r->GetU32(&n));
+    if (n > r->remaining())
+      return Status::Corruption("multiget found-count exceeds payload");
+    found.resize(n);
+    for (auto& f : found) BS_RETURN_NOT_OK(r->GetU8(&f));
+    BS_RETURN_NOT_OK(r->GetU32(&n));
+    if (static_cast<uint64_t>(n) * 4 > r->remaining())
+      return Status::Corruption("multiget value-count exceeds payload");
+    values.resize(n);
+    for (auto& v : values) BS_RETURN_NOT_OK(r->GetString(&v));
+    return Status::OK();
+  }
+};
+
+struct StatsRequest {
+  void EncodeTo(BinaryWriter*) const {}
+  Status DecodeFrom(BinaryReader*) { return Status::OK(); }
+};
+
+struct StatsResponse {
+  uint64_t keys = 0;
+  uint64_t bytes = 0;
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t hits = 0;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU64(keys);
+    w->PutU64(bytes);
+    w->PutU64(puts);
+    w->PutU64(gets);
+    w->PutU64(hits);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetU64(&keys));
+    BS_RETURN_NOT_OK(r->GetU64(&bytes));
+    BS_RETURN_NOT_OK(r->GetU64(&puts));
+    BS_RETURN_NOT_OK(r->GetU64(&gets));
+    return r->GetU64(&hits);
+  }
+};
+
+}  // namespace blobseer::dht
+
+#endif  // BLOBSEER_DHT_MESSAGES_H_

@@ -1,0 +1,67 @@
+#include "dht/store.h"
+
+#include "common/hash.h"
+
+namespace blobseer::dht {
+
+KvStore::KvStore(size_t num_shards)
+    : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+size_t KvStore::ShardFor(Slice key) const {
+  return static_cast<size_t>(Fnv1a64(key)) % shards_.size();
+}
+
+Status KvStore::Put(Slice key, Slice value) {
+  puts_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shards_[ShardFor(key)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(std::string(key.data(), key.size()));
+  if (it == s.map.end()) {
+    s.map.emplace(key.ToString(), value.ToString());
+    keys_.fetch_add(1, std::memory_order_relaxed);
+    bytes_.fetch_add(key.size() + value.size(), std::memory_order_relaxed);
+  } else {
+    bytes_.fetch_sub(it->second.size(), std::memory_order_relaxed);
+    it->second = value.ToString();
+    bytes_.fetch_add(value.size(), std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+Status KvStore::Get(Slice key, std::string* value) {
+  gets_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shards_[ShardFor(key)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(std::string(key.data(), key.size()));
+  if (it == s.map.end()) return Status::NotFound("dht key");
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  *value = it->second;
+  return Status::OK();
+}
+
+Status KvStore::Delete(Slice key) {
+  deletes_.fetch_add(1, std::memory_order_relaxed);
+  Shard& s = shards_[ShardFor(key)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(std::string(key.data(), key.size()));
+  if (it != s.map.end()) {
+    bytes_.fetch_sub(it->first.size() + it->second.size(),
+                     std::memory_order_relaxed);
+    keys_.fetch_sub(1, std::memory_order_relaxed);
+    s.map.erase(it);
+  }
+  return Status::OK();
+}
+
+StoreStats KvStore::GetStats() const {
+  StoreStats st;
+  st.keys = keys_.load();
+  st.bytes = bytes_.load();
+  st.puts = puts_.load();
+  st.gets = gets_.load();
+  st.hits = hits_.load();
+  st.deletes = deletes_.load();
+  return st;
+}
+
+}  // namespace blobseer::dht

@@ -1,0 +1,57 @@
+// Sharded in-memory key/value store backing one DHT node.
+#ifndef BLOBSEER_DHT_STORE_H_
+#define BLOBSEER_DHT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace blobseer::dht {
+
+struct StoreStats {
+  uint64_t keys = 0;
+  uint64_t bytes = 0;
+  uint64_t puts = 0;
+  uint64_t gets = 0;
+  uint64_t hits = 0;
+  uint64_t deletes = 0;
+};
+
+/// Thread-safe hash map sharded by key hash to reduce lock contention under
+/// the heavily concurrent metadata access the paper targets.
+class KvStore {
+ public:
+  explicit KvStore(size_t num_shards = 16);
+
+  /// Inserts or overwrites. Metadata nodes are immutable, so overwrites of
+  /// an existing key with different bytes indicate a protocol bug; they are
+  /// still applied (last-writer-wins) but counted in stats.
+  Status Put(Slice key, Slice value);
+
+  Status Get(Slice key, std::string* value);
+  /// Removes the key; OK whether or not it existed (idempotent).
+  Status Delete(Slice key);
+
+  StoreStats GetStats() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::string> map;
+  };
+  size_t ShardFor(Slice key) const;
+
+  std::vector<Shard> shards_;
+  mutable std::atomic<uint64_t> puts_{0}, gets_{0}, hits_{0}, deletes_{0};
+  std::atomic<uint64_t> bytes_{0}, keys_{0};
+};
+
+}  // namespace blobseer::dht
+
+#endif  // BLOBSEER_DHT_STORE_H_

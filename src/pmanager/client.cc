@@ -1,0 +1,72 @@
+#include "pmanager/client.h"
+
+#include "rpc/call.h"
+
+namespace blobseer::pmanager {
+
+ProviderManagerClient::ProviderManagerClient(rpc::Transport* transport,
+                                             std::string address,
+                                             size_t channels)
+    : transport_(transport),
+      address_(std::move(address)),
+      pool_(transport_, channels) {}
+
+Result<ProviderId> ProviderManagerClient::Register(
+    const std::string& provider_address, uint64_t capacity_pages) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  RegisterRequest req{provider_address, capacity_pages};
+  RegisterResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kPmRegister, req, &rsp));
+  return rsp.id;
+}
+
+Status ProviderManagerClient::Heartbeat(ProviderId id, uint64_t pages,
+                                        uint64_t bytes) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  HeartbeatRequest req{id, pages, bytes};
+  HeartbeatResponse rsp;
+  return rpc::CallMethod(ch->get(), rpc::Method::kPmHeartbeat, req, &rsp);
+}
+
+Result<std::vector<ProviderId>> ProviderManagerClient::Allocate(
+    uint32_t num_pages) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  AllocateRequest req{num_pages};
+  AllocateResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kPmAllocate, req, &rsp));
+  return std::move(rsp.providers);
+}
+
+Result<std::string> ProviderManagerClient::ResolveAddress(ProviderId id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = directory_.find(id);
+    if (it != directory_.end()) return it->second;
+  }
+  auto dir = FetchDirectory();
+  if (!dir.ok()) return dir.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = directory_.find(id);
+  if (it == directory_.end())
+    return Status::NotFound("provider id " + std::to_string(id));
+  return it->second;
+}
+
+Result<std::vector<DirectoryEntry>> ProviderManagerClient::FetchDirectory() {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  DirectoryRequest req;
+  DirectoryResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kPmDirectory, req, &rsp));
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : rsp.entries) directory_[e.id] = e.address;
+  return std::move(rsp.entries);
+}
+
+}  // namespace blobseer::pmanager

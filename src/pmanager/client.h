@@ -1,0 +1,46 @@
+// Typed client for the provider manager.
+#ifndef BLOBSEER_PMANAGER_CLIENT_H_
+#define BLOBSEER_PMANAGER_CLIENT_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "pmanager/messages.h"
+#include "rpc/channel_pool.h"
+
+namespace blobseer::pmanager {
+
+class ProviderManagerClient {
+ public:
+  ProviderManagerClient(rpc::Transport* transport, std::string address,
+                        size_t channels = 2);
+
+  Result<ProviderId> Register(const std::string& provider_address,
+                              uint64_t capacity_pages);
+  Status Heartbeat(ProviderId id, uint64_t pages, uint64_t bytes);
+
+  /// Asks for one provider per page. Returns provider ids; resolve
+  /// addresses via ResolveAddress (cached directory).
+  Result<std::vector<ProviderId>> Allocate(uint32_t num_pages);
+
+  /// Resolves a provider id to its endpoint address, refreshing the cached
+  /// directory on miss.
+  Result<std::string> ResolveAddress(ProviderId id);
+
+  /// Forces a directory refresh and returns it.
+  Result<std::vector<DirectoryEntry>> FetchDirectory();
+
+ private:
+  rpc::Transport* transport_;
+  std::string address_;
+  rpc::ChannelPool pool_;
+  std::mutex mu_;
+  std::map<ProviderId, std::string> directory_;
+};
+
+}  // namespace blobseer::pmanager
+
+#endif  // BLOBSEER_PMANAGER_CLIENT_H_

@@ -1,0 +1,125 @@
+// Wire messages for the provider manager service.
+#ifndef BLOBSEER_PMANAGER_MESSAGES_H_
+#define BLOBSEER_PMANAGER_MESSAGES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/serde.h"
+
+namespace blobseer::pmanager {
+
+struct RegisterRequest {
+  std::string address;
+  uint64_t capacity_pages = 0;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutString(address);
+    w->PutU64(capacity_pages);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetString(&address));
+    return r->GetU64(&capacity_pages);
+  }
+};
+
+struct RegisterResponse {
+  ProviderId id = kInvalidProvider;
+  void EncodeTo(BinaryWriter* w) const { w->PutU32(id); }
+  Status DecodeFrom(BinaryReader* r) { return r->GetU32(&id); }
+};
+
+struct HeartbeatRequest {
+  ProviderId id = kInvalidProvider;
+  uint64_t stored_pages = 0;
+  uint64_t stored_bytes = 0;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU32(id);
+    w->PutU64(stored_pages);
+    w->PutU64(stored_bytes);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetU32(&id));
+    BS_RETURN_NOT_OK(r->GetU64(&stored_pages));
+    return r->GetU64(&stored_bytes);
+  }
+};
+
+struct HeartbeatResponse {
+  void EncodeTo(BinaryWriter*) const {}
+  Status DecodeFrom(BinaryReader*) { return Status::OK(); }
+};
+
+struct AllocateRequest {
+  uint32_t num_pages = 0;
+  void EncodeTo(BinaryWriter* w) const { w->PutU32(num_pages); }
+  Status DecodeFrom(BinaryReader* r) { return r->GetU32(&num_pages); }
+};
+
+struct AllocateResponse {
+  std::vector<ProviderId> providers;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU32(static_cast<uint32_t>(providers.size()));
+    for (ProviderId p : providers) w->PutU32(p);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    uint32_t n;
+    BS_RETURN_NOT_OK(r->GetU32(&n));
+    if (static_cast<uint64_t>(n) * 4 > r->remaining())
+      return Status::Corruption("provider count exceeds payload");
+    providers.resize(n);
+    for (auto& p : providers) BS_RETURN_NOT_OK(r->GetU32(&p));
+    return Status::OK();
+  }
+};
+
+struct DirectoryEntry {
+  ProviderId id = kInvalidProvider;
+  std::string address;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU32(id);
+    w->PutString(address);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetU32(&id));
+    return r->GetString(&address);
+  }
+};
+
+struct DirectoryRequest {
+  void EncodeTo(BinaryWriter*) const {}
+  Status DecodeFrom(BinaryReader*) { return Status::OK(); }
+};
+
+struct DirectoryResponse {
+  std::vector<DirectoryEntry> entries;
+  void EncodeTo(BinaryWriter* w) const { PutVector(w, entries); }
+  Status DecodeFrom(BinaryReader* r) { return GetVector(r, &entries); }
+};
+
+struct PmStatsRequest {
+  void EncodeTo(BinaryWriter*) const {}
+  Status DecodeFrom(BinaryReader*) { return Status::OK(); }
+};
+
+struct PmStatsResponse {
+  uint64_t providers = 0;
+  uint64_t allocations = 0;
+  uint64_t min_allocated = 0;
+  uint64_t max_allocated = 0;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU64(providers);
+    w->PutU64(allocations);
+    w->PutU64(min_allocated);
+    w->PutU64(max_allocated);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetU64(&providers));
+    BS_RETURN_NOT_OK(r->GetU64(&allocations));
+    BS_RETURN_NOT_OK(r->GetU64(&min_allocated));
+    return r->GetU64(&max_allocated);
+  }
+};
+
+}  // namespace blobseer::pmanager
+
+#endif  // BLOBSEER_PMANAGER_MESSAGES_H_

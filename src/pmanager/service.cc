@@ -1,0 +1,109 @@
+#include "pmanager/service.h"
+
+#include <algorithm>
+
+#include "pmanager/messages.h"
+#include "rpc/call.h"
+
+namespace blobseer::pmanager {
+
+ProviderManagerService::ProviderManagerService(
+    std::unique_ptr<AllocationStrategy> strategy)
+    : strategy_(std::move(strategy)) {}
+
+std::vector<ProviderRecord> ProviderManagerService::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+Status ProviderManagerService::Handle(rpc::Method method, Slice payload,
+                                      std::string* response) {
+  using rpc::DispatchTyped;
+  switch (method) {
+    case rpc::Method::kPmRegister:
+      return DispatchTyped<RegisterRequest, RegisterResponse>(
+          payload, response,
+          [this](const RegisterRequest& req, RegisterResponse* rsp) {
+            if (req.address.empty())
+              return Status::InvalidArgument("empty provider address");
+            std::lock_guard<std::mutex> lock(mu_);
+            // Re-registration of the same address refreshes liveness and
+            // keeps the id stable (provider restart).
+            for (auto& r : records_) {
+              if (r.address == req.address) {
+                r.alive = true;
+                r.capacity_pages = req.capacity_pages;
+                rsp->id = r.id;
+                return Status::OK();
+              }
+            }
+            ProviderRecord rec;
+            rec.id = static_cast<ProviderId>(records_.size());
+            rec.address = req.address;
+            rec.capacity_pages = req.capacity_pages;
+            records_.push_back(rec);
+            rsp->id = rec.id;
+            return Status::OK();
+          });
+    case rpc::Method::kPmHeartbeat:
+      return DispatchTyped<HeartbeatRequest, HeartbeatResponse>(
+          payload, response,
+          [this](const HeartbeatRequest& req, HeartbeatResponse*) {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (req.id >= records_.size())
+              return Status::NotFound("provider id");
+            records_[req.id].alive = true;
+            // Trust the provider's own count over our optimistic estimate.
+            records_[req.id].allocated_pages = req.stored_pages;
+            return Status::OK();
+          });
+    case rpc::Method::kPmAllocate:
+      return DispatchTyped<AllocateRequest, AllocateResponse>(
+          payload, response,
+          [this](const AllocateRequest& req, AllocateResponse* rsp) {
+            if (req.num_pages == 0)
+              return Status::InvalidArgument("allocate zero pages");
+            std::lock_guard<std::mutex> lock(mu_);
+            if (records_.empty())
+              return Status::Unavailable("no providers registered");
+            rsp->providers = strategy_->Allocate(&records_, req.num_pages);
+            if (rsp->providers.size() != req.num_pages)
+              return Status::Unavailable("insufficient provider capacity");
+            allocations_ += req.num_pages;
+            return Status::OK();
+          });
+    case rpc::Method::kPmDirectory:
+      return DispatchTyped<DirectoryRequest, DirectoryResponse>(
+          payload, response,
+          [this](const DirectoryRequest&, DirectoryResponse* rsp) {
+            std::lock_guard<std::mutex> lock(mu_);
+            rsp->entries.reserve(records_.size());
+            for (const auto& r : records_) {
+              rsp->entries.push_back(DirectoryEntry{r.id, r.address});
+            }
+            return Status::OK();
+          });
+    case rpc::Method::kPmStats:
+      return DispatchTyped<PmStatsRequest, PmStatsResponse>(
+          payload, response,
+          [this](const PmStatsRequest&, PmStatsResponse* rsp) {
+            std::lock_guard<std::mutex> lock(mu_);
+            rsp->providers = records_.size();
+            rsp->allocations = allocations_;
+            if (!records_.empty()) {
+              auto [mn, mx] = std::minmax_element(
+                  records_.begin(), records_.end(),
+                  [](const ProviderRecord& a, const ProviderRecord& b) {
+                    return a.allocated_pages < b.allocated_pages;
+                  });
+              rsp->min_allocated = mn->allocated_pages;
+              rsp->max_allocated = mx->allocated_pages;
+            }
+            return Status::OK();
+          });
+    default:
+      return Status::NotSupported("pmanager method");
+  }
+}
+
+}  // namespace blobseer::pmanager

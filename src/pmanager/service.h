@@ -1,0 +1,35 @@
+// Provider manager service: provider registration and page allocation
+// (paper section 3.1).
+#ifndef BLOBSEER_PMANAGER_SERVICE_H_
+#define BLOBSEER_PMANAGER_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "pmanager/strategy.h"
+#include "rpc/transport.h"
+
+namespace blobseer::pmanager {
+
+class ProviderManagerService : public rpc::ServiceHandler {
+ public:
+  explicit ProviderManagerService(
+      std::unique_ptr<AllocationStrategy> strategy = MakeRoundRobinStrategy());
+
+  Status Handle(rpc::Method method, Slice payload,
+                std::string* response) override;
+
+  /// Snapshot of the registry (for tests and tools).
+  std::vector<ProviderRecord> Records() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<ProviderRecord> records_;
+  std::unique_ptr<AllocationStrategy> strategy_;
+  uint64_t allocations_ = 0;
+};
+
+}  // namespace blobseer::pmanager
+
+#endif  // BLOBSEER_PMANAGER_SERVICE_H_

@@ -1,0 +1,157 @@
+#include "pmanager/strategy.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace blobseer::pmanager {
+
+namespace {
+
+/// Indices of records that are alive and under capacity.
+std::vector<size_t> EligibleIndices(const std::vector<ProviderRecord>& recs) {
+  std::vector<size_t> out;
+  out.reserve(recs.size());
+  for (size_t i = 0; i < recs.size(); i++) {
+    const ProviderRecord& r = recs[i];
+    if (!r.alive) continue;
+    if (r.capacity_pages != 0 && r.allocated_pages >= r.capacity_pages)
+      continue;
+    out.push_back(i);
+  }
+  return out;
+}
+
+/// Charges one page to records[idx]; removes it from `elig` (position
+/// `pos`) if that filled it to capacity. Returns whether it was removed.
+bool ChargeAndMaybeRetire(std::vector<ProviderRecord>* records, size_t idx,
+                          std::vector<size_t>* elig, size_t pos) {
+  ProviderRecord& r = (*records)[idx];
+  r.allocated_pages++;
+  if (r.capacity_pages != 0 && r.allocated_pages >= r.capacity_pages) {
+    elig->erase(elig->begin() + static_cast<ptrdiff_t>(pos));
+    return true;
+  }
+  return false;
+}
+
+class RoundRobinStrategy : public AllocationStrategy {
+ public:
+  std::vector<ProviderId> Allocate(std::vector<ProviderRecord>* records,
+                                   size_t n) override {
+    std::vector<ProviderId> out;
+    out.reserve(n);
+    std::vector<size_t> elig = EligibleIndices(*records);
+    for (size_t k = 0; k < n; k++) {
+      if (elig.empty()) break;
+      size_t pos = cursor_ % elig.size();
+      size_t idx = elig[pos];
+      out.push_back((*records)[idx].id);
+      if (!ChargeAndMaybeRetire(records, idx, &elig, pos)) cursor_++;
+    }
+    return out;
+  }
+  const char* name() const override { return "round_robin"; }
+
+ private:
+  size_t cursor_ = 0;
+};
+
+class RandomStrategy : public AllocationStrategy {
+ public:
+  explicit RandomStrategy(uint64_t seed) : rng_(seed) {}
+  std::vector<ProviderId> Allocate(std::vector<ProviderRecord>* records,
+                                   size_t n) override {
+    std::vector<ProviderId> out;
+    out.reserve(n);
+    std::vector<size_t> elig = EligibleIndices(*records);
+    for (size_t k = 0; k < n; k++) {
+      if (elig.empty()) break;
+      size_t pos = rng_.Uniform(elig.size());
+      size_t idx = elig[pos];
+      out.push_back((*records)[idx].id);
+      ChargeAndMaybeRetire(records, idx, &elig, pos);
+    }
+    return out;
+  }
+  const char* name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+};
+
+class LeastLoadedStrategy : public AllocationStrategy {
+ public:
+  std::vector<ProviderId> Allocate(std::vector<ProviderRecord>* records,
+                                   size_t n) override {
+    std::vector<ProviderId> out;
+    out.reserve(n);
+    std::vector<size_t> elig = EligibleIndices(*records);
+    for (size_t k = 0; k < n; k++) {
+      if (elig.empty()) break;
+      size_t best_pos = 0;
+      for (size_t p = 1; p < elig.size(); p++) {
+        if ((*records)[elig[p]].allocated_pages <
+            (*records)[elig[best_pos]].allocated_pages) {
+          best_pos = p;
+        }
+      }
+      size_t idx = elig[best_pos];
+      out.push_back((*records)[idx].id);
+      ChargeAndMaybeRetire(records, idx, &elig, best_pos);
+    }
+    return out;
+  }
+  const char* name() const override { return "least_loaded"; }
+};
+
+class PowerOfTwoStrategy : public AllocationStrategy {
+ public:
+  explicit PowerOfTwoStrategy(uint64_t seed) : rng_(seed) {}
+  std::vector<ProviderId> Allocate(std::vector<ProviderRecord>* records,
+                                   size_t n) override {
+    std::vector<ProviderId> out;
+    out.reserve(n);
+    std::vector<size_t> elig = EligibleIndices(*records);
+    for (size_t k = 0; k < n; k++) {
+      if (elig.empty()) break;
+      size_t pa = rng_.Uniform(elig.size());
+      size_t pb = rng_.Uniform(elig.size());
+      size_t pos = (*records)[elig[pa]].allocated_pages <=
+                           (*records)[elig[pb]].allocated_pages
+                       ? pa
+                       : pb;
+      size_t idx = elig[pos];
+      out.push_back((*records)[idx].id);
+      ChargeAndMaybeRetire(records, idx, &elig, pos);
+    }
+    return out;
+  }
+  const char* name() const override { return "power_of_two"; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<AllocationStrategy> MakeRoundRobinStrategy() {
+  return std::make_unique<RoundRobinStrategy>();
+}
+std::unique_ptr<AllocationStrategy> MakeRandomStrategy(uint64_t seed) {
+  return std::make_unique<RandomStrategy>(seed);
+}
+std::unique_ptr<AllocationStrategy> MakeLeastLoadedStrategy() {
+  return std::make_unique<LeastLoadedStrategy>();
+}
+std::unique_ptr<AllocationStrategy> MakePowerOfTwoStrategy(uint64_t seed) {
+  return std::make_unique<PowerOfTwoStrategy>(seed);
+}
+
+std::unique_ptr<AllocationStrategy> MakeStrategy(const std::string& name) {
+  if (name == "random") return MakeRandomStrategy();
+  if (name == "least_loaded") return MakeLeastLoadedStrategy();
+  if (name == "power_of_two") return MakePowerOfTwoStrategy();
+  return MakeRoundRobinStrategy();
+}
+
+}  // namespace blobseer::pmanager

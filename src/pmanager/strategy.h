@@ -1,0 +1,60 @@
+// Page-to-provider allocation strategies. The paper notes the provider
+// manager's distribution strategy "plays a central role in minimizing
+// conflicts that lead to serialization" (section 4.3); we implement the
+// even-distribution scheme it describes plus common alternatives for the
+// ablation benches.
+#ifndef BLOBSEER_PMANAGER_STRATEGY_H_
+#define BLOBSEER_PMANAGER_STRATEGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace blobseer::pmanager {
+
+/// Provider manager's view of one registered data provider.
+struct ProviderRecord {
+  ProviderId id = kInvalidProvider;
+  std::string address;
+  uint64_t capacity_pages = 0;  // 0 = unbounded
+  uint64_t allocated_pages = 0;
+  bool alive = true;
+};
+
+/// Chooses `n` providers (repeats allowed when n exceeds the number of
+/// providers) for the pages of one update. Implementations may assume the
+/// records vector is non-empty and must update `allocated_pages` for the
+/// providers they pick.
+class AllocationStrategy {
+ public:
+  virtual ~AllocationStrategy() = default;
+  virtual std::vector<ProviderId> Allocate(std::vector<ProviderRecord>* records,
+                                           size_t n) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Cycles through providers in registration order: the paper's
+/// even-distribution scheme. Deterministic and perfectly balanced for
+/// equal-size pages.
+std::unique_ptr<AllocationStrategy> MakeRoundRobinStrategy();
+
+/// Uniform random choice.
+std::unique_ptr<AllocationStrategy> MakeRandomStrategy(uint64_t seed = 42);
+
+/// Always picks the providers with the fewest allocated pages.
+std::unique_ptr<AllocationStrategy> MakeLeastLoadedStrategy();
+
+/// Power-of-two-choices: samples two providers per page and keeps the less
+/// loaded one; near-optimal balance at O(1) cost.
+std::unique_ptr<AllocationStrategy> MakePowerOfTwoStrategy(uint64_t seed = 42);
+
+/// Factory by name: "round_robin", "random", "least_loaded", "power_of_two".
+std::unique_ptr<AllocationStrategy> MakeStrategy(const std::string& name);
+
+}  // namespace blobseer::pmanager
+
+#endif  // BLOBSEER_PMANAGER_STRATEGY_H_

@@ -1,0 +1,58 @@
+#include "provider/client.h"
+
+#include "provider/messages.h"
+#include "rpc/call.h"
+
+namespace blobseer::provider {
+
+ProviderClient::ProviderClient(rpc::Transport* transport,
+                               size_t channels_per_endpoint)
+    : pool_(transport, channels_per_endpoint) {}
+
+Status ProviderClient::WritePage(const std::string& address, const PageId& pid,
+                                 Slice data) {
+  auto ch = pool_.Get(address);
+  if (!ch.ok()) return ch.status();
+  WriteRequest req;
+  req.pid = pid;
+  req.data = data.ToString();
+  WriteResponse rsp;
+  return rpc::CallMethod(ch->get(), rpc::Method::kProviderWrite, req, &rsp);
+}
+
+Status ProviderClient::ReadPage(const std::string& address, const PageId& pid,
+                                uint64_t offset, uint64_t len,
+                                std::string* out) {
+  auto ch = pool_.Get(address);
+  if (!ch.ok()) return ch.status();
+  ReadRequest req{pid, offset, len};
+  ReadResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kProviderRead, req, &rsp));
+  *out = std::move(rsp.data);
+  return Status::OK();
+}
+
+Status ProviderClient::DeletePage(const std::string& address,
+                                  const PageId& pid) {
+  auto ch = pool_.Get(address);
+  if (!ch.ok()) return ch.status();
+  DeleteRequest req{pid};
+  DeleteResponse rsp;
+  return rpc::CallMethod(ch->get(), rpc::Method::kProviderDelete, req, &rsp);
+}
+
+Status ProviderClient::Stats(const std::string& address, uint64_t* pages,
+                             uint64_t* bytes) {
+  auto ch = pool_.Get(address);
+  if (!ch.ok()) return ch.status();
+  StatsRequest req;
+  StatsResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kProviderStats, req, &rsp));
+  *pages = rsp.pages;
+  *bytes = rsp.bytes;
+  return Status::OK();
+}
+
+}  // namespace blobseer::provider

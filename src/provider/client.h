@@ -1,0 +1,31 @@
+// Typed client for data provider endpoints.
+#ifndef BLOBSEER_PROVIDER_CLIENT_H_
+#define BLOBSEER_PROVIDER_CLIENT_H_
+
+#include <string>
+
+#include "common/types.h"
+#include "rpc/channel_pool.h"
+#include "rpc/transport.h"
+
+namespace blobseer::provider {
+
+/// Stateless helper issuing page operations against arbitrary provider
+/// addresses through a shared channel pool (thread-safe).
+class ProviderClient {
+ public:
+  ProviderClient(rpc::Transport* transport, size_t channels_per_endpoint = 4);
+
+  Status WritePage(const std::string& address, const PageId& pid, Slice data);
+  Status ReadPage(const std::string& address, const PageId& pid,
+                  uint64_t offset, uint64_t len, std::string* out);
+  Status DeletePage(const std::string& address, const PageId& pid);
+  Status Stats(const std::string& address, uint64_t* pages, uint64_t* bytes);
+
+ private:
+  rpc::ChannelPool pool_;
+};
+
+}  // namespace blobseer::provider
+
+#endif  // BLOBSEER_PROVIDER_CLIENT_H_

@@ -1,0 +1,248 @@
+#include "provider/page_store.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace blobseer::provider {
+
+namespace {
+
+Status CheckRange(uint64_t object_size, uint64_t offset, uint64_t* len) {
+  if (*len == 0) {
+    if (offset > object_size) return Status::OutOfRange("page read offset");
+    *len = object_size - offset;
+    return Status::OK();
+  }
+  if (offset + *len > object_size)
+    return Status::OutOfRange(StrFormat(
+        "page read [%llu,+%llu) beyond object of %llu bytes",
+        static_cast<unsigned long long>(offset),
+        static_cast<unsigned long long>(*len),
+        static_cast<unsigned long long>(object_size)));
+  return Status::OK();
+}
+
+class MemoryPageStore : public PageStore {
+ public:
+  Status Put(const PageId& id, Slice data) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.writes++;
+    auto it = pages_.find(id);
+    if (it != pages_.end()) {
+      if (it->second.size() == data.size()) return Status::OK();
+      return Status::AlreadyExists("page object rewritten with new content: " +
+                                   id.ToString());
+    }
+    pages_.emplace(id, data.ToString());
+    stats_.pages++;
+    stats_.bytes += data.size();
+    return Status::OK();
+  }
+
+  Status Read(const PageId& id, uint64_t offset, uint64_t len,
+              std::string* out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.reads++;
+    auto it = pages_.find(id);
+    if (it == pages_.end()) return Status::NotFound("page " + id.ToString());
+    BS_RETURN_NOT_OK(CheckRange(it->second.size(), offset, &len));
+    out->assign(it->second.data() + offset, len);
+    return Status::OK();
+  }
+
+  Status Delete(const PageId& id) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.deletes++;
+    auto it = pages_.find(id);
+    if (it != pages_.end()) {
+      stats_.bytes -= it->second.size();
+      stats_.pages--;
+      pages_.erase(it);
+    }
+    return Status::OK();
+  }
+
+  PageStoreStats GetStats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<PageId, std::string> pages_;
+  PageStoreStats stats_;
+};
+
+class NullPageStore : public PageStore {
+ public:
+  Status Put(const PageId& id, Slice data) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.writes++;
+    auto [it, inserted] = sizes_.emplace(id, data.size());
+    if (!inserted && it->second != data.size())
+      return Status::AlreadyExists("page object rewritten");
+    if (inserted) {
+      stats_.pages++;
+      stats_.bytes += data.size();
+    }
+    return Status::OK();
+  }
+
+  Status Read(const PageId& id, uint64_t offset, uint64_t len,
+              std::string* out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.reads++;
+    auto it = sizes_.find(id);
+    if (it == sizes_.end()) return Status::NotFound("page " + id.ToString());
+    BS_RETURN_NOT_OK(CheckRange(it->second, offset, &len));
+    out->assign(len, '\0');
+    return Status::OK();
+  }
+
+  Status Delete(const PageId& id) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.deletes++;
+    auto it = sizes_.find(id);
+    if (it != sizes_.end()) {
+      stats_.bytes -= it->second;
+      stats_.pages--;
+      sizes_.erase(it);
+    }
+    return Status::OK();
+  }
+
+  PageStoreStats GetStats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<PageId, uint64_t> sizes_;
+  PageStoreStats stats_;
+};
+
+class FilePageStore : public PageStore {
+ public:
+  explicit FilePageStore(std::string dir) : dir_(std::move(dir)) {
+    // Create the full path (the provider directory may be nested, e.g.
+    // <cluster-dir>/provider-3), then the 256 fan-out buckets.
+    std::string partial;
+    for (const char c : dir_ + "/") {
+      if (c == '/' && !partial.empty()) ::mkdir(partial.c_str(), 0755);
+      partial.push_back(c);
+    }
+    for (int i = 0; i < 256; i++) {
+      ::mkdir(StrFormat("%s/%02x", dir_.c_str(), i).c_str(), 0755);
+    }
+  }
+
+  Status Put(const PageId& id, Slice data) override {
+    std::string path = PathFor(id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.writes++;
+    }
+    // Immutability: if the file exists with the same size, treat as
+    // idempotent replay.
+    struct stat st;
+    if (::stat(path.c_str(), &st) == 0) {
+      if (static_cast<uint64_t>(st.st_size) == data.size())
+        return Status::OK();
+      return Status::AlreadyExists("page file exists: " + path);
+    }
+    std::string tmp = path + ".tmp";
+    FILE* f = ::fopen(tmp.c_str(), "wb");
+    if (!f) return Status::IOError("open " + tmp + ": " + strerror(errno));
+    size_t n = data.empty() ? 0 : ::fwrite(data.data(), 1, data.size(), f);
+    if (::fclose(f) != 0 || n != data.size()) {
+      ::remove(tmp.c_str());
+      return Status::IOError("write " + tmp);
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      ::remove(tmp.c_str());
+      return Status::IOError("rename " + path);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.pages++;
+    stats_.bytes += data.size();
+    return Status::OK();
+  }
+
+  Status Read(const PageId& id, uint64_t offset, uint64_t len,
+              std::string* out) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.reads++;
+    }
+    std::string path = PathFor(id);
+    FILE* f = ::fopen(path.c_str(), "rb");
+    if (!f) return Status::NotFound("page " + id.ToString());
+    ::fseek(f, 0, SEEK_END);
+    uint64_t size = static_cast<uint64_t>(::ftell(f));
+    Status s = CheckRange(size, offset, &len);
+    if (!s.ok()) {
+      ::fclose(f);
+      return s;
+    }
+    ::fseek(f, static_cast<long>(offset), SEEK_SET);
+    out->resize(len);
+    size_t n = len == 0 ? 0 : ::fread(out->data(), 1, len, f);
+    ::fclose(f);
+    if (n != len) return Status::IOError("short read: " + path);
+    return Status::OK();
+  }
+
+  Status Delete(const PageId& id) override {
+    std::string path = PathFor(id);
+    struct stat st;
+    uint64_t size = ::stat(path.c_str(), &st) == 0
+                        ? static_cast<uint64_t>(st.st_size)
+                        : 0;
+    bool existed = ::remove(path.c_str()) == 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.deletes++;
+    if (existed) {
+      stats_.pages--;
+      stats_.bytes -= size;
+    }
+    return Status::OK();
+  }
+
+  PageStoreStats GetStats() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  std::string PathFor(const PageId& id) const {
+    return StrFormat("%s/%02x/%016llx%016llx.page", dir_.c_str(),
+                     static_cast<int>(id.lo & 0xff),
+                     static_cast<unsigned long long>(id.hi),
+                     static_cast<unsigned long long>(id.lo));
+  }
+
+  std::string dir_;
+  mutable std::mutex mu_;
+  PageStoreStats stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<PageStore> MakeMemoryPageStore() {
+  return std::make_unique<MemoryPageStore>();
+}
+std::unique_ptr<PageStore> MakeFilePageStore(const std::string& dir) {
+  return std::make_unique<FilePageStore>(dir);
+}
+std::unique_ptr<PageStore> MakeNullPageStore() {
+  return std::make_unique<NullPageStore>();
+}
+
+}  // namespace blobseer::provider

@@ -1,0 +1,46 @@
+#include "provider/service.h"
+
+#include "provider/messages.h"
+#include "rpc/call.h"
+
+namespace blobseer::provider {
+
+ProviderService::ProviderService(std::unique_ptr<PageStore> store)
+    : store_(std::move(store)) {}
+
+Status ProviderService::Handle(rpc::Method method, Slice payload,
+                               std::string* response) {
+  using rpc::DispatchTyped;
+  switch (method) {
+    case rpc::Method::kProviderWrite:
+      return DispatchTyped<WriteRequest, WriteResponse>(
+          payload, response, [this](const WriteRequest& req, WriteResponse*) {
+            return store_->Put(req.pid, Slice(req.data));
+          });
+    case rpc::Method::kProviderRead:
+      return DispatchTyped<ReadRequest, ReadResponse>(
+          payload, response, [this](const ReadRequest& req, ReadResponse* rsp) {
+            return store_->Read(req.pid, req.offset, req.len, &rsp->data);
+          });
+    case rpc::Method::kProviderDelete:
+      return DispatchTyped<DeleteRequest, DeleteResponse>(
+          payload, response,
+          [this](const DeleteRequest& req, DeleteResponse*) {
+            return store_->Delete(req.pid);
+          });
+    case rpc::Method::kProviderStats:
+      return DispatchTyped<StatsRequest, StatsResponse>(
+          payload, response, [this](const StatsRequest&, StatsResponse* rsp) {
+            PageStoreStats st = store_->GetStats();
+            rsp->pages = st.pages;
+            rsp->bytes = st.bytes;
+            rsp->writes = st.writes;
+            rsp->reads = st.reads;
+            return Status::OK();
+          });
+    default:
+      return Status::NotSupported("provider method");
+  }
+}
+
+}  // namespace blobseer::provider

@@ -1,0 +1,44 @@
+// Typed request/response helpers layered over raw channels.
+#ifndef BLOBSEER_RPC_CALL_H_
+#define BLOBSEER_RPC_CALL_H_
+
+#include <string>
+
+#include "common/serde.h"
+#include "rpc/transport.h"
+
+namespace blobseer::rpc {
+
+/// Encodes `req`, performs the call, decodes into `*rsp`. Fails with
+/// Corruption if the response has trailing bytes.
+template <typename Request, typename Response>
+Status CallMethod(Channel* channel, Method method, const Request& req,
+                  Response* rsp) {
+  BinaryWriter w;
+  req.EncodeTo(&w);
+  std::string out;
+  BS_RETURN_NOT_OK(channel->Call(method, Slice(w.buffer()), &out));
+  BinaryReader r{Slice(out)};
+  BS_RETURN_NOT_OK(rsp->DecodeFrom(&r));
+  return r.ExpectEnd();
+}
+
+/// Server-side glue: decodes the payload into Request, invokes
+/// `fn(req, &rsp)`, encodes the response.
+template <typename Request, typename Response, typename F>
+Status DispatchTyped(Slice payload, std::string* response, F&& fn) {
+  Request req;
+  BinaryReader r(payload);
+  BS_RETURN_NOT_OK(req.DecodeFrom(&r));
+  BS_RETURN_NOT_OK(r.ExpectEnd());
+  Response rsp;
+  BS_RETURN_NOT_OK(fn(req, &rsp));
+  BinaryWriter w;
+  rsp.EncodeTo(&w);
+  *response = std::move(w).TakeBuffer();
+  return Status::OK();
+}
+
+}  // namespace blobseer::rpc
+
+#endif  // BLOBSEER_RPC_CALL_H_

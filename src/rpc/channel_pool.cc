@@ -1,0 +1,27 @@
+#include "rpc/channel_pool.h"
+
+namespace blobseer::rpc {
+
+ChannelPool::ChannelPool(Transport* transport, size_t channels_per_endpoint)
+    : transport_(transport),
+      per_endpoint_(channels_per_endpoint == 0 ? 1 : channels_per_endpoint) {}
+
+Result<std::shared_ptr<Channel>> ChannelPool::Get(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[address];
+  if (e.channels.size() < per_endpoint_) {
+    auto ch = transport_->Connect(address);
+    if (!ch.ok()) return ch.status();
+    e.channels.push_back(std::move(ch).ValueUnsafe());
+    return e.channels.back();
+  }
+  e.next = (e.next + 1) % e.channels.size();
+  return e.channels[e.next];
+}
+
+void ChannelPool::Invalidate(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.erase(address);
+}
+
+}  // namespace blobseer::rpc

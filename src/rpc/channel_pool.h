@@ -1,0 +1,42 @@
+// Channel pooling: the client library issues parallel requests to the same
+// endpoint through distinct channels (TCP channels serialize frames).
+#ifndef BLOBSEER_RPC_CHANNEL_POOL_H_
+#define BLOBSEER_RPC_CHANNEL_POOL_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "rpc/transport.h"
+
+namespace blobseer::rpc {
+
+class ChannelPool {
+ public:
+  /// `channels_per_endpoint` bounds how many concurrent channels are opened
+  /// to any single address.
+  ChannelPool(Transport* transport, size_t channels_per_endpoint);
+
+  /// Returns a channel to `address`, opening one lazily; rotates round-robin
+  /// across the pool for that endpoint.
+  Result<std::shared_ptr<Channel>> Get(const std::string& address);
+
+  /// Drops all channels for `address` (e.g. after repeated failures).
+  void Invalidate(const std::string& address);
+
+ private:
+  struct Entry {
+    std::vector<std::shared_ptr<Channel>> channels;
+    size_t next = 0;
+  };
+  Transport* transport_;
+  size_t per_endpoint_;
+  std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace blobseer::rpc
+
+#endif  // BLOBSEER_RPC_CHANNEL_POOL_H_

@@ -1,0 +1,66 @@
+#include "rpc/inproc.h"
+
+namespace blobseer::rpc {
+
+namespace {
+
+class InProcChannel : public Channel {
+ public:
+  InProcChannel(std::weak_ptr<void> registration, ServiceHandler* handler,
+                std::string address)
+      : registration_(std::move(registration)),
+        handler_(handler),
+        address_(std::move(address)) {}
+
+  Status Call(Method method, Slice request, std::string* response) override {
+    // Holding the registration alive for the duration of the call keeps
+    // shutdown linearizable: either the call sees the endpoint or it gets
+    // Unavailable.
+    std::shared_ptr<void> pin = registration_.lock();
+    if (!pin) return Status::Unavailable("endpoint gone: " + address_);
+    response->clear();
+    return handler_->Handle(method, request, response);
+  }
+
+ private:
+  std::weak_ptr<void> registration_;
+  ServiceHandler* handler_;
+  std::string address_;
+};
+
+}  // namespace
+
+Result<std::string> InProcNetwork::Serve(
+    const std::string& address, std::shared_ptr<ServiceHandler> handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto reg = std::make_shared<Registration>();
+  reg->handler = std::move(handler);
+  auto [it, inserted] = endpoints_.emplace(address, std::move(reg));
+  if (!inserted)
+    return Status::AlreadyExists("inproc endpoint exists: " + address);
+  return address;
+}
+
+Status InProcNetwork::StopServing(const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (endpoints_.erase(address) == 0)
+    return Status::NotFound("inproc endpoint: " + address);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Channel>> InProcNetwork::Connect(
+    const std::string& address) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = endpoints_.find(address);
+  if (it == endpoints_.end())
+    return Status::Unavailable("no inproc endpoint: " + address);
+  return std::shared_ptr<Channel>(std::make_shared<InProcChannel>(
+      std::weak_ptr<void>(it->second), it->second->handler.get(), address));
+}
+
+size_t InProcNetwork::endpoint_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return endpoints_.size();
+}
+
+}  // namespace blobseer::rpc

@@ -1,0 +1,40 @@
+// In-process transport: services and clients in one address space. The
+// default substrate for unit/integration tests and the embedded cluster.
+#ifndef BLOBSEER_RPC_INPROC_H_
+#define BLOBSEER_RPC_INPROC_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "rpc/transport.h"
+
+namespace blobseer::rpc {
+
+/// A private in-process network namespace. Channels hold weak references to
+/// handlers, so stopping a server makes existing channels observe
+/// Unavailable — which lets tests inject node failures.
+class InProcNetwork : public Transport {
+ public:
+  Result<std::string> Serve(const std::string& address,
+                            std::shared_ptr<ServiceHandler> handler) override;
+  Status StopServing(const std::string& address) override;
+  Result<std::shared_ptr<Channel>> Connect(const std::string& address) override;
+
+  /// Number of currently registered endpoints.
+  size_t endpoint_count() const;
+
+ private:
+  // Registration wrapper: channels hold weak references to this, so
+  // StopServing invalidates them even while callers still own the handler.
+  struct Registration {
+    std::shared_ptr<ServiceHandler> handler;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Registration>> endpoints_;
+};
+
+}  // namespace blobseer::rpc
+
+#endif  // BLOBSEER_RPC_INPROC_H_

@@ -1,0 +1,20 @@
+#include "rpc/service.h"
+
+namespace blobseer::rpc {
+
+void CompositeHandler::Register(uint32_t method_block_base,
+                                std::shared_ptr<ServiceHandler> handler) {
+  blocks_[method_block_base] = std::move(handler);
+}
+
+Status CompositeHandler::Handle(Method method, Slice payload,
+                                std::string* response) {
+  uint32_t base = (static_cast<uint32_t>(method) / 100) * 100;
+  auto it = blocks_.find(base);
+  if (it == blocks_.end())
+    return Status::NotSupported("no service for method block " +
+                                std::to_string(base));
+  return it->second->Handle(method, payload, response);
+}
+
+}  // namespace blobseer::rpc

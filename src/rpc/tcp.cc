@@ -1,0 +1,324 @@
+#include "rpc/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/serde.h"
+#include "common/string_util.h"
+
+namespace blobseer::rpc {
+
+namespace {
+
+constexpr uint32_t kMaxFrame = 256u * 1024 * 1024;
+
+Status ReadFull(int fd, void* buf, size_t n) {
+  char* p = static_cast<char*>(buf);
+  while (n > 0) {
+    ssize_t r = ::recv(fd, p, n, 0);
+    if (r == 0) return Status::Unavailable("connection closed");
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrFormat("recv: %s", strerror(errno)));
+    }
+    p += r;
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const void* buf, size_t n) {
+  const char* p = static_cast<const char*>(buf);
+  while (n > 0) {
+    ssize_t r = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(StrFormat("send: %s", strerror(errno)));
+    }
+    p += r;
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status ParseHostPort(const std::string& address, std::string* host,
+                     uint16_t* port) {
+  size_t colon = address.rfind(':');
+  if (colon == std::string::npos)
+    return Status::InvalidArgument("address must be host:port: " + address);
+  *host = address.substr(0, colon);
+  if (host->empty()) *host = "127.0.0.1";
+  char* end = nullptr;
+  long p = strtol(address.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || p < 0 || p > 65535)
+    return Status::InvalidArgument("bad port in address: " + address);
+  *port = static_cast<uint16_t>(p);
+  return Status::OK();
+}
+
+Status FillSockaddr(const std::string& host, uint16_t port,
+                    sockaddr_in* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const char* h = host == "localhost" ? "127.0.0.1" : host.c_str();
+  if (host == "0.0.0.0" || host.empty()) {
+    addr->sin_addr.s_addr = INADDR_ANY;
+  } else if (inet_pton(AF_INET, h, &addr->sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse IPv4 host: " + host);
+  }
+  return Status::OK();
+}
+
+// Request body: [u32 method][payload]; response body:
+// [u8 code][u32 msg_len][msg][payload].
+Status WriteResponse(int fd, const Status& st, Slice payload) {
+  std::string head;
+  uint32_t msg_len = static_cast<uint32_t>(st.message().size());
+  uint64_t body = 1 + 4 + msg_len + (st.ok() ? payload.size() : 0);
+  if (body > kMaxFrame) return Status::InvalidArgument("response too large");
+  uint32_t len = static_cast<uint32_t>(body);
+  head.append(reinterpret_cast<const char*>(&len), 4);
+  uint8_t code = static_cast<uint8_t>(st.code());
+  head.push_back(static_cast<char>(code));
+  head.append(reinterpret_cast<const char*>(&msg_len), 4);
+  head.append(st.message());
+  BS_RETURN_NOT_OK(WriteFull(fd, head.data(), head.size()));
+  if (st.ok() && !payload.empty())
+    return WriteFull(fd, payload.data(), payload.size());
+  return Status::OK();
+}
+
+}  // namespace
+
+/// One listening endpoint with its accept loop and connection threads.
+class TcpServer {
+ public:
+  TcpServer(int listen_fd, std::shared_ptr<ServiceHandler> handler)
+      : listen_fd_(listen_fd), handler_(std::move(handler)) {
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+  }
+
+  ~TcpServer() {
+    stop_.store(true);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    }
+    accept_thread_.join();
+    for (auto& t : conn_threads_) t.join();
+  }
+
+ private:
+  void AcceptLoop() {
+    for (;;) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (stop_.load()) return;
+        if (errno == EINTR) continue;
+        BS_LOG(Warn) << "accept failed: " << strerror(errno);
+        return;
+      }
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_.load()) {
+        ::close(fd);
+        return;
+      }
+      conn_fds_.insert(fd);
+      conn_threads_.emplace_back([this, fd] { ConnLoop(fd); });
+    }
+  }
+
+  void ConnLoop(int fd) {
+    std::string body;
+    for (;;) {
+      uint32_t len = 0;
+      if (!ReadFull(fd, &len, 4).ok()) break;
+      if (len < 4 || len > kMaxFrame) break;
+      body.resize(len);
+      if (!ReadFull(fd, body.data(), len).ok()) break;
+      uint32_t method;
+      std::memcpy(&method, body.data(), 4);
+      std::string response;
+      Status st = handler_->Handle(static_cast<Method>(method),
+                                   Slice(body.data() + 4, len - 4), &response);
+      if (!WriteResponse(fd, st, Slice(response)).ok()) break;
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_fds_.erase(fd);
+  }
+
+  int listen_fd_;
+  std::shared_ptr<ServiceHandler> handler_;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::set<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+};
+
+namespace {
+
+class TcpChannel : public Channel {
+ public:
+  explicit TcpChannel(std::string address) : address_(std::move(address)) {}
+  ~TcpChannel() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Call(Method method, Slice request, std::string* response) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fd_ < 0) BS_RETURN_NOT_OK(DoConnect());
+    Status st = DoCall(method, request, response);
+    if (!st.ok() && (st.IsIOError() || st.IsUnavailable())) {
+      // One transparent reconnect+retry: handles servers restarted between
+      // calls. Safe for BlobSeer's idempotent request set.
+      ::close(fd_);
+      fd_ = -1;
+      BS_RETURN_NOT_OK(DoConnect());
+      st = DoCall(method, request, response);
+      if (!st.ok() && fd_ >= 0 && (st.IsIOError() || st.IsUnavailable())) {
+        ::close(fd_);
+        fd_ = -1;
+      }
+    }
+    return st;
+  }
+
+ private:
+  Status DoConnect() {
+    std::string host;
+    uint16_t port;
+    BS_RETURN_NOT_OK(ParseHostPort(address_, &host, &port));
+    sockaddr_in addr;
+    BS_RETURN_NOT_OK(FillSockaddr(host, port, &addr));
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::IOError("socket");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd);
+      return Status::Unavailable(
+          StrFormat("connect %s: %s", address_.c_str(), strerror(errno)));
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    fd_ = fd;
+    return Status::OK();
+  }
+
+  Status DoCall(Method method, Slice request, std::string* response) {
+    uint64_t body = 4 + request.size();
+    if (body > kMaxFrame) return Status::InvalidArgument("request too large");
+    uint32_t len = static_cast<uint32_t>(body);
+    uint32_t m = static_cast<uint32_t>(method);
+    std::string head;
+    head.append(reinterpret_cast<const char*>(&len), 4);
+    head.append(reinterpret_cast<const char*>(&m), 4);
+    BS_RETURN_NOT_OK(WriteFull(fd_, head.data(), head.size()));
+    if (!request.empty())
+      BS_RETURN_NOT_OK(WriteFull(fd_, request.data(), request.size()));
+
+    uint32_t rlen = 0;
+    BS_RETURN_NOT_OK(ReadFull(fd_, &rlen, 4));
+    if (rlen < 5 || rlen > kMaxFrame)
+      return Status::Corruption("bad response frame length");
+    std::string frame;
+    frame.resize(rlen);
+    BS_RETURN_NOT_OK(ReadFull(fd_, frame.data(), rlen));
+    uint8_t code = static_cast<uint8_t>(frame[0]);
+    uint32_t msg_len;
+    std::memcpy(&msg_len, frame.data() + 1, 4);
+    if (5 + static_cast<uint64_t>(msg_len) > rlen)
+      return Status::Corruption("bad response message length");
+    if (code != 0) {
+      return Status::FromCode(static_cast<StatusCode>(code),
+                              frame.substr(5, msg_len));
+    }
+    response->assign(frame.data() + 5 + msg_len, rlen - 5 - msg_len);
+    return Status::OK();
+  }
+
+  std::string address_;
+  std::mutex mu_;
+  int fd_ = -1;
+};
+
+}  // namespace
+
+TcpTransport::TcpTransport() = default;
+TcpTransport::~TcpTransport() = default;
+
+Result<std::string> TcpTransport::Serve(
+    const std::string& address, std::shared_ptr<ServiceHandler> handler) {
+  std::string host;
+  uint16_t port;
+  BS_RETURN_NOT_OK(ParseHostPort(address, &host, &port));
+  sockaddr_in addr;
+  BS_RETURN_NOT_OK(FillSockaddr(host, port, &addr));
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IOError(
+        StrFormat("bind %s: %s", address.c_str(), strerror(errno)));
+  }
+  if (::listen(fd, 128) != 0) {
+    ::close(fd);
+    return Status::IOError("listen");
+  }
+  sockaddr_in bound;
+  socklen_t blen = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) != 0) {
+    ::close(fd);
+    return Status::IOError("getsockname");
+  }
+  char ip[INET_ADDRSTRLEN];
+  inet_ntop(AF_INET, &bound.sin_addr, ip, sizeof(ip));
+  std::string bound_addr =
+      StrFormat("%s:%u", host == "0.0.0.0" ? "127.0.0.1" : ip,
+                static_cast<unsigned>(ntohs(bound.sin_port)));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (servers_.count(bound_addr)) {
+    ::close(fd);
+    return Status::AlreadyExists("already serving: " + bound_addr);
+  }
+  servers_[bound_addr] = std::make_unique<TcpServer>(fd, std::move(handler));
+  return bound_addr;
+}
+
+Status TcpTransport::StopServing(const std::string& address) {
+  std::unique_ptr<TcpServer> victim;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = servers_.find(address);
+    if (it == servers_.end()) return Status::NotFound("server: " + address);
+    victim = std::move(it->second);
+    servers_.erase(it);
+  }
+  return Status::OK();  // destructor joins threads
+}
+
+Result<std::shared_ptr<Channel>> TcpTransport::Connect(
+    const std::string& address) {
+  return std::shared_ptr<Channel>(std::make_shared<TcpChannel>(address));
+}
+
+}  // namespace blobseer::rpc

@@ -1,0 +1,37 @@
+// TCP socket transport: length-prefixed frames, one OS thread per accepted
+// connection (appropriate for the deployment sizes BlobSeer targets per
+// node: tens of concurrent clients).
+#ifndef BLOBSEER_RPC_TCP_H_
+#define BLOBSEER_RPC_TCP_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "rpc/transport.h"
+
+namespace blobseer::rpc {
+
+class TcpServer;
+
+/// Transport over real sockets. Addresses are "host:port"; serve with port 0
+/// to bind an ephemeral port (the returned address carries the real one).
+class TcpTransport : public Transport {
+ public:
+  TcpTransport();
+  ~TcpTransport() override;
+
+  Result<std::string> Serve(const std::string& address,
+                            std::shared_ptr<ServiceHandler> handler) override;
+  Status StopServing(const std::string& address) override;
+  Result<std::shared_ptr<Channel>> Connect(const std::string& address) override;
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<TcpServer>> servers_;
+};
+
+}  // namespace blobseer::rpc
+
+#endif  // BLOBSEER_RPC_TCP_H_

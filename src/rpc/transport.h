@@ -1,0 +1,57 @@
+// Transport abstraction: the same services and clients run over in-process
+// calls, TCP sockets, or the simnet virtual network.
+#ifndef BLOBSEER_RPC_TRANSPORT_H_
+#define BLOBSEER_RPC_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "rpc/wire.h"
+
+namespace blobseer::rpc {
+
+/// Server-side request handler. Implementations must be thread-safe: the
+/// TCP transport invokes Handle concurrently from connection threads.
+class ServiceHandler {
+ public:
+  virtual ~ServiceHandler() = default;
+
+  /// Handles one request; on success fills `*response` with the encoded
+  /// response payload. A non-OK status is propagated to the caller verbatim.
+  virtual Status Handle(Method method, Slice payload,
+                        std::string* response) = 0;
+};
+
+/// Client-side connection to one service endpoint. Call is synchronous;
+/// open several channels (see ChannelPool) for parallel requests.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  virtual Status Call(Method method, Slice request, std::string* response) = 0;
+};
+
+/// Factory for channels and servers on one kind of network.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Starts serving `handler` at `address`; returns the concrete bound
+  /// address (useful with ephemeral TCP ports).
+  virtual Result<std::string> Serve(const std::string& address,
+                                    std::shared_ptr<ServiceHandler> handler) = 0;
+
+  /// Stops the server at `address`. In-flight requests drain; subsequent
+  /// calls observe Unavailable.
+  virtual Status StopServing(const std::string& address) = 0;
+
+  /// Opens a channel to `address`.
+  virtual Result<std::shared_ptr<Channel>> Connect(
+      const std::string& address) = 0;
+};
+
+}  // namespace blobseer::rpc
+
+#endif  // BLOBSEER_RPC_TRANSPORT_H_

@@ -1,0 +1,63 @@
+// Wire-level constants shared by all transports: method identifiers and
+// frame layouts.
+//
+// Request frame  (TCP): [u32 body_len][u32 method][payload...]
+// Response frame (TCP): [u32 body_len][u8 status_code][u32 msg_len][msg]
+//                       [payload...]
+// The in-process and simulated transports skip framing and pass the payload
+// and Status through directly.
+#ifndef BLOBSEER_RPC_WIRE_H_
+#define BLOBSEER_RPC_WIRE_H_
+
+#include <cstdint>
+
+namespace blobseer::rpc {
+
+/// Every RPC method in the system. Grouped by service in blocks of 100.
+enum class Method : uint32_t {
+  // DHT (metadata provider) service.
+  kDhtPut = 100,
+  kDhtGet = 101,
+  kDhtDelete = 102,
+  kDhtMultiGet = 103,
+  kDhtStats = 104,
+
+  // Data provider service.
+  kProviderWrite = 200,
+  kProviderRead = 201,
+  kProviderDelete = 202,
+  kProviderStats = 203,
+
+  // Provider manager service.
+  kPmRegister = 300,
+  kPmHeartbeat = 301,
+  kPmAllocate = 302,
+  kPmDirectory = 303,
+  kPmStats = 304,
+
+  // Version manager service.
+  kVmCreateBlob = 400,
+  kVmOpenBlob = 401,
+  kVmAssignVersion = 402,
+  kVmNotifySuccess = 403,
+  kVmAbortUpdate = 404,
+  kVmGetRecent = 405,
+  kVmGetSize = 406,
+  kVmAwaitPublished = 407,
+  kVmBranch = 408,
+  kVmStats = 409,
+
+  // Centralized-metadata baseline service (ablation comparator).
+  kCentralCreate = 500,
+  kCentralUpdate = 501,
+  kCentralGetLayout = 502,
+  kCentralGetRecent = 503,
+};
+
+/// Per-message fixed wire overhead (framing + TCP/IP headers) charged by the
+/// simulated transport so small metadata RPCs have realistic cost.
+inline constexpr uint32_t kWireOverheadBytes = 96;
+
+}  // namespace blobseer::rpc
+
+#endif  // BLOBSEER_RPC_WIRE_H_

@@ -1,0 +1,117 @@
+// Standalone BlobSeer daemon: hosts any combination of roles on one TCP
+// endpoint (the paper co-deploys a data provider and a metadata provider
+// per node).
+//
+// Usage:
+//   blobseer_server --listen=0.0.0.0:7700 --roles=vmanager,pmanager
+//   blobseer_server --listen=0.0.0.0:7701 --roles=provider,meta \
+//       --pmanager=vmhost:7700 --store=file:/var/lib/blobseer
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "dht/service.h"
+#include "pmanager/client.h"
+#include "pmanager/service.h"
+#include "provider/service.h"
+#include "rpc/service.h"
+#include "rpc/tcp.h"
+#include "vmanager/service.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+std::string FlagValue(int argc, char** argv, const std::string& name,
+                      const std::string& def) {
+  std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; i++) {
+    if (blobseer::StartsWith(argv[i], prefix))
+      return std::string(argv[i]).substr(prefix.size());
+  }
+  return def;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace blobseer;
+
+  std::string listen = FlagValue(argc, argv, "listen", "127.0.0.1:7700");
+  std::string roles = FlagValue(argc, argv, "roles", "provider,meta");
+  std::string pm_addr = FlagValue(argc, argv, "pmanager", "");
+  std::string store_spec = FlagValue(argc, argv, "store", "memory");
+  std::string allocation = FlagValue(argc, argv, "allocation", "round_robin");
+  uint64_t capacity =
+      strtoull(FlagValue(argc, argv, "capacity", "0").c_str(), nullptr, 10);
+
+  rpc::TcpTransport transport;
+  auto composite = std::make_shared<rpc::CompositeHandler>();
+  bool has_provider = false;
+
+  for (const std::string& role : StrSplit(roles, ',')) {
+    if (role == "vmanager") {
+      composite->Register(400,
+                          std::make_shared<vmanager::VersionManagerService>());
+    } else if (role == "pmanager") {
+      composite->Register(300,
+                          std::make_shared<pmanager::ProviderManagerService>(
+                              pmanager::MakeStrategy(allocation)));
+    } else if (role == "meta") {
+      composite->Register(100, std::make_shared<dht::DhtService>());
+    } else if (role == "provider") {
+      std::unique_ptr<provider::PageStore> store;
+      if (store_spec == "null") {
+        store = provider::MakeNullPageStore();
+      } else if (StartsWith(store_spec, "file:")) {
+        store = provider::MakeFilePageStore(store_spec.substr(5));
+      } else {
+        store = provider::MakeMemoryPageStore();
+      }
+      composite->Register(
+          200, std::make_shared<provider::ProviderService>(std::move(store)));
+      has_provider = true;
+    } else if (!role.empty()) {
+      fprintf(stderr, "unknown role: %s\n", role.c_str());
+      return 2;
+    }
+  }
+
+  auto bound = transport.Serve(listen, composite);
+  if (!bound.ok()) {
+    fprintf(stderr, "serve failed: %s\n", bound.status().ToString().c_str());
+    return 1;
+  }
+  printf("blobseer_server listening on %s (roles: %s)\n", bound->c_str(),
+         roles.c_str());
+  fflush(stdout);
+
+  if (has_provider) {
+    if (pm_addr.empty()) {
+      fprintf(stderr, "provider role requires --pmanager=host:port\n");
+      return 2;
+    }
+    pmanager::ProviderManagerClient pm(&transport, pm_addr);
+    auto id = pm.Register(*bound, capacity);
+    if (!id.ok()) {
+      fprintf(stderr, "provider registration failed: %s\n",
+              id.status().ToString().c_str());
+      return 1;
+    }
+    printf("registered as provider %u with %s\n", *id, pm_addr.c_str());
+    fflush(stdout);
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop) {
+    RealClock::Default()->SleepForMicros(200 * 1000);
+  }
+  printf("shutting down\n");
+  return 0;
+}

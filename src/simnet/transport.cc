@@ -1,0 +1,120 @@
+#include "simnet/transport.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace blobseer::simnet {
+
+namespace {
+
+class SimChannel : public rpc::Channel {
+ public:
+  SimChannel(SimScheduler* sched, SimNetwork* net,
+             std::weak_ptr<SimTransport::Endpoint> endpoint,
+             std::string address)
+      : sched_(sched),
+        net_(net),
+        endpoint_(std::move(endpoint)),
+        address_(std::move(address)) {}
+
+  Status Call(rpc::Method method, Slice request,
+              std::string* response) override {
+    auto ep = endpoint_.lock();
+    if (!ep) return Status::Unavailable("sim endpoint gone: " + address_);
+    uint32_t src = sched_->CurrentNode();
+
+    net_->Transfer(src, ep->node,
+                   request.size() + rpc::kWireOverheadBytes);
+    ep->queue->Acquire();
+    if (ep->profile.request_cpu_us > 0)
+      sched_->SleepFor(ep->profile.request_cpu_us);
+    response->clear();
+    Status st = ep->handler->Handle(method, request, response);
+    ep->queue->Release();
+    uint64_t resp_bytes =
+        (st.ok() ? response->size() : st.message().size()) +
+        rpc::kWireOverheadBytes;
+    net_->Transfer(ep->node, src, resp_bytes);
+    return st;
+  }
+
+ private:
+  SimScheduler* sched_;
+  SimNetwork* net_;
+  std::weak_ptr<SimTransport::Endpoint> endpoint_;
+  std::string address_;
+};
+
+}  // namespace
+
+SimTransport::SimTransport(SimScheduler* sched, SimNetwork* net)
+    : sched_(sched), net_(net) {}
+
+SimTransport::~SimTransport() = default;
+
+std::string SimTransport::MakeAddress(uint32_t node, const std::string& name) {
+  return StrFormat("sim://%u/%s", node, name.c_str());
+}
+
+Status SimTransport::ParseAddress(const std::string& address, uint32_t* node,
+                                  std::string* name) {
+  if (!StartsWith(address, "sim://"))
+    return Status::InvalidArgument("not a sim address: " + address);
+  size_t slash = address.find('/', 6);
+  if (slash == std::string::npos)
+    return Status::InvalidArgument("sim address missing service: " + address);
+  *node = static_cast<uint32_t>(
+      strtoul(address.substr(6, slash - 6).c_str(), nullptr, 10));
+  *name = address.substr(slash + 1);
+  return Status::OK();
+}
+
+Result<std::string> SimTransport::Serve(
+    const std::string& address, std::shared_ptr<rpc::ServiceHandler> handler) {
+  uint32_t node;
+  std::string name;
+  BS_RETURN_NOT_OK(ParseAddress(address, &node, &name));
+  if (node >= net_->num_nodes())
+    return Status::InvalidArgument("sim node out of range: " + address);
+  if (endpoints_.count(address))
+    return Status::AlreadyExists("sim endpoint: " + address);
+  auto ep = std::make_shared<Endpoint>();
+  ep->node = node;
+  ep->handler = std::move(handler);
+  auto pending = pending_profiles_.find(address);
+  if (pending != pending_profiles_.end()) ep->profile = pending->second;
+  ep->queue = std::make_unique<SimSemaphore>(
+      sched_, ep->profile.concurrency == 0 ? 1 : ep->profile.concurrency);
+  endpoints_[address] = std::move(ep);
+  return address;
+}
+
+Status SimTransport::StopServing(const std::string& address) {
+  if (endpoints_.erase(address) == 0)
+    return Status::NotFound("sim endpoint: " + address);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<rpc::Channel>> SimTransport::Connect(
+    const std::string& address) {
+  auto it = endpoints_.find(address);
+  if (it == endpoints_.end())
+    return Status::Unavailable("no sim endpoint: " + address);
+  return std::shared_ptr<rpc::Channel>(std::make_shared<SimChannel>(
+      sched_, net_, std::weak_ptr<Endpoint>(it->second), address));
+}
+
+void SimTransport::SetServiceProfile(const std::string& address,
+                                     const SimServiceProfile& profile) {
+  auto it = endpoints_.find(address);
+  if (it == endpoints_.end()) {
+    pending_profiles_[address] = profile;
+    return;
+  }
+  it->second->profile = profile;
+  it->second->queue = std::make_unique<SimSemaphore>(
+      sched_, profile.concurrency == 0 ? 1 : profile.concurrency);
+}
+
+}  // namespace blobseer::simnet

@@ -1,0 +1,63 @@
+// rpc::Transport implementation over the simulated network: request and
+// response payloads are charged to the NIC flow model, service handlers run
+// behind per-endpoint FIFO queues with configurable CPU cost per request.
+#ifndef BLOBSEER_SIMNET_TRANSPORT_H_
+#define BLOBSEER_SIMNET_TRANSPORT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "rpc/transport.h"
+#include "simnet/network.h"
+#include "simnet/sim.h"
+
+namespace blobseer::simnet {
+
+/// Per-endpoint service cost model.
+struct SimServiceProfile {
+  /// CPU time consumed per request while holding a service slot.
+  double request_cpu_us = 50.0;
+  /// Concurrent requests served per endpoint (1 = fully serialized).
+  size_t concurrency = 1;
+};
+
+/// Addresses have the form "sim://<node-id>/<service-name>".
+class SimTransport : public rpc::Transport {
+ public:
+  SimTransport(SimScheduler* sched, SimNetwork* net);
+  ~SimTransport() override;
+
+  Result<std::string> Serve(const std::string& address,
+                            std::shared_ptr<rpc::ServiceHandler> handler) override;
+  Status StopServing(const std::string& address) override;
+  Result<std::shared_ptr<rpc::Channel>> Connect(
+      const std::string& address) override;
+
+  /// Sets the cost profile of an endpoint (before or after Serve).
+  void SetServiceProfile(const std::string& address,
+                         const SimServiceProfile& profile);
+
+  static std::string MakeAddress(uint32_t node, const std::string& name);
+  static Status ParseAddress(const std::string& address, uint32_t* node,
+                             std::string* name);
+
+  /// Internal endpoint record; public so the channel implementation in the
+  /// .cc can reference it.
+  struct Endpoint {
+    uint32_t node = 0;
+    std::shared_ptr<rpc::ServiceHandler> handler;
+    SimServiceProfile profile;
+    std::unique_ptr<SimSemaphore> queue;
+  };
+
+ private:
+  SimScheduler* sched_;
+  SimNetwork* net_;
+  std::map<std::string, std::shared_ptr<Endpoint>> endpoints_;
+  std::map<std::string, SimServiceProfile> pending_profiles_;
+};
+
+}  // namespace blobseer::simnet
+
+#endif  // BLOBSEER_SIMNET_TRANSPORT_H_

@@ -1,0 +1,129 @@
+#include "vmanager/client.h"
+
+#include "rpc/call.h"
+#include "vmanager/messages.h"
+
+namespace blobseer::vmanager {
+
+VersionManagerClient::VersionManagerClient(rpc::Transport* transport,
+                                           std::string address,
+                                           size_t channels)
+    : address_(std::move(address)), pool_(transport, channels) {}
+
+Result<BlobDescriptor> VersionManagerClient::CreateBlob(uint64_t psize) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  CreateBlobRequest req{psize};
+  CreateBlobResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kVmCreateBlob, req, &rsp));
+  return std::move(rsp.descriptor);
+}
+
+Result<BlobDescriptor> VersionManagerClient::OpenBlob(BlobId id,
+                                                      Version* published,
+                                                      uint64_t* published_size) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  OpenBlobRequest req{id};
+  OpenBlobResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kVmOpenBlob, req, &rsp));
+  if (published) *published = rsp.published;
+  if (published_size) *published_size = rsp.published_size;
+  return std::move(rsp.descriptor);
+}
+
+Result<AssignTicket> VersionManagerClient::AssignVersion(BlobId id,
+                                                         bool is_append,
+                                                         uint64_t offset,
+                                                         uint64_t size) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  AssignRequest req{id, is_append, offset, size};
+  AssignResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kVmAssignVersion, req, &rsp));
+  return std::move(rsp.ticket);
+}
+
+Status VersionManagerClient::NotifySuccess(BlobId id, Version version) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  NotifyRequest req{id, version};
+  NotifyResponse rsp;
+  return rpc::CallMethod(ch->get(), rpc::Method::kVmNotifySuccess, req, &rsp);
+}
+
+Result<AbortOutcome> VersionManagerClient::AbortUpdate(BlobId id,
+                                                       Version version) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  AbortRequest req{id, version};
+  AbortResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kVmAbortUpdate, req, &rsp));
+  return std::move(rsp.outcome);
+}
+
+Status VersionManagerClient::GetRecent(BlobId id, Version* version,
+                                       uint64_t* size) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  GetRecentRequest req{id};
+  GetRecentResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kVmGetRecent, req, &rsp));
+  *version = rsp.version;
+  *size = rsp.size;
+  return Status::OK();
+}
+
+Result<uint64_t> VersionManagerClient::GetSize(BlobId id, Version version) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  GetSizeRequest req{id, version};
+  GetSizeResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kVmGetSize, req, &rsp));
+  return rsp.size;
+}
+
+Status VersionManagerClient::AwaitPublished(BlobId id, Version version,
+                                            uint64_t timeout_us) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  AwaitRequest req{id, version, timeout_us};
+  AwaitResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kVmAwaitPublished, req, &rsp));
+  return rsp.published ? Status::OK() : Status::TimedOut("not published");
+}
+
+Result<BlobDescriptor> VersionManagerClient::Branch(BlobId id,
+                                                    Version version) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  BranchRequest req{id, version};
+  BranchResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kVmBranch, req, &rsp));
+  return std::move(rsp.descriptor);
+}
+
+Result<VmStats> VersionManagerClient::GetStats() {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  VmStatsRequest req;
+  VmStatsResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kVmStats, req, &rsp));
+  VmStats st;
+  st.blobs = rsp.blobs;
+  st.assigned = rsp.assigned;
+  st.published = rsp.published;
+  st.aborted = rsp.aborted;
+  return st;
+}
+
+}  // namespace blobseer::vmanager

@@ -1,0 +1,42 @@
+// Typed client for the version manager.
+#ifndef BLOBSEER_VMANAGER_CLIENT_H_
+#define BLOBSEER_VMANAGER_CLIENT_H_
+
+#include <string>
+
+#include "common/blob_descriptor.h"
+#include "common/result.h"
+#include "rpc/channel_pool.h"
+#include "vmanager/core.h"
+
+namespace blobseer::vmanager {
+
+class VersionManagerClient {
+ public:
+  VersionManagerClient(rpc::Transport* transport, std::string address,
+                       size_t channels = 2);
+
+  Result<BlobDescriptor> CreateBlob(uint64_t psize);
+  Result<BlobDescriptor> OpenBlob(BlobId id, Version* published,
+                                  uint64_t* published_size);
+  Result<AssignTicket> AssignVersion(BlobId id, bool is_append,
+                                     uint64_t offset, uint64_t size);
+  Status NotifySuccess(BlobId id, Version version);
+  Result<AbortOutcome> AbortUpdate(BlobId id, Version version);
+  Status GetRecent(BlobId id, Version* version, uint64_t* size);
+  Result<uint64_t> GetSize(BlobId id, Version version);
+  /// Returns OK / TimedOut like the core call.
+  Status AwaitPublished(BlobId id, Version version, uint64_t timeout_us);
+  Result<BlobDescriptor> Branch(BlobId id, Version version);
+  Result<VmStats> GetStats();
+
+  const std::string& address() const { return address_; }
+
+ private:
+  std::string address_;
+  rpc::ChannelPool pool_;
+};
+
+}  // namespace blobseer::vmanager
+
+#endif  // BLOBSEER_VMANAGER_CLIENT_H_

@@ -1,0 +1,302 @@
+#include "vmanager/core.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+#include "meta/layout.h"
+
+namespace blobseer::vmanager {
+
+Result<BlobDescriptor> VersionManagerCore::CreateBlob(uint64_t psize) {
+  if (psize == 0 || !IsPow2(psize) || psize > (1ull << 30)) {
+    return Status::InvalidArgument(
+        StrFormat("page size must be a power of two in [1, 2^30], got %llu",
+                  static_cast<unsigned long long>(psize)));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto blob = std::make_unique<BlobMeta>();
+  blob->id = next_blob_id_++;
+  blob->psize = psize;
+  blob->ancestry.push_back(AncestrySegment{blob->id, kMaxVersion});
+  BlobDescriptor desc;
+  desc.id = blob->id;
+  desc.psize = psize;
+  desc.ancestry = blob->ancestry;
+  blobs_.emplace(blob->id, std::move(blob));
+  return desc;
+}
+
+VersionManagerCore::BlobMeta* VersionManagerCore::FindLocked(BlobId id) {
+  auto it = blobs_.find(id);
+  return it == blobs_.end() ? nullptr : it->second.get();
+}
+
+Result<BlobDescriptor> VersionManagerCore::OpenBlob(BlobId id,
+                                                    Version* published,
+                                                    uint64_t* published_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BlobMeta* blob = FindLocked(id);
+  if (!blob) return Status::NotFound("blob " + std::to_string(id));
+  BlobDescriptor desc;
+  desc.id = blob->id;
+  desc.psize = blob->psize;
+  desc.ancestry = blob->ancestry;
+  if (published) *published = blob->published;
+  if (published_size) *published_size = blob->published_size;
+  return desc;
+}
+
+Result<uint64_t> VersionManagerCore::SizeOfVersionLocked(BlobMeta* blob,
+                                                         Version v) {
+  if (v == 0) return uint64_t{0};
+  BlobMeta* cur = blob;
+  while (v <= cur->branch_version) {
+    cur = FindLocked(cur->parent);
+    if (!cur) return Status::Internal("broken branch ancestry");
+  }
+  auto it = cur->updates.find(v);
+  if (it == cur->updates.end())
+    return Status::NotFound(StrFormat("version %llu never assigned",
+                                      static_cast<unsigned long long>(v)));
+  return it->second.size_after;
+}
+
+std::vector<BorderEntry> VersionManagerCore::ComputeBordersLocked(
+    BlobMeta* blob, Version vw, const Extent& range, uint64_t old_size,
+    uint64_t new_size) {
+  std::vector<Extent> targets =
+      meta::UpdateBorderBlocks(range, new_size, blob->psize);
+  for (const Extent& e :
+       meta::EdgePageBlocks(range, old_size, blob->psize)) {
+    targets.push_back(e);
+  }
+  std::vector<BorderEntry> out;
+  if (targets.empty()) return out;
+
+  // In-flight updates are the assigned-but-unpublished versions below vw
+  // (paper 4.2). Scan newest-first so the first hit is the right label.
+  // Aborted (unrepaired) updates still count: their node set will exist
+  // with zero-fill semantics once repaired, and publication order ensures
+  // readers never observe the gap.
+  auto lo = blob->updates.upper_bound(blob->published);
+  auto hi = blob->updates.lower_bound(vw);
+  for (const Extent& block : targets) {
+    Version found = kNoVersion;
+    for (auto it = std::make_reverse_iterator(hi),
+              rend = std::make_reverse_iterator(lo);
+         it != rend; ++it) {
+      const UpdateRecord& rec = it->second;
+      if (meta::NodeSetContains(block, rec.range, rec.size_after,
+                                blob->psize)) {
+        found = it->first;
+        break;
+      }
+    }
+    if (found != kNoVersion) out.push_back(BorderEntry{block, found});
+  }
+  return out;
+}
+
+Result<AssignTicket> VersionManagerCore::AssignVersion(BlobId id,
+                                                       bool is_append,
+                                                       uint64_t offset,
+                                                       uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BlobMeta* blob = FindLocked(id);
+  if (!blob) return Status::NotFound("blob " + std::to_string(id));
+  if (size == 0) return Status::InvalidArgument("update of zero bytes");
+
+  uint64_t old_size = blob->last_assigned_size;
+  if (is_append) {
+    offset = old_size;
+  } else if (offset > old_size) {
+    return Status::OutOfRange(StrFormat(
+        "write offset %llu beyond blob size %llu",
+        static_cast<unsigned long long>(offset),
+        static_cast<unsigned long long>(old_size)));
+  }
+  uint64_t new_size = std::max(old_size, offset + size);
+
+  Version vw = blob->last_assigned + 1;
+  AssignTicket ticket;
+  ticket.version = vw;
+  ticket.offset = offset;
+  ticket.size = size;
+  ticket.old_size = old_size;
+  ticket.new_size = new_size;
+  ticket.published = blob->published;
+  ticket.published_size = blob->published_size;
+  ticket.borders =
+      ComputeBordersLocked(blob, vw, ticket.range(), old_size, new_size);
+
+  blob->updates.emplace(vw, UpdateRecord{ticket.range(), new_size,
+                                         /*completed=*/false,
+                                         /*aborted=*/false});
+  blob->last_assigned = vw;
+  blob->last_assigned_size = new_size;
+  total_assigned_++;
+  return ticket;
+}
+
+void VersionManagerCore::AdvancePublishedLocked(BlobMeta* blob) {
+  bool advanced = false;
+  for (;;) {
+    auto it = blob->updates.find(blob->published + 1);
+    if (it == blob->updates.end() || !it->second.completed) break;
+    blob->published = it->first;
+    blob->published_size = it->second.size_after;
+    total_published_++;
+    advanced = true;
+  }
+  if (advanced) publish_cv_.notify_all();
+}
+
+Status VersionManagerCore::NotifySuccess(BlobId id, Version version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BlobMeta* blob = FindLocked(id);
+  if (!blob) return Status::NotFound("blob " + std::to_string(id));
+  if (version <= blob->published) return Status::OK();  // idempotent replay
+  auto it = blob->updates.find(version);
+  if (it == blob->updates.end())
+    return Status::NotFound("version never assigned");
+  it->second.completed = true;
+  AdvancePublishedLocked(blob);
+  return Status::OK();
+}
+
+Result<AbortOutcome> VersionManagerCore::AbortUpdate(BlobId id,
+                                                     Version version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BlobMeta* blob = FindLocked(id);
+  if (!blob) return Status::NotFound("blob " + std::to_string(id));
+  if (version <= blob->published)
+    return Status::FailedPrecondition("version already published");
+  auto it = blob->updates.find(version);
+  if (it == blob->updates.end())
+    return Status::NotFound("version never assigned");
+  if (it->second.completed)
+    return Status::FailedPrecondition("metadata already written");
+
+  AbortOutcome outcome;
+  if (version == blob->last_assigned && !it->second.aborted) {
+    // Newest assigned version: nothing can reference its node set yet, so
+    // the registration is simply retracted.
+    blob->updates.erase(it);
+    blob->last_assigned = version - 1;
+    auto sz = SizeOfVersionLocked(blob, blob->last_assigned);
+    if (!sz.ok()) return sz.status();
+    blob->last_assigned_size = *sz;
+    total_aborted_++;
+    outcome.retracted = true;
+    return outcome;
+  }
+
+  // Later versions may already border-link to this node set: repair it as a
+  // zero-filled update so every referenced key exists (DESIGN.md 3.3).
+  UpdateRecord& rec = it->second;
+  if (!rec.aborted) {
+    rec.aborted = true;
+    total_aborted_++;
+  }
+  auto old_size = SizeOfVersionLocked(blob, version - 1);
+  if (!old_size.ok()) return old_size.status();
+  AssignTicket repair;
+  repair.version = version;
+  repair.offset = rec.range.offset;
+  repair.size = rec.range.size;
+  repair.old_size = *old_size;
+  repair.new_size = rec.size_after;
+  repair.published = blob->published;
+  repair.published_size = blob->published_size;
+  repair.borders = ComputeBordersLocked(blob, version, rec.range, *old_size,
+                                        rec.size_after);
+  outcome.retracted = false;
+  outcome.repair = std::move(repair);
+  return outcome;
+}
+
+Status VersionManagerCore::GetRecent(BlobId id, Version* version,
+                                     uint64_t* size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BlobMeta* blob = FindLocked(id);
+  if (!blob) return Status::NotFound("blob " + std::to_string(id));
+  *version = blob->published;
+  *size = blob->published_size;
+  return Status::OK();
+}
+
+Result<uint64_t> VersionManagerCore::GetSize(BlobId id, Version version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BlobMeta* blob = FindLocked(id);
+  if (!blob) return Status::NotFound("blob " + std::to_string(id));
+  if (version > blob->published)
+    return Status::NotFound(StrFormat(
+        "version %llu not published", static_cast<unsigned long long>(version)));
+  return SizeOfVersionLocked(blob, version);
+}
+
+Status VersionManagerCore::AwaitPublished(BlobId id, Version version,
+                                          uint64_t timeout_us) {
+  std::unique_lock<std::mutex> lock(mu_);
+  BlobMeta* blob = FindLocked(id);
+  if (!blob) return Status::NotFound("blob " + std::to_string(id));
+  auto published = [&] { return blob->published >= version; };
+  if (published()) return Status::OK();
+  if (timeout_us == 0) return Status::TimedOut("not yet published");
+  if (publish_cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
+                           published)) {
+    return Status::OK();
+  }
+  return Status::TimedOut("not yet published");
+}
+
+Result<BlobDescriptor> VersionManagerCore::Branch(BlobId id, Version version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BlobMeta* blob = FindLocked(id);
+  if (!blob) return Status::NotFound("blob " + std::to_string(id));
+  if (version > blob->published)
+    return Status::FailedPrecondition("branch point not published");
+  auto size = SizeOfVersionLocked(blob, version);
+  if (!size.ok()) return size.status();
+
+  auto child = std::make_unique<BlobMeta>();
+  child->id = next_blob_id_++;
+  child->psize = blob->psize;
+  child->parent = blob->id;
+  child->branch_version = version;
+  child->published = version;
+  child->published_size = *size;
+  child->last_assigned = version;
+  child->last_assigned_size = *size;
+  for (const AncestrySegment& seg : blob->ancestry) {
+    if (seg.up_to < version) {
+      child->ancestry.push_back(seg);
+    } else {
+      child->ancestry.push_back(AncestrySegment{seg.origin, version});
+      break;
+    }
+  }
+  child->ancestry.push_back(AncestrySegment{child->id, kMaxVersion});
+
+  BlobDescriptor desc;
+  desc.id = child->id;
+  desc.psize = child->psize;
+  desc.ancestry = child->ancestry;
+  blobs_.emplace(child->id, std::move(child));
+  return desc;
+}
+
+VmStats VersionManagerCore::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  VmStats st;
+  st.blobs = blobs_.size();
+  st.assigned = total_assigned_;
+  st.published = total_published_;
+  st.aborted = total_aborted_;
+  return st;
+}
+
+}  // namespace blobseer::vmanager

@@ -1,0 +1,195 @@
+// Version manager core logic, transport-free (paper sections 3.1, 4.2).
+//
+// The version manager is the system's only serialization point. It assigns
+// totally-ordered snapshot versions to updates, tracks in-flight updates so
+// it can hand writers the *partial border sets* that let concurrent
+// WRITE/APPEND metadata writes proceed without waiting for each other, and
+// publishes versions in order once their metadata is written — which is
+// what makes every primitive atomic in the sense of [Guerraoui et al.].
+#ifndef BLOBSEER_VMANAGER_CORE_H_
+#define BLOBSEER_VMANAGER_CORE_H_
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/blob_descriptor.h"
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/serde.h"
+#include "common/types.h"
+
+namespace blobseer::vmanager {
+
+/// Resolution of one border (or edge-page) block against the in-flight
+/// updates the version manager knows about.
+struct BorderEntry {
+  Extent block;
+  Version version = kNoVersion;
+
+  friend bool operator==(const BorderEntry&, const BorderEntry&) = default;
+
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutExtent(block);
+    w->PutU64(version);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetExtent(&block));
+    return r->GetU64(&version);
+  }
+};
+
+/// Everything a writer needs to build the metadata of its new snapshot:
+/// its assigned version, the resolved range, and border help (paper 4.2:
+/// "the version manager will supply the problematic tree nodes ... directly
+/// to the writer at the moment it is assigned a new snapshot version").
+struct AssignTicket {
+  Version version = kNoVersion;
+  uint64_t offset = 0;    ///< resolved byte offset (== request for WRITE)
+  uint64_t size = 0;      ///< update length in bytes
+  uint64_t old_size = 0;  ///< blob size of snapshot version-1
+  uint64_t new_size = 0;  ///< blob size after this update
+  Version published = 0;  ///< latest published version at assign time
+  uint64_t published_size = 0;
+  /// Border + edge-page blocks resolvable only through in-flight updates.
+  std::vector<BorderEntry> borders;
+
+  Extent range() const { return Extent{offset, size}; }
+
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU64(version);
+    w->PutU64(offset);
+    w->PutU64(size);
+    w->PutU64(old_size);
+    w->PutU64(new_size);
+    w->PutU64(published);
+    w->PutU64(published_size);
+    PutVector(w, borders);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetU64(&version));
+    BS_RETURN_NOT_OK(r->GetU64(&offset));
+    BS_RETURN_NOT_OK(r->GetU64(&size));
+    BS_RETURN_NOT_OK(r->GetU64(&old_size));
+    BS_RETURN_NOT_OK(r->GetU64(&new_size));
+    BS_RETURN_NOT_OK(r->GetU64(&published));
+    BS_RETURN_NOT_OK(r->GetU64(&published_size));
+    return GetVector(r, &borders);
+  }
+};
+
+/// Result of AbortUpdate: either the version was retracted outright (it was
+/// the newest assigned, nobody could have referenced it), or it must be
+/// repaired as a zero-filled update using the returned ticket before it can
+/// be published (see DESIGN.md section 3.3).
+struct AbortOutcome {
+  bool retracted = false;
+  AssignTicket repair;
+
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutBool(retracted);
+    repair.EncodeTo(w);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetBool(&retracted));
+    return repair.DecodeFrom(r);
+  }
+};
+
+struct VmStats {
+  uint64_t blobs = 0;
+  uint64_t assigned = 0;
+  uint64_t published = 0;
+  uint64_t aborted = 0;
+};
+
+/// Thread-safe version manager state machine.
+class VersionManagerCore {
+ public:
+  VersionManagerCore() = default;
+
+  /// Creates a blob with the given page size (power of two) and an empty,
+  /// already-published snapshot 0.
+  Result<BlobDescriptor> CreateBlob(uint64_t psize);
+
+  /// Returns the descriptor plus current published version and size.
+  Result<BlobDescriptor> OpenBlob(BlobId id, Version* published,
+                                  uint64_t* published_size);
+
+  /// Registers an update and assigns it the next version (paper WRITE step
+  /// 10 / APPEND). For appends the offset is chosen by the manager: the
+  /// size of snapshot version-1. Fails with OutOfRange if a WRITE offset
+  /// lies beyond that size.
+  Result<AssignTicket> AssignVersion(BlobId id, bool is_append,
+                                     uint64_t offset, uint64_t size);
+
+  /// Marks an update's metadata as durably written; publishes it (and any
+  /// successors unblocked by it) in version order.
+  Status NotifySuccess(BlobId id, Version version);
+
+  /// Abandons an assigned, unpublished update (writer crash/failure path).
+  Result<AbortOutcome> AbortUpdate(BlobId id, Version version);
+
+  /// GET_RECENT: latest published version; guarantees v >= any version
+  /// published before this call.
+  Status GetRecent(BlobId id, Version* version, uint64_t* size);
+
+  /// GET_SIZE of a *published* snapshot; NotFound if unpublished.
+  Result<uint64_t> GetSize(BlobId id, Version version);
+
+  /// Blocks up to timeout_us until `version` is published (0 = non-blocking
+  /// probe). OK when published, TimedOut otherwise.
+  Status AwaitPublished(BlobId id, Version version, uint64_t timeout_us);
+
+  /// BRANCH: new blob identical to `id` up to and including published
+  /// version `version` (paper section 2.1).
+  Result<BlobDescriptor> Branch(BlobId id, Version version);
+
+  VmStats GetStats() const;
+
+ private:
+  struct UpdateRecord {
+    Extent range;
+    uint64_t size_after = 0;
+    bool completed = false;
+    bool aborted = false;
+  };
+
+  struct BlobMeta {
+    BlobId id = kInvalidBlobId;
+    uint64_t psize = 0;
+    BlobId parent = kInvalidBlobId;
+    Version branch_version = 0;  ///< versions <= this belong to ancestors
+    Version published = 0;
+    uint64_t published_size = 0;
+    Version last_assigned = 0;
+    uint64_t last_assigned_size = 0;
+    std::map<Version, UpdateRecord> updates;  ///< versions > branch_version
+    std::vector<AncestrySegment> ancestry;
+  };
+
+  BlobMeta* FindLocked(BlobId id);
+  /// Size of (possibly ancestor-owned) version v; requires v assigned.
+  Result<uint64_t> SizeOfVersionLocked(BlobMeta* blob, Version v);
+  /// Builds the partial border set for an update (range, new_size) at
+  /// assign time, scanning in-flight updates newest-first.
+  std::vector<BorderEntry> ComputeBordersLocked(BlobMeta* blob, Version vw,
+                                                const Extent& range,
+                                                uint64_t old_size,
+                                                uint64_t new_size);
+  void AdvancePublishedLocked(BlobMeta* blob);
+
+  mutable std::mutex mu_;
+  std::condition_variable publish_cv_;
+  std::map<BlobId, std::unique_ptr<BlobMeta>> blobs_;
+  BlobId next_blob_id_ = 1;
+  uint64_t total_assigned_ = 0;
+  uint64_t total_published_ = 0;
+  uint64_t total_aborted_ = 0;
+};
+
+}  // namespace blobseer::vmanager
+
+#endif  // BLOBSEER_VMANAGER_CORE_H_

@@ -1,0 +1,106 @@
+#include "vmanager/service.h"
+
+#include "rpc/call.h"
+#include "vmanager/messages.h"
+
+namespace blobseer::vmanager {
+
+Status VersionManagerService::Handle(rpc::Method method, Slice payload,
+                                     std::string* response) {
+  using rpc::DispatchTyped;
+  switch (method) {
+    case rpc::Method::kVmCreateBlob:
+      return DispatchTyped<CreateBlobRequest, CreateBlobResponse>(
+          payload, response,
+          [this](const CreateBlobRequest& req, CreateBlobResponse* rsp) {
+            auto d = core_.CreateBlob(req.psize);
+            if (!d.ok()) return d.status();
+            rsp->descriptor = std::move(d).ValueUnsafe();
+            return Status::OK();
+          });
+    case rpc::Method::kVmOpenBlob:
+      return DispatchTyped<OpenBlobRequest, OpenBlobResponse>(
+          payload, response,
+          [this](const OpenBlobRequest& req, OpenBlobResponse* rsp) {
+            auto d = core_.OpenBlob(req.id, &rsp->published,
+                                    &rsp->published_size);
+            if (!d.ok()) return d.status();
+            rsp->descriptor = std::move(d).ValueUnsafe();
+            return Status::OK();
+          });
+    case rpc::Method::kVmAssignVersion:
+      return DispatchTyped<AssignRequest, AssignResponse>(
+          payload, response,
+          [this](const AssignRequest& req, AssignResponse* rsp) {
+            auto t = core_.AssignVersion(req.id, req.is_append, req.offset,
+                                         req.size);
+            if (!t.ok()) return t.status();
+            rsp->ticket = std::move(t).ValueUnsafe();
+            return Status::OK();
+          });
+    case rpc::Method::kVmNotifySuccess:
+      return DispatchTyped<NotifyRequest, NotifyResponse>(
+          payload, response, [this](const NotifyRequest& req, NotifyResponse*) {
+            return core_.NotifySuccess(req.id, req.version);
+          });
+    case rpc::Method::kVmAbortUpdate:
+      return DispatchTyped<AbortRequest, AbortResponse>(
+          payload, response, [this](const AbortRequest& req, AbortResponse* rsp) {
+            auto o = core_.AbortUpdate(req.id, req.version);
+            if (!o.ok()) return o.status();
+            rsp->outcome = std::move(o).ValueUnsafe();
+            return Status::OK();
+          });
+    case rpc::Method::kVmGetRecent:
+      return DispatchTyped<GetRecentRequest, GetRecentResponse>(
+          payload, response,
+          [this](const GetRecentRequest& req, GetRecentResponse* rsp) {
+            return core_.GetRecent(req.id, &rsp->version, &rsp->size);
+          });
+    case rpc::Method::kVmGetSize:
+      return DispatchTyped<GetSizeRequest, GetSizeResponse>(
+          payload, response,
+          [this](const GetSizeRequest& req, GetSizeResponse* rsp) {
+            auto s = core_.GetSize(req.id, req.version);
+            if (!s.ok()) return s.status();
+            rsp->size = *s;
+            return Status::OK();
+          });
+    case rpc::Method::kVmAwaitPublished:
+      return DispatchTyped<AwaitRequest, AwaitResponse>(
+          payload, response, [this](const AwaitRequest& req, AwaitResponse* rsp) {
+            Status s = core_.AwaitPublished(req.id, req.version, req.timeout_us);
+            if (s.ok()) {
+              rsp->published = true;
+              return Status::OK();
+            }
+            if (s.IsTimedOut()) {
+              rsp->published = false;
+              return Status::OK();
+            }
+            return s;
+          });
+    case rpc::Method::kVmBranch:
+      return DispatchTyped<BranchRequest, BranchResponse>(
+          payload, response, [this](const BranchRequest& req, BranchResponse* rsp) {
+            auto d = core_.Branch(req.id, req.version);
+            if (!d.ok()) return d.status();
+            rsp->descriptor = std::move(d).ValueUnsafe();
+            return Status::OK();
+          });
+    case rpc::Method::kVmStats:
+      return DispatchTyped<VmStatsRequest, VmStatsResponse>(
+          payload, response, [this](const VmStatsRequest&, VmStatsResponse* rsp) {
+            VmStats st = core_.GetStats();
+            rsp->blobs = st.blobs;
+            rsp->assigned = st.assigned;
+            rsp->published = st.published;
+            rsp->aborted = st.aborted;
+            return Status::OK();
+          });
+    default:
+      return Status::NotSupported("vmanager method");
+  }
+}
+
+}  // namespace blobseer::vmanager

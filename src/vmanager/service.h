@@ -1,0 +1,25 @@
+// RPC adapter for the version manager core.
+#ifndef BLOBSEER_VMANAGER_SERVICE_H_
+#define BLOBSEER_VMANAGER_SERVICE_H_
+
+#include "rpc/transport.h"
+#include "vmanager/core.h"
+
+namespace blobseer::vmanager {
+
+class VersionManagerService : public rpc::ServiceHandler {
+ public:
+  VersionManagerService() = default;
+
+  Status Handle(rpc::Method method, Slice payload,
+                std::string* response) override;
+
+  VersionManagerCore& core() { return core_; }
+
+ private:
+  VersionManagerCore core_;
+};
+
+}  // namespace blobseer::vmanager
+
+#endif  // BLOBSEER_VMANAGER_SERVICE_H_

@@ -1,0 +1,269 @@
+// End-to-end tests of the paper's interface (section 2.1) against an
+// embedded cluster: single-client semantics, versioning, page sharing.
+#include <gtest/gtest.h>
+
+#include "core/cluster.h"
+#include "reference_blob.h"
+
+namespace blobseer {
+namespace {
+
+using client::Blob;
+using client::BlobClient;
+using testing::ReferenceBlob;
+using testing::TestPayload;
+
+class ClientBasicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::ClusterOptions opts;
+    opts.num_providers = 4;
+    opts.num_meta = 4;
+    auto cluster = core::EmbeddedCluster::Start(opts);
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    cluster_ = std::move(cluster).ValueUnsafe();
+    auto client = cluster_->NewClient();
+    ASSERT_TRUE(client.ok());
+    client_ = std::move(client).ValueUnsafe();
+  }
+
+  std::unique_ptr<core::EmbeddedCluster> cluster_;
+  std::unique_ptr<BlobClient> client_;
+};
+
+TEST_F(ClientBasicTest, CreateReturnsDistinctIds) {
+  auto a = client_->Create(64);
+  auto b = client_->Create(64);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(*a, *b);
+}
+
+TEST_F(ClientBasicTest, EmptyBlobSemantics) {
+  auto id = client_->Create(64);
+  ASSERT_TRUE(id.ok());
+  uint64_t size = 99;
+  auto v = client_->GetRecent(*id, &size);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 0u);
+  EXPECT_EQ(size, 0u);
+  std::string out;
+  // Zero-length read of the empty snapshot succeeds...
+  EXPECT_TRUE(client_->Read(*id, 0, 0, 0, &out).ok());
+  // ...but any byte is out of range, and unpublished versions fail.
+  EXPECT_TRUE(client_->Read(*id, 0, 0, 1, &out).IsOutOfRange());
+  EXPECT_FALSE(client_->Read(*id, 1, 0, 1, &out).ok());
+}
+
+TEST_F(ClientBasicTest, AppendReadRoundTrip) {
+  auto id = client_->Create(64);
+  ASSERT_TRUE(id.ok());
+  Blob blob(client_.get(), *id);
+  std::string payload = TestPayload(1, 1000);  // ~16 pages
+  auto v = blob.AppendSync(payload);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, 1u);
+  std::string out;
+  ASSERT_TRUE(blob.Read(1, 0, 1000, &out).ok());
+  EXPECT_EQ(out, payload);
+  // Partial reads at arbitrary unaligned boundaries.
+  ASSERT_TRUE(blob.Read(1, 63, 130, &out).ok());
+  EXPECT_EQ(out, payload.substr(63, 130));
+  ASSERT_TRUE(blob.Read(1, 999, 1, &out).ok());
+  EXPECT_EQ(out, payload.substr(999, 1));
+}
+
+TEST_F(ClientBasicTest, EveryVersionStaysReadable) {
+  auto id = client_->Create(32);
+  ASSERT_TRUE(id.ok());
+  Blob blob(client_.get(), *id);
+  ReferenceBlob ref;
+  // A mix of appends and overwrites; verify all snapshots afterwards.
+  struct Op {
+    bool append;
+    uint64_t offset;
+    std::string data;
+  };
+  std::vector<Op> ops = {
+      {true, 0, TestPayload(1, 100)},  {true, 0, TestPayload(2, 64)},
+      {false, 32, TestPayload(3, 32)}, {false, 0, TestPayload(4, 200)},
+      {true, 0, TestPayload(5, 17)},   {false, 150, TestPayload(6, 90)},
+  };
+  for (const Op& op : ops) {
+    if (op.append) {
+      auto v = blob.AppendSync(op.data);
+      ASSERT_TRUE(v.ok()) << v.status().ToString();
+      ASSERT_EQ(*v, ref.ApplyAppend(op.data));
+    } else {
+      auto v = blob.WriteSync(op.data, op.offset);
+      ASSERT_TRUE(v.ok()) << v.status().ToString();
+      ASSERT_EQ(*v, ref.ApplyWrite(op.data, op.offset));
+    }
+  }
+  for (Version v = 0; v <= ref.latest(); v++) {
+    auto size = blob.GetSize(v);
+    ASSERT_TRUE(size.ok());
+    ASSERT_EQ(*size, ref.Size(v)) << "version " << v;
+    std::string out;
+    ASSERT_TRUE(blob.Read(v, 0, *size, &out).ok()) << "version " << v;
+    ASSERT_EQ(out, ref.Contents(v)) << "version " << v;
+  }
+}
+
+TEST_F(ClientBasicTest, WriteBeyondEndFailsAndLeaksNothing) {
+  auto id = client_->Create(64);
+  ASSERT_TRUE(id.ok());
+  Blob blob(client_.get(), *id);
+  ASSERT_TRUE(blob.AppendSync(TestPayload(1, 64)).ok());
+  auto bad = blob.Write(TestPayload(2, 10), 100);
+  EXPECT_TRUE(bad.status().IsOutOfRange());
+  // The rejected write's pre-stored pages were garbage-collected.
+  uint64_t pages, bytes;
+  ASSERT_TRUE(cluster_->TotalProviderUsage(&pages, &bytes).ok());
+  EXPECT_EQ(pages, 1u);
+  EXPECT_EQ(bytes, 64u);
+  // The version chain is unharmed.
+  auto v = blob.AppendSync(TestPayload(3, 10));
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 2u);
+}
+
+TEST_F(ClientBasicTest, ReadValidation) {
+  auto id = client_->Create(64);
+  ASSERT_TRUE(id.ok());
+  Blob blob(client_.get(), *id);
+  ASSERT_TRUE(blob.AppendSync(TestPayload(1, 100)).ok());
+  std::string out;
+  EXPECT_TRUE(blob.Read(1, 50, 51, &out).IsOutOfRange());
+  EXPECT_FALSE(blob.Read(7, 0, 1, &out).ok());  // never published
+  // In-flight (assigned, unpublished) version is not readable either.
+  ASSERT_TRUE(client_->vmanager().AssignVersion(*id, true, 0, 10).ok());
+  EXPECT_FALSE(blob.Read(2, 0, 1, &out).ok());
+}
+
+TEST_F(ClientBasicTest, UnmodifiedPagesArePhysicallyShared) {
+  auto id = client_->Create(64);
+  ASSERT_TRUE(id.ok());
+  Blob blob(client_.get(), *id);
+  // 8 pages, then overwrite one page; only 1 new page is stored (paper
+  // section 4.3, "efficient use of storage space").
+  ASSERT_TRUE(blob.AppendSync(TestPayload(1, 512)).ok());
+  uint64_t pages0, bytes0;
+  ASSERT_TRUE(cluster_->TotalProviderUsage(&pages0, &bytes0).ok());
+  EXPECT_EQ(pages0, 8u);
+  ASSERT_TRUE(blob.WriteSync(TestPayload(2, 64), 128).ok());
+  uint64_t pages1, bytes1;
+  ASSERT_TRUE(cluster_->TotalProviderUsage(&pages1, &bytes1).ok());
+  EXPECT_EQ(pages1, 9u);
+  EXPECT_EQ(bytes1 - bytes0, 64u);
+  // Both versions still read correctly.
+  std::string v1, v2;
+  ASSERT_TRUE(blob.Read(1, 0, 512, &v1).ok());
+  ASSERT_TRUE(blob.Read(2, 0, 512, &v2).ok());
+  EXPECT_EQ(v1.substr(0, 128), v2.substr(0, 128));
+  EXPECT_EQ(v2.substr(128, 64), TestPayload(2, 64));
+  EXPECT_EQ(v1.substr(192), v2.substr(192));
+}
+
+TEST_F(ClientBasicTest, SyncTimesOutOnStalledVersion) {
+  auto id = client_->Create(64);
+  ASSERT_TRUE(id.ok());
+  // Stall the pipeline: an assigned version that never completes.
+  ASSERT_TRUE(client_->vmanager().AssignVersion(*id, true, 0, 10).ok());
+  EXPECT_TRUE(client_->Sync(*id, 1, 50 * 1000).IsTimedOut());
+}
+
+TEST_F(ClientBasicTest, GetRecentIsMonotonic) {
+  auto id = client_->Create(64);
+  ASSERT_TRUE(id.ok());
+  Blob blob(client_.get(), *id);
+  Version last = 0;
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(blob.AppendSync(TestPayload(i, 33)).ok());
+    auto v = blob.GetRecent();
+    ASSERT_TRUE(v.ok());
+    EXPECT_GE(*v, last);
+    last = *v;
+  }
+  EXPECT_EQ(last, 10u);
+}
+
+TEST_F(ClientBasicTest, SecondClientSeesPublishedData) {
+  auto id = client_->Create(64);
+  ASSERT_TRUE(id.ok());
+  Blob blob(client_.get(), *id);
+  std::string payload = TestPayload(9, 300);
+  ASSERT_TRUE(blob.AppendSync(payload).ok());
+
+  auto other = cluster_->NewClient();
+  ASSERT_TRUE(other.ok());
+  std::string out;
+  ASSERT_TRUE((*other)->Read(*id, 1, 0, 300, &out).ok());
+  EXPECT_EQ(out, payload);
+}
+
+TEST_F(ClientBasicTest, LargeMultiPageReadAcrossManyUpdates) {
+  auto id = client_->Create(128);
+  ASSERT_TRUE(id.ok());
+  Blob blob(client_.get(), *id);
+  ReferenceBlob ref;
+  for (int i = 0; i < 40; i++) {
+    std::string data = TestPayload(i, 100 + i * 13);
+    ASSERT_TRUE(blob.AppendSync(data).ok());
+    ref.ApplyAppend(data);
+  }
+  std::string out;
+  auto size = blob.GetSize(40);
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(blob.Read(40, 0, *size, &out).ok());
+  EXPECT_EQ(out, ref.Contents(40));
+  // Middle slice spanning many update boundaries.
+  ASSERT_TRUE(blob.Read(40, 500, 3000, &out).ok());
+  EXPECT_EQ(out, ref.Read(40, 500, 3000));
+}
+
+TEST_F(ClientBasicTest, WorksOverTcpLoopback) {
+  core::ClusterOptions opts;
+  opts.num_providers = 3;
+  opts.num_meta = 2;
+  opts.transport = "tcp";
+  auto cluster = core::EmbeddedCluster::Start(opts);
+  ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+  auto client = (*cluster)->NewClient();
+  ASSERT_TRUE(client.ok());
+  auto id = (*client)->Create(64);
+  ASSERT_TRUE(id.ok());
+  Blob blob(client->get(), *id);
+  std::string payload = TestPayload(4, 1000);
+  auto v = blob.AppendSync(payload);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  std::string out;
+  ASSERT_TRUE(blob.Read(*v, 0, 1000, &out).ok());
+  EXPECT_EQ(out, payload);
+  ASSERT_TRUE(blob.WriteSync(TestPayload(5, 64), 10).ok());
+  ASSERT_TRUE(blob.Read(2, 0, 1000, &out).ok());
+  std::string want = payload;
+  want.replace(10, 64, TestPayload(5, 64));
+  EXPECT_EQ(out, want);
+}
+
+TEST_F(ClientBasicTest, FileBackedProvidersRoundTrip) {
+  core::ClusterOptions opts;
+  opts.num_providers = 2;
+  opts.num_meta = 2;
+  opts.page_store = "file:" + ::testing::TempDir() + "/bs_cluster_pages";
+  auto cluster = core::EmbeddedCluster::Start(opts);
+  ASSERT_TRUE(cluster.ok());
+  auto client = (*cluster)->NewClient();
+  ASSERT_TRUE(client.ok());
+  auto id = (*client)->Create(64);
+  ASSERT_TRUE(id.ok());
+  Blob blob(client->get(), *id);
+  std::string payload = TestPayload(11, 500);
+  ASSERT_TRUE(blob.AppendSync(payload).ok());
+  std::string out;
+  ASSERT_TRUE(blob.Read(1, 0, 500, &out).ok());
+  EXPECT_EQ(out, payload);
+}
+
+}  // namespace
+}  // namespace blobseer

@@ -1,0 +1,153 @@
+// Provider manager tests: allocation strategies and the registry service.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pmanager/client.h"
+#include "pmanager/service.h"
+#include "pmanager/strategy.h"
+#include "rpc/inproc.h"
+
+namespace blobseer::pmanager {
+namespace {
+
+std::vector<ProviderRecord> MakeRecords(size_t n) {
+  std::vector<ProviderRecord> recs;
+  for (size_t i = 0; i < n; i++) {
+    ProviderRecord r;
+    r.id = static_cast<ProviderId>(i);
+    r.address = "p" + std::to_string(i);
+    recs.push_back(r);
+  }
+  return recs;
+}
+
+TEST(StrategyTest, RoundRobinIsPerfectlyEven) {
+  auto recs = MakeRecords(5);
+  auto strat = MakeRoundRobinStrategy();
+  auto got = strat->Allocate(&recs, 50);
+  ASSERT_EQ(got.size(), 50u);
+  for (const auto& r : recs) EXPECT_EQ(r.allocated_pages, 10u);
+  // Consecutive allocations continue the cycle.
+  auto got2 = strat->Allocate(&recs, 5);
+  std::set<ProviderId> distinct(got2.begin(), got2.end());
+  EXPECT_EQ(distinct.size(), 5u);
+}
+
+TEST(StrategyTest, LeastLoadedCorrectsImbalance) {
+  auto recs = MakeRecords(3);
+  recs[0].allocated_pages = 100;
+  recs[1].allocated_pages = 50;
+  auto strat = MakeLeastLoadedStrategy();
+  auto got = strat->Allocate(&recs, 50);
+  ASSERT_EQ(got.size(), 50u);
+  // All new pages go to the emptiest provider(s).
+  EXPECT_EQ(recs[0].allocated_pages, 100u);
+  EXPECT_LE(recs[1].allocated_pages, 67u);
+  EXPECT_GE(recs[2].allocated_pages, 33u);
+}
+
+TEST(StrategyTest, RandomAndPowerOfTwoStayRoughlyBalanced) {
+  for (auto name : {"random", "power_of_two"}) {
+    auto recs = MakeRecords(8);
+    auto strat = MakeStrategy(name);
+    strat->Allocate(&recs, 8000);
+    for (const auto& r : recs) {
+      EXPECT_GT(r.allocated_pages, 500u) << name;
+      EXPECT_LT(r.allocated_pages, 1600u) << name;
+    }
+  }
+}
+
+TEST(StrategyTest, PowerOfTwoBeatsRandomOnMaxLoad) {
+  auto recs_rand = MakeRecords(16);
+  auto recs_p2 = MakeRecords(16);
+  MakeRandomStrategy(99)->Allocate(&recs_rand, 16000);
+  MakePowerOfTwoStrategy(99)->Allocate(&recs_p2, 16000);
+  auto max_load = [](const std::vector<ProviderRecord>& v) {
+    uint64_t m = 0;
+    for (const auto& r : v) m = std::max(m, r.allocated_pages);
+    return m;
+  };
+  EXPECT_LE(max_load(recs_p2), max_load(recs_rand));
+}
+
+TEST(StrategyTest, CapacityLimitsRespected) {
+  auto recs = MakeRecords(2);
+  recs[0].capacity_pages = 3;
+  auto strat = MakeRoundRobinStrategy();
+  auto got = strat->Allocate(&recs, 10);
+  ASSERT_EQ(got.size(), 10u);
+  EXPECT_LE(recs[0].allocated_pages, 4u);  // can exceed cap by at most in-batch
+  auto got2 = strat->Allocate(&recs, 4);
+  for (ProviderId id : got2) EXPECT_EQ(id, 1u);  // provider 0 full
+}
+
+TEST(StrategyTest, DeadProvidersSkipped) {
+  auto recs = MakeRecords(3);
+  recs[1].alive = false;
+  auto got = MakeRoundRobinStrategy()->Allocate(&recs, 10);
+  for (ProviderId id : got) EXPECT_NE(id, 1u);
+}
+
+class PmServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    svc_ = std::make_shared<ProviderManagerService>();
+    ASSERT_TRUE(net_.Serve("inproc://pm", svc_).ok());
+    client_ = std::make_unique<ProviderManagerClient>(&net_, "inproc://pm");
+  }
+
+  rpc::InProcNetwork net_;
+  std::shared_ptr<ProviderManagerService> svc_;
+  std::unique_ptr<ProviderManagerClient> client_;
+};
+
+TEST_F(PmServiceTest, RegisterAssignsStableIds) {
+  auto a = client_->Register("inproc://prov-a", 0);
+  auto b = client_->Register("inproc://prov-b", 0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 1u);
+  // Re-registration (provider restart) keeps the id.
+  auto a2 = client_->Register("inproc://prov-a", 0);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(*a2, 0u);
+}
+
+TEST_F(PmServiceTest, AllocateWithoutProvidersFails) {
+  EXPECT_TRUE(client_->Allocate(3).status().IsUnavailable());
+}
+
+TEST_F(PmServiceTest, AllocateAndResolve) {
+  ASSERT_TRUE(client_->Register("inproc://prov-a", 0).ok());
+  ASSERT_TRUE(client_->Register("inproc://prov-b", 0).ok());
+  auto ids = client_->Allocate(4);
+  ASSERT_TRUE(ids.ok());
+  ASSERT_EQ(ids->size(), 4u);
+  for (ProviderId id : *ids) {
+    auto addr = client_->ResolveAddress(id);
+    ASSERT_TRUE(addr.ok());
+    EXPECT_TRUE(addr->find("inproc://prov-") == 0);
+  }
+  EXPECT_TRUE(client_->ResolveAddress(42).status().IsNotFound());
+}
+
+TEST_F(PmServiceTest, HeartbeatOverridesLoadEstimate) {
+  auto id = client_->Register("inproc://prov-a", 0);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(client_->Allocate(10).ok());
+  ASSERT_TRUE(client_->Heartbeat(*id, 3, 4096).ok());
+  auto recs = svc_->Records();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].allocated_pages, 3u);
+  EXPECT_TRUE(client_->Heartbeat(99, 0, 0).IsNotFound());
+}
+
+TEST_F(PmServiceTest, ZeroPageAllocationRejected) {
+  ASSERT_TRUE(client_->Register("inproc://prov-a", 0).ok());
+  EXPECT_TRUE(client_->Allocate(0).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace blobseer::pmanager

@@ -1,0 +1,135 @@
+// Data provider tests: the three page-store engines and the RPC service.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "provider/client.h"
+#include "provider/page_store.h"
+#include "provider/service.h"
+#include "rpc/inproc.h"
+
+namespace blobseer::provider {
+namespace {
+
+class PageStoreTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "file") {
+      dir_ = ::testing::TempDir() + "/bs_pages_" +
+             std::to_string(reinterpret_cast<uintptr_t>(this));
+      store_ = MakeFilePageStore(dir_);
+    } else if (GetParam() == "null") {
+      store_ = MakeNullPageStore();
+    } else {
+      store_ = MakeMemoryPageStore();
+    }
+  }
+  void TearDown() override {
+    store_.reset();
+    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+  }
+
+  bool stores_content() const { return GetParam() != "null"; }
+
+  std::unique_ptr<PageStore> store_;
+  std::string dir_;
+};
+
+TEST_P(PageStoreTest, PutReadWholeAndRange) {
+  PageId id{1, 1};
+  ASSERT_TRUE(store_->Put(id, Slice("0123456789")).ok());
+  std::string out;
+  ASSERT_TRUE(store_->Read(id, 0, 0, &out).ok());  // len 0 = whole object
+  ASSERT_EQ(out.size(), 10u);
+  if (stores_content()) EXPECT_EQ(out, "0123456789");
+  ASSERT_TRUE(store_->Read(id, 3, 4, &out).ok());
+  ASSERT_EQ(out.size(), 4u);
+  if (stores_content()) EXPECT_EQ(out, "3456");
+}
+
+TEST_P(PageStoreTest, ReadBeyondObjectFails) {
+  PageId id{1, 2};
+  ASSERT_TRUE(store_->Put(id, Slice("abc")).ok());
+  std::string out;
+  EXPECT_TRUE(store_->Read(id, 0, 4, &out).IsOutOfRange());
+  EXPECT_TRUE(store_->Read(id, 4, 0, &out).IsOutOfRange());
+}
+
+TEST_P(PageStoreTest, MissingPageIsNotFound) {
+  std::string out;
+  EXPECT_TRUE(store_->Read(PageId{9, 9}, 0, 0, &out).IsNotFound());
+}
+
+TEST_P(PageStoreTest, IdempotentReplayAllowedRewriteRejected) {
+  PageId id{1, 3};
+  ASSERT_TRUE(store_->Put(id, Slice("samesize")).ok());
+  // Same id, same size: idempotent replay of a retried RPC.
+  EXPECT_TRUE(store_->Put(id, Slice("samesize")).ok());
+  // Same id, different size: protocol violation (pages are immutable).
+  EXPECT_TRUE(store_->Put(id, Slice("longer-content")).IsAlreadyExists());
+}
+
+TEST_P(PageStoreTest, DeleteFreesSpace) {
+  PageId id{1, 4};
+  ASSERT_TRUE(store_->Put(id, Slice("xxxxxxxx")).ok());
+  EXPECT_EQ(store_->GetStats().pages, 1u);
+  EXPECT_EQ(store_->GetStats().bytes, 8u);
+  ASSERT_TRUE(store_->Delete(id).ok());
+  EXPECT_EQ(store_->GetStats().pages, 0u);
+  EXPECT_EQ(store_->GetStats().bytes, 0u);
+  std::string out;
+  EXPECT_TRUE(store_->Read(id, 0, 0, &out).IsNotFound());
+  ASSERT_TRUE(store_->Delete(id).ok());  // idempotent
+}
+
+TEST_P(PageStoreTest, ManyPages) {
+  for (uint64_t i = 0; i < 200; i++) {
+    ASSERT_TRUE(store_->Put(PageId{7, i}, Slice("payload")).ok());
+  }
+  EXPECT_EQ(store_->GetStats().pages, 200u);
+  std::string out;
+  ASSERT_TRUE(store_->Read(PageId{7, 137}, 2, 3, &out).ok());
+  if (stores_content()) EXPECT_EQ(out, "ylo");
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, PageStoreTest,
+                         ::testing::Values("memory", "file", "null"));
+
+TEST(FilePageStoreTest, PersistsAcrossReopen) {
+  std::string dir = ::testing::TempDir() + "/bs_persist";
+  std::filesystem::remove_all(dir);
+  {
+    auto store = MakeFilePageStore(dir);
+    ASSERT_TRUE(store->Put(PageId{3, 3}, Slice("durable")).ok());
+  }
+  {
+    auto store = MakeFilePageStore(dir);
+    std::string out;
+    ASSERT_TRUE(store->Read(PageId{3, 3}, 0, 0, &out).ok());
+    EXPECT_EQ(out, "durable");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ProviderServiceTest, EndToEndOverRpc) {
+  rpc::InProcNetwork net;
+  auto svc = std::make_shared<ProviderService>(MakeMemoryPageStore());
+  ASSERT_TRUE(net.Serve("inproc://prov", svc).ok());
+
+  ProviderClient client(&net);
+  PageId id{5, 5};
+  ASSERT_TRUE(client.WritePage("inproc://prov", id, Slice("hello page")).ok());
+  std::string out;
+  ASSERT_TRUE(client.ReadPage("inproc://prov", id, 6, 4, &out).ok());
+  EXPECT_EQ(out, "page");
+  uint64_t pages, bytes;
+  ASSERT_TRUE(client.Stats("inproc://prov", &pages, &bytes).ok());
+  EXPECT_EQ(pages, 1u);
+  EXPECT_EQ(bytes, 10u);
+  ASSERT_TRUE(client.DeletePage("inproc://prov", id).ok());
+  EXPECT_TRUE(client.ReadPage("inproc://prov", id, 0, 0, &out).IsNotFound());
+}
+
+}  // namespace
+}  // namespace blobseer::provider

@@ -1,0 +1,224 @@
+// RPC layer tests: in-process and TCP transports, error propagation,
+// composite dispatch, channel pooling, concurrent calls.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/serde.h"
+#include "rpc/call.h"
+#include "rpc/channel_pool.h"
+#include "rpc/inproc.h"
+#include "rpc/service.h"
+#include "rpc/tcp.h"
+
+namespace blobseer::rpc {
+namespace {
+
+// Echo service on the DHT method block; also exposes a failing method.
+class EchoService : public ServiceHandler {
+ public:
+  Status Handle(Method method, Slice payload, std::string* response) override {
+    calls_.fetch_add(1);
+    if (method == Method::kDhtPut) {
+      *response = payload.ToString();
+      return Status::OK();
+    }
+    if (method == Method::kDhtGet) {
+      return Status::NotFound("echo: no such key");
+    }
+    return Status::NotSupported("echo");
+  }
+  int calls() const { return calls_.load(); }
+
+ private:
+  std::atomic<int> calls_{0};
+};
+
+class TransportTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == "tcp") {
+      tcp_ = std::make_unique<TcpTransport>();
+      transport_ = tcp_.get();
+      serve_address_ = "127.0.0.1:0";
+    } else {
+      inproc_ = std::make_unique<InProcNetwork>();
+      transport_ = inproc_.get();
+      serve_address_ = "inproc://echo";
+    }
+  }
+
+  std::unique_ptr<TcpTransport> tcp_;
+  std::unique_ptr<InProcNetwork> inproc_;
+  Transport* transport_ = nullptr;
+  std::string serve_address_;
+};
+
+TEST_P(TransportTest, RoundTrip) {
+  auto svc = std::make_shared<EchoService>();
+  auto bound = transport_->Serve(serve_address_, svc);
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+
+  auto ch = transport_->Connect(*bound);
+  ASSERT_TRUE(ch.ok());
+  std::string out;
+  ASSERT_TRUE((*ch)->Call(Method::kDhtPut, Slice("hello"), &out).ok());
+  EXPECT_EQ(out, "hello");
+  EXPECT_EQ(svc->calls(), 1);
+  ASSERT_TRUE(transport_->StopServing(*bound).ok());
+}
+
+TEST_P(TransportTest, EmptyAndLargePayloads) {
+  auto svc = std::make_shared<EchoService>();
+  auto bound = transport_->Serve(serve_address_, svc);
+  ASSERT_TRUE(bound.ok());
+  auto ch = transport_->Connect(*bound);
+  ASSERT_TRUE(ch.ok());
+
+  std::string out;
+  ASSERT_TRUE((*ch)->Call(Method::kDhtPut, Slice(""), &out).ok());
+  EXPECT_TRUE(out.empty());
+
+  std::string big(3 * 1024 * 1024, 'x');
+  big[1024] = '\0';  // binary-safe
+  ASSERT_TRUE((*ch)->Call(Method::kDhtPut, Slice(big), &out).ok());
+  EXPECT_EQ(out, big);
+  ASSERT_TRUE(transport_->StopServing(*bound).ok());
+}
+
+TEST_P(TransportTest, RemoteErrorPropagatesCodeAndMessage) {
+  auto svc = std::make_shared<EchoService>();
+  auto bound = transport_->Serve(serve_address_, svc);
+  ASSERT_TRUE(bound.ok());
+  auto ch = transport_->Connect(*bound);
+  ASSERT_TRUE(ch.ok());
+  std::string out;
+  Status s = (*ch)->Call(Method::kDhtGet, Slice("k"), &out);
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "echo: no such key");
+  ASSERT_TRUE(transport_->StopServing(*bound).ok());
+}
+
+TEST_P(TransportTest, ConcurrentCallsThroughPool) {
+  auto svc = std::make_shared<EchoService>();
+  auto bound = transport_->Serve(serve_address_, svc);
+  ASSERT_TRUE(bound.ok());
+
+  ChannelPool pool(transport_, 4);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; i++) {
+        auto ch = pool.Get(*bound);
+        if (!ch.ok()) {
+          failures++;
+          continue;
+        }
+        std::string payload = "msg-" + std::to_string(t * 1000 + i);
+        std::string out;
+        Status s = (*ch)->Call(Method::kDhtPut, Slice(payload), &out);
+        if (!s.ok() || out != payload) failures++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(svc->calls(), 400);
+  ASSERT_TRUE(transport_->StopServing(*bound).ok());
+}
+
+TEST_P(TransportTest, StoppedServerBecomesUnavailable) {
+  auto svc = std::make_shared<EchoService>();
+  auto bound = transport_->Serve(serve_address_, svc);
+  ASSERT_TRUE(bound.ok());
+  auto ch = transport_->Connect(*bound);
+  ASSERT_TRUE(ch.ok());
+  std::string out;
+  ASSERT_TRUE((*ch)->Call(Method::kDhtPut, Slice("x"), &out).ok());
+  ASSERT_TRUE(transport_->StopServing(*bound).ok());
+  Status s = (*ch)->Call(Method::kDhtPut, Slice("y"), &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsUnavailable() || s.IsIOError()) << s.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, TransportTest,
+                         ::testing::Values("inproc", "tcp"));
+
+TEST(InProcTest, DuplicateServeFails) {
+  InProcNetwork net;
+  auto svc = std::make_shared<EchoService>();
+  ASSERT_TRUE(net.Serve("inproc://a", svc).ok());
+  EXPECT_TRUE(net.Serve("inproc://a", svc).status().IsAlreadyExists());
+  EXPECT_EQ(net.endpoint_count(), 1u);
+}
+
+TEST(InProcTest, ConnectToUnknownEndpointFails) {
+  InProcNetwork net;
+  EXPECT_TRUE(net.Connect("inproc://nope").status().IsUnavailable());
+}
+
+TEST(TcpTest, BadAddressRejected) {
+  TcpTransport t;
+  auto svc = std::make_shared<EchoService>();
+  EXPECT_FALSE(t.Serve("nonsense", svc).ok());
+  EXPECT_FALSE(t.Serve("host:99999", svc).ok());
+}
+
+TEST(TcpTest, ConnectFailureIsUnavailable) {
+  TcpTransport t;
+  auto ch = t.Connect("127.0.0.1:1");  // nothing listens on port 1
+  ASSERT_TRUE(ch.ok());  // lazy connect
+  std::string out;
+  Status s = (*ch)->Call(Method::kDhtPut, Slice("x"), &out);
+  EXPECT_TRUE(s.IsUnavailable()) << s.ToString();
+}
+
+TEST(CompositeHandlerTest, RoutesByMethodBlock) {
+  CompositeHandler composite;
+  auto echo = std::make_shared<EchoService>();
+  composite.Register(100, echo);
+  std::string out;
+  EXPECT_TRUE(composite.Handle(Method::kDhtPut, Slice("a"), &out).ok());
+  EXPECT_TRUE(composite.Handle(Method::kProviderRead, Slice("a"), &out)
+                  .IsNotSupported());
+}
+
+// Typed call helpers.
+struct PingMsg {
+  uint64_t value = 0;
+  void EncodeTo(BinaryWriter* w) const { w->PutU64(value); }
+  Status DecodeFrom(BinaryReader* r) { return r->GetU64(&value); }
+};
+
+class TypedService : public ServiceHandler {
+ public:
+  Status Handle(Method method, Slice payload, std::string* response) override {
+    if (method != Method::kDhtPut) return Status::NotSupported("typed");
+    return DispatchTyped<PingMsg, PingMsg>(
+        payload, response, [](const PingMsg& req, PingMsg* rsp) {
+          rsp->value = req.value + 1;
+          return Status::OK();
+        });
+  }
+};
+
+TEST(TypedCallTest, EncodesAndDecodes) {
+  InProcNetwork net;
+  ASSERT_TRUE(net.Serve("inproc://typed", std::make_shared<TypedService>()).ok());
+  auto ch = net.Connect("inproc://typed");
+  ASSERT_TRUE(ch.ok());
+  PingMsg req{41}, rsp;
+  ASSERT_TRUE(CallMethod(ch->get(), Method::kDhtPut, req, &rsp).ok());
+  EXPECT_EQ(rsp.value, 42u);
+}
+
+TEST(TypedCallTest, MalformedPayloadIsCorruption) {
+  TypedService svc;
+  std::string out;
+  EXPECT_TRUE(svc.Handle(Method::kDhtPut, Slice("xx"), &out).IsCorruption());
+}
+
+}  // namespace
+}  // namespace blobseer::rpc

@@ -1,0 +1,382 @@
+// Version manager core tests: total ordering, publication, border sets for
+// concurrent updates, abort/repair, branching (paper sections 2, 4.2).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/math_util.h"
+#include "vmanager/core.h"
+
+namespace blobseer::vmanager {
+namespace {
+
+TEST(VmCoreTest, CreateBlobValidatesPageSize) {
+  VersionManagerCore vm;
+  EXPECT_TRUE(vm.CreateBlob(0).status().IsInvalidArgument());
+  EXPECT_TRUE(vm.CreateBlob(3).status().IsInvalidArgument());
+  EXPECT_TRUE(vm.CreateBlob(uint64_t{1} << 31).status().IsInvalidArgument());
+  auto d = vm.CreateBlob(64);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NE(d->id, kInvalidBlobId);
+  EXPECT_EQ(d->psize, 64u);
+  ASSERT_EQ(d->ancestry.size(), 1u);
+  EXPECT_EQ(d->ancestry[0].origin, d->id);
+}
+
+TEST(VmCoreTest, FreshBlobHasPublishedEmptyVersionZero) {
+  VersionManagerCore vm;
+  auto d = vm.CreateBlob(64);
+  ASSERT_TRUE(d.ok());
+  Version v;
+  uint64_t size;
+  ASSERT_TRUE(vm.GetRecent(d->id, &v, &size).ok());
+  EXPECT_EQ(v, 0u);
+  EXPECT_EQ(size, 0u);
+  auto s0 = vm.GetSize(d->id, 0);
+  ASSERT_TRUE(s0.ok());
+  EXPECT_EQ(*s0, 0u);
+  EXPECT_TRUE(vm.GetSize(d->id, 1).status().IsNotFound());
+}
+
+TEST(VmCoreTest, UnknownBlobIsNotFound) {
+  VersionManagerCore vm;
+  Version v;
+  uint64_t s;
+  EXPECT_TRUE(vm.GetRecent(77, &v, &s).IsNotFound());
+  EXPECT_TRUE(vm.AssignVersion(77, true, 0, 1).status().IsNotFound());
+  EXPECT_TRUE(vm.NotifySuccess(77, 1).IsNotFound());
+}
+
+TEST(VmCoreTest, AppendOffsetsChainAcrossInFlightUpdates) {
+  VersionManagerCore vm;
+  auto d = vm.CreateBlob(64);
+  ASSERT_TRUE(d.ok());
+  // Three concurrent appends: each sees the previous assignment's end,
+  // even though nothing is published yet.
+  auto t1 = vm.AssignVersion(d->id, true, 0, 100);
+  auto t2 = vm.AssignVersion(d->id, true, 0, 50);
+  auto t3 = vm.AssignVersion(d->id, true, 0, 6);
+  ASSERT_TRUE(t1.ok() && t2.ok() && t3.ok());
+  EXPECT_EQ(t1->version, 1u);
+  EXPECT_EQ(t2->version, 2u);
+  EXPECT_EQ(t3->version, 3u);
+  EXPECT_EQ(t1->offset, 0u);
+  EXPECT_EQ(t2->offset, 100u);
+  EXPECT_EQ(t3->offset, 150u);
+  EXPECT_EQ(t3->new_size, 156u);
+}
+
+TEST(VmCoreTest, WriteOffsetBeyondSizeFails) {
+  VersionManagerCore vm;
+  auto d = vm.CreateBlob(64);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(vm.AssignVersion(d->id, false, 1, 10).status().IsOutOfRange());
+  ASSERT_TRUE(vm.AssignVersion(d->id, true, 0, 64).ok());  // size now 64
+  EXPECT_TRUE(vm.AssignVersion(d->id, false, 64, 10).ok());  // at end: ok
+  EXPECT_TRUE(vm.AssignVersion(d->id, false, 80, 1).status().IsOutOfRange());
+  EXPECT_TRUE(
+      vm.AssignVersion(d->id, false, 0, 0).status().IsInvalidArgument());
+}
+
+TEST(VmCoreTest, PublicationIsTotalOrderDespiteOutOfOrderNotify) {
+  VersionManagerCore vm;
+  auto d = vm.CreateBlob(64);
+  ASSERT_TRUE(d.ok());
+  auto t1 = vm.AssignVersion(d->id, true, 0, 64);
+  auto t2 = vm.AssignVersion(d->id, true, 0, 64);
+  auto t3 = vm.AssignVersion(d->id, true, 0, 64);
+  ASSERT_TRUE(t1.ok() && t2.ok() && t3.ok());
+
+  // v3 and v2 finish before v1: nothing publishes.
+  ASSERT_TRUE(vm.NotifySuccess(d->id, 3).ok());
+  ASSERT_TRUE(vm.NotifySuccess(d->id, 2).ok());
+  Version v;
+  uint64_t size;
+  ASSERT_TRUE(vm.GetRecent(d->id, &v, &size).ok());
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(vm.GetSize(d->id, 2).status().IsNotFound());
+
+  // v1 completes: all three publish at once, in order.
+  ASSERT_TRUE(vm.NotifySuccess(d->id, 1).ok());
+  ASSERT_TRUE(vm.GetRecent(d->id, &v, &size).ok());
+  EXPECT_EQ(v, 3u);
+  EXPECT_EQ(size, 192u);
+  EXPECT_EQ(*vm.GetSize(d->id, 2), 128u);
+}
+
+TEST(VmCoreTest, NotifyIsIdempotentAndValidated) {
+  VersionManagerCore vm;
+  auto d = vm.CreateBlob(64);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(vm.AssignVersion(d->id, true, 0, 10).ok());
+  EXPECT_TRUE(vm.NotifySuccess(d->id, 5).IsNotFound());
+  ASSERT_TRUE(vm.NotifySuccess(d->id, 1).ok());
+  ASSERT_TRUE(vm.NotifySuccess(d->id, 1).ok());  // replay
+}
+
+TEST(VmCoreTest, AwaitPublishedBlocksUntilNotify) {
+  VersionManagerCore vm;
+  auto d = vm.CreateBlob(64);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(vm.AssignVersion(d->id, true, 0, 10).ok());
+  EXPECT_TRUE(vm.AwaitPublished(d->id, 1, 0).IsTimedOut());
+  EXPECT_TRUE(vm.AwaitPublished(d->id, 1, 5000).IsTimedOut());
+
+  std::thread publisher([&] {
+    RealClock::Default()->SleepForMicros(20 * 1000);
+    ASSERT_TRUE(vm.NotifySuccess(d->id, 1).ok());
+  });
+  EXPECT_TRUE(vm.AwaitPublished(d->id, 1, 5 * 1000 * 1000).ok());
+  publisher.join();
+  EXPECT_TRUE(vm.AwaitPublished(d->id, 1, 0).ok());
+}
+
+// --- Border sets (paper 4.2) ----------------------------------------------
+
+TEST(VmCoreTest, FirstUpdateGetsNoBorders) {
+  VersionManagerCore vm;
+  auto d = vm.CreateBlob(1);  // psize 1: paper's Figure 1 scale
+  ASSERT_TRUE(d.ok());
+  auto t1 = vm.AssignVersion(d->id, true, 0, 4);
+  ASSERT_TRUE(t1.ok());
+  EXPECT_TRUE(t1->borders.empty());
+  EXPECT_EQ(t1->published, 0u);
+}
+
+TEST(VmCoreTest, ConcurrentWriterGetsInFlightBorders) {
+  // Paper Figure 1 replay: blob of 4 pages (v1), then TWO concurrent
+  // updates: v2 overwrites pages 1-2, v3 appends page 4. v3's tree needs
+  // the node (0,4) — created by the *unpublished* v2 — as the left child
+  // of its new root (0,8). The version manager must hand that mapping out.
+  VersionManagerCore vm;
+  auto d = vm.CreateBlob(1);
+  ASSERT_TRUE(d.ok());
+  auto t1 = vm.AssignVersion(d->id, true, 0, 4);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(vm.NotifySuccess(d->id, 1).ok());
+
+  auto t2 = vm.AssignVersion(d->id, false, 1, 2);  // write pages 1-2
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(t2->published, 1u);  // v1 published; borders resolvable by descent
+  EXPECT_TRUE(t2->borders.empty());
+
+  auto t3 = vm.AssignVersion(d->id, true, 0, 1);  // append page 4 -> v3
+  ASSERT_TRUE(t3.ok());
+  EXPECT_EQ(t3->version, 3u);
+  // Border blocks of v3: (0,4) [old root range], (5,1), (6,2) [holes].
+  // (0,4) must resolve to the in-flight v2, which creates a new (0,4) root.
+  bool found = false;
+  for (const auto& b : t3->borders) {
+    if (b.block == Extent{0, 4}) {
+      EXPECT_EQ(b.version, 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "missing in-flight border for (0,4)";
+}
+
+TEST(VmCoreTest, BordersPickTheNewestCoveringInFlight) {
+  VersionManagerCore vm;
+  auto d = vm.CreateBlob(1);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(vm.AssignVersion(d->id, true, 0, 8).ok());  // v1: 8 pages
+  ASSERT_TRUE(vm.NotifySuccess(d->id, 1).ok());
+  // Two in-flight writes to page 0: v2 then v3.
+  ASSERT_TRUE(vm.AssignVersion(d->id, false, 0, 1).ok());  // v2
+  ASSERT_TRUE(vm.AssignVersion(d->id, false, 0, 1).ok());  // v3
+  // v4 writes pages 4..7; its border (0,4) must resolve to v3 (not v2).
+  auto t4 = vm.AssignVersion(d->id, false, 4, 4);
+  ASSERT_TRUE(t4.ok());
+  bool found = false;
+  for (const auto& b : t4->borders) {
+    if (b.block == Extent{0, 4}) {
+      EXPECT_EQ(b.version, 3u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(VmCoreTest, EdgePageBordersForUnalignedConcurrentWrites) {
+  VersionManagerCore vm;
+  auto d = vm.CreateBlob(4);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(vm.AssignVersion(d->id, true, 0, 16).ok());  // v1: 4 pages
+  ASSERT_TRUE(vm.NotifySuccess(d->id, 1).ok());
+  ASSERT_TRUE(vm.AssignVersion(d->id, false, 4, 4).ok());  // v2: page 1
+  // v3 writes [6, 9): head edge page is page 1 = (4,4), last written by
+  // in-flight v2.
+  auto t3 = vm.AssignVersion(d->id, false, 6, 3);
+  ASSERT_TRUE(t3.ok());
+  bool found = false;
+  for (const auto& b : t3->borders) {
+    if (b.block == Extent{4, 4}) {
+      EXPECT_EQ(b.version, 2u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "edge page block not supplied";
+}
+
+// --- Abort ------------------------------------------------------------------
+
+TEST(VmCoreTest, AbortNewestRetracts) {
+  VersionManagerCore vm;
+  auto d = vm.CreateBlob(64);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(vm.AssignVersion(d->id, true, 0, 64).ok());   // v1
+  auto t2 = vm.AssignVersion(d->id, true, 0, 64);           // v2
+  ASSERT_TRUE(t2.ok());
+  auto outcome = vm.AbortUpdate(d->id, 2);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->retracted);
+  // The version number is reused by the next update.
+  auto t2b = vm.AssignVersion(d->id, true, 0, 32);
+  ASSERT_TRUE(t2b.ok());
+  EXPECT_EQ(t2b->version, 2u);
+  EXPECT_EQ(t2b->offset, 64u);  // v1's end, not the aborted v2's
+}
+
+TEST(VmCoreTest, AbortWithSuccessorsRequiresRepair) {
+  VersionManagerCore vm;
+  auto d = vm.CreateBlob(64);
+  ASSERT_TRUE(d.ok());
+  auto t1 = vm.AssignVersion(d->id, true, 0, 64);  // v1 (will abort)
+  auto t2 = vm.AssignVersion(d->id, true, 0, 64);  // v2 depends on v1
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  auto outcome = vm.AbortUpdate(d->id, 1);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->retracted);
+  EXPECT_EQ(outcome->repair.version, 1u);
+  EXPECT_EQ(outcome->repair.offset, 0u);
+  EXPECT_EQ(outcome->repair.size, 64u);
+  EXPECT_EQ(outcome->repair.new_size, 64u);
+  // Repair completes like a normal update; the chain then publishes.
+  ASSERT_TRUE(vm.NotifySuccess(d->id, 1).ok());
+  ASSERT_TRUE(vm.NotifySuccess(d->id, 2).ok());
+  Version v;
+  uint64_t size;
+  ASSERT_TRUE(vm.GetRecent(d->id, &v, &size).ok());
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(size, 128u);
+}
+
+TEST(VmCoreTest, AbortValidation) {
+  VersionManagerCore vm;
+  auto d = vm.CreateBlob(64);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(vm.AssignVersion(d->id, true, 0, 64).ok());
+  ASSERT_TRUE(vm.NotifySuccess(d->id, 1).ok());
+  EXPECT_TRUE(vm.AbortUpdate(d->id, 1).status().IsFailedPrecondition());
+  EXPECT_TRUE(vm.AbortUpdate(d->id, 9).status().IsNotFound());
+}
+
+// --- Branching ---------------------------------------------------------------
+
+TEST(VmCoreTest, BranchSharesHistoryAndDiverges) {
+  VersionManagerCore vm;
+  auto d = vm.CreateBlob(64);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(vm.AssignVersion(d->id, true, 0, 100).ok());
+  ASSERT_TRUE(vm.NotifySuccess(d->id, 1).ok());
+  ASSERT_TRUE(vm.AssignVersion(d->id, true, 0, 100).ok());
+  ASSERT_TRUE(vm.NotifySuccess(d->id, 2).ok());
+
+  auto b = vm.Branch(d->id, 1);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(b->ancestry.size(), 2u);
+  EXPECT_EQ(b->ancestry[0].origin, d->id);
+  EXPECT_EQ(b->ancestry[0].up_to, 1u);
+  EXPECT_EQ(b->ancestry[1].origin, b->id);
+
+  // Branch sees parent's v1 but not v2.
+  EXPECT_EQ(*vm.GetSize(b->id, 1), 100u);
+  EXPECT_TRUE(vm.GetSize(b->id, 2).status().IsNotFound());
+
+  // First branch update produces v2 of the branch, appending after v1.
+  auto t = vm.AssignVersion(b->id, true, 0, 10);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->version, 2u);
+  EXPECT_EQ(t->offset, 100u);
+  ASSERT_TRUE(vm.NotifySuccess(b->id, 2).ok());
+  EXPECT_EQ(*vm.GetSize(b->id, 2), 110u);
+  // Parent unaffected.
+  EXPECT_EQ(*vm.GetSize(d->id, 2), 200u);
+}
+
+TEST(VmCoreTest, BranchOfBranchResolvesThroughAncestry) {
+  VersionManagerCore vm;
+  auto a = vm.CreateBlob(64);
+  ASSERT_TRUE(a.ok());
+  for (int i = 0; i < 3; i++) {
+    ASSERT_TRUE(vm.AssignVersion(a->id, true, 0, 10).ok());
+    ASSERT_TRUE(vm.NotifySuccess(a->id, i + 1).ok());
+  }
+  auto b = vm.Branch(a->id, 3);
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(vm.AssignVersion(b->id, true, 0, 10).ok());
+  ASSERT_TRUE(vm.NotifySuccess(b->id, 4).ok());
+  // Branch C off B at version 2: version 2 belongs to A.
+  auto c = vm.Branch(b->id, 2);
+  ASSERT_TRUE(c.ok());
+  ASSERT_EQ(c->ancestry.size(), 2u);
+  EXPECT_EQ(c->ancestry[0].origin, a->id);
+  EXPECT_EQ(c->ancestry[0].up_to, 2u);
+  EXPECT_EQ(*vm.GetSize(c->id, 2), 20u);
+}
+
+TEST(VmCoreTest, BranchRequiresPublishedVersion) {
+  VersionManagerCore vm;
+  auto d = vm.CreateBlob(64);
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(vm.AssignVersion(d->id, true, 0, 10).ok());
+  EXPECT_TRUE(vm.Branch(d->id, 1).status().IsFailedPrecondition());
+  EXPECT_TRUE(vm.Branch(d->id, 0).ok());  // empty snapshot is branchable
+}
+
+TEST(VmCoreTest, StatsCountAcrossBlobs) {
+  VersionManagerCore vm;
+  auto a = vm.CreateBlob(64);
+  auto b = vm.CreateBlob(64);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(vm.AssignVersion(a->id, true, 0, 10).ok());
+  ASSERT_TRUE(vm.AssignVersion(b->id, true, 0, 10).ok());
+  ASSERT_TRUE(vm.NotifySuccess(a->id, 1).ok());
+  VmStats st = vm.GetStats();
+  EXPECT_EQ(st.blobs, 2u);
+  EXPECT_EQ(st.assigned, 2u);
+  EXPECT_EQ(st.published, 1u);
+}
+
+TEST(VmCoreTest, ConcurrentAssignersGetDistinctVersions) {
+  VersionManagerCore vm;
+  auto d = vm.CreateBlob(64);
+  ASSERT_TRUE(d.ok());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<Version>> got(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; i++) {
+        auto ticket = vm.AssignVersion(d->id, true, 0, 1);
+        ASSERT_TRUE(ticket.ok());
+        got[t].push_back(ticket->version);
+        ASSERT_TRUE(vm.NotifySuccess(d->id, ticket->version).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<Version> all;
+  for (auto& v : got) all.insert(v.begin(), v.end());
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+  Version recent;
+  uint64_t size;
+  ASSERT_TRUE(vm.GetRecent(d->id, &recent, &size).ok());
+  EXPECT_EQ(recent, static_cast<Version>(kThreads * kPerThread));
+  EXPECT_EQ(size, static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+}  // namespace
+}  // namespace blobseer::vmanager
