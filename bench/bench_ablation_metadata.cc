@@ -161,14 +161,18 @@ std::vector<double> RunCentral(const std::vector<size_t>& writer_counts,
 }  // namespace
 
 int main(int argc, char** argv) {
-  size_t updates = bench::FlagU64(argc, argv, "updates_each", 30);
+  const bool quick = bench::QuickMode(argc, argv);
+  size_t updates = bench::FlagU64(argc, argv, "updates_each", quick ? 4 : 30);
 
   printf("== Ablation A1: distributed segment-tree vs centralized metadata ==\n");
   printf("   (simulated cluster, 16 data providers, 16 KB pages, "
          "page-aligned random overwrites)\n\n");
 
   const std::vector<size_t> writer_counts = {1, 4, 16};
-  for (uint64_t blob_pages : {1024ull, 8192ull, 32768ull}) {
+  const std::vector<uint64_t> blob_sizes =
+      quick ? std::vector<uint64_t>{1024}
+            : std::vector<uint64_t>{1024, 8192, 32768};
+  for (uint64_t blob_pages : blob_sizes) {
     printf("-- blob size: %" PRIu64 " pages (%s) --\n\n", blob_pages,
            HumanBytes(blob_pages * kPsize).c_str());
     bench::Table table({"writers", "blobseer upd/s", "central upd/s",

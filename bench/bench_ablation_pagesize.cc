@@ -60,7 +60,9 @@ Point RunPsize(uint64_t psize, uint64_t total_bytes) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  uint64_t total = bench::FlagU64(argc, argv, "total_mb", 32) * 1024 * 1024;
+  const bool quick = bench::QuickMode(argc, argv);
+  uint64_t total =
+      bench::FlagU64(argc, argv, "total_mb", quick ? 8 : 32) * 1024 * 1024;
 
   printf("== Ablation A2: page size sweep (simulated cluster, 32 provider "
          "nodes) ==\n\n");

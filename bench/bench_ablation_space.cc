@@ -16,9 +16,12 @@
 using namespace blobseer;
 
 int main(int argc, char** argv) {
+  const bool quick = bench::QuickMode(argc, argv);
   const uint64_t psize = bench::FlagU64(argc, argv, "psize_kb", 64) * 1024;
-  const uint64_t blob_pages = bench::FlagU64(argc, argv, "blob_pages", 256);
-  const uint64_t versions = bench::FlagU64(argc, argv, "versions", 64);
+  const uint64_t blob_pages =
+      bench::FlagU64(argc, argv, "blob_pages", quick ? 64 : 256);
+  const uint64_t versions =
+      bench::FlagU64(argc, argv, "versions", quick ? 16 : 64);
   const uint64_t pages_per_update =
       bench::FlagU64(argc, argv, "pages_per_update", 4);
 

@@ -63,7 +63,8 @@ double RunWriters(size_t writers, size_t appends_each,
 }  // namespace
 
 int main(int argc, char** argv) {
-  size_t appends = bench::FlagU64(argc, argv, "appends_each", 50);
+  const bool quick = bench::QuickMode(argc, argv);
+  size_t appends = bench::FlagU64(argc, argv, "appends_each", quick ? 8 : 50);
 
   printf("== Ablation A4: concurrent update scaling ==\n");
   printf("   (8 providers + 8 metadata nodes, %zu x 256 KB appends per "
@@ -72,7 +73,10 @@ int main(int argc, char** argv) {
 
   {
     bench::Table table({"writers", "same blob MB/s", "distinct blobs MB/s"});
-    for (size_t w : {1, 2, 4, 8, 16}) {
+    std::vector<size_t> writer_counts =
+        quick ? std::vector<size_t>{1, 2, 4}
+              : std::vector<size_t>{1, 2, 4, 8, 16};
+    for (size_t w : writer_counts) {
       double shared = RunWriters(w, appends, "round_robin", false);
       double distinct = RunWriters(w, appends, "round_robin", true);
       table.AddRow({std::to_string(w), StrFormat("%.0f", shared),

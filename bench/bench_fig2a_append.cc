@@ -71,7 +71,9 @@ std::vector<SeriesPoint> RunSeries(size_t providers, uint64_t psize,
 }  // namespace
 
 int main(int argc, char** argv) {
-  uint64_t total = bench::FlagU64(argc, argv, "total_mb", 64) * 1024 * 1024;
+  const bool quick = bench::QuickMode(argc, argv);
+  uint64_t total =
+      bench::FlagU64(argc, argv, "total_mb", quick ? 8 : 64) * 1024 * 1024;
   uint64_t append = bench::FlagU64(argc, argv, "append_kb", 1024) * 1024;
   double provider_cpu = bench::FlagDouble(argc, argv, "provider_cpu_us", 1300);
   bool cache = bench::FlagBool(argc, argv, "cache", false);

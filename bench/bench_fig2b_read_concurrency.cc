@@ -106,9 +106,12 @@ Outcome RunReaders(size_t provider_nodes, size_t readers, uint64_t psize,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool quick = bench::QuickMode(argc, argv);
   uint64_t psize = bench::FlagU64(argc, argv, "psize_kb", 64) * 1024;
-  uint64_t chunk = bench::FlagU64(argc, argv, "chunk_mb", 8) * 1024 * 1024;
-  size_t provider_nodes = bench::FlagU64(argc, argv, "providers", 173);
+  uint64_t chunk =
+      bench::FlagU64(argc, argv, "chunk_mb", quick ? 2 : 8) * 1024 * 1024;
+  size_t provider_nodes =
+      bench::FlagU64(argc, argv, "providers", quick ? 16 : 173);
   double provider_cpu = bench::FlagDouble(argc, argv, "provider_cpu_us", 1300);
   size_t read_fanout = bench::FlagU64(argc, argv, "read_fanout", 4);
 
@@ -120,7 +123,8 @@ int main(int argc, char** argv) {
 
   bench::Table table({"concurrent readers", "avg MB/s per reader",
                       "min MB/s", "max MB/s", "aggregate MB/s"});
-  std::vector<size_t> reader_counts = {1, 100, 175};
+  std::vector<size_t> reader_counts =
+      quick ? std::vector<size_t>{1, 8, 16} : std::vector<size_t>{1, 100, 175};
   std::vector<double> avgs;
   for (size_t n : reader_counts) {
     Outcome o = RunReaders(provider_nodes, n, psize, chunk, provider_cpu,
@@ -132,10 +136,11 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
+  const size_t max_readers = reader_counts.back();
   printf("\nshape checks (paper: 60 MB/s at 1 reader -> 49 MB/s at 175):\n");
-  printf("  degradation 1 -> 175 readers: %.1f%% (paper: ~18%%)\n",
-         100.0 * (avgs[0] - avgs[2]) / avgs[0]);
+  printf("  degradation 1 -> %zu readers: %.1f%% (paper: ~18%%)\n",
+         max_readers, 100.0 * (avgs.front() - avgs.back()) / avgs.front());
   printf("  aggregate bandwidth scales from %.0f MB/s to %.0f MB/s\n",
-         avgs[0], avgs[2] * 175);
+         avgs.front(), avgs.back() * static_cast<double>(max_readers));
   return 0;
 }

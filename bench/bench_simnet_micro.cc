@@ -14,8 +14,10 @@ using simnet::SimNetworkOptions;
 using simnet::SimScheduler;
 
 int main(int argc, char** argv) {
+  const bool quick = bench::QuickMode(argc, argv);
   double nic = bench::FlagDouble(argc, argv, "nic_mbps", 117.5) * 1e6;
   double latency = bench::FlagDouble(argc, argv, "latency_us", 100);
+  const uint64_t xfer_bytes = quick ? (1ull << 26) : (1ull << 30);
 
   printf("== Simnet micro-validation (paper section 5 constants) ==\n\n");
   bench::Table table({"scenario", "expected", "measured"});
@@ -28,12 +30,14 @@ int main(int argc, char** argv) {
       opts.nic_bytes_per_sec = nic;
       opts.latency_us = latency;
       SimNetwork net(&sched, 2, opts);
-      const uint64_t bytes = 1ull << 30;
+      const uint64_t bytes = xfer_bytes;
       double t0 = sched.Now();
       net.Transfer(0, 1, bytes);
       mbps = static_cast<double>(bytes) / (sched.Now() - t0);
     });
-    table.AddRow({"1 GiB point-to-point", StrFormat("%.1f MB/s", nic / 1e6),
+    table.AddRow({StrFormat("%" PRIu64 " MiB point-to-point",
+                            xfer_bytes >> 20),
+                  StrFormat("%.1f MB/s", nic / 1e6),
                   StrFormat("%.1f MB/s", mbps)});
   }
   {  // Latency (zero-byte message).

@@ -40,6 +40,19 @@ inline bool FlagBool(int argc, char** argv, const std::string& name,
   return v == "true" || v == "1" || v == "yes";
 }
 
+/// True when the bench should run a seconds-scale smoke workload instead of
+/// the full paper-figure sweep: `--quick` on the command line, or
+/// BLOBSEER_BENCH_SMOKE set (non-empty, not "0") in the environment. CI uses
+/// the environment form so paper benches cannot silently bit-rot.
+inline bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    if (strcmp(argv[i], "--quick") == 0) return true;
+  }
+  if (FlagBool(argc, argv, "quick", false)) return true;
+  const char* env = getenv("BLOBSEER_BENCH_SMOKE");
+  return env != nullptr && *env != '\0' && strcmp(env, "0") != 0;
+}
+
 /// Aligned table printer: header row then data rows, also echoed as CSV
 /// lines prefixed with "csv," for scripting.
 class Table {

@@ -4,7 +4,7 @@
 //
 // Usage:
 //   blobseer_server --listen=0.0.0.0:7700 --roles=vmanager,pmanager
-//   blobseer_server --listen=0.0.0.0:7701 --roles=provider,meta \
+//   blobseer_server --listen=0.0.0.0:7701 --roles=provider,meta
 //       --pmanager=vmhost:7700 --store=file:/var/lib/blobseer
 #include <csignal>
 #include <cstdio>

@@ -42,10 +42,14 @@ TEST_P(PageStoreTest, PutReadWholeAndRange) {
   std::string out;
   ASSERT_TRUE(store_->Read(id, 0, 0, &out).ok());  // len 0 = whole object
   ASSERT_EQ(out.size(), 10u);
-  if (stores_content()) EXPECT_EQ(out, "0123456789");
+  if (stores_content()) {
+    EXPECT_EQ(out, "0123456789");
+  }
   ASSERT_TRUE(store_->Read(id, 3, 4, &out).ok());
   ASSERT_EQ(out.size(), 4u);
-  if (stores_content()) EXPECT_EQ(out, "3456");
+  if (stores_content()) {
+    EXPECT_EQ(out, "3456");
+  }
 }
 
 TEST_P(PageStoreTest, ReadBeyondObjectFails) {
@@ -90,7 +94,9 @@ TEST_P(PageStoreTest, ManyPages) {
   EXPECT_EQ(store_->GetStats().pages, 200u);
   std::string out;
   ASSERT_TRUE(store_->Read(PageId{7, 137}, 2, 3, &out).ok());
-  if (stores_content()) EXPECT_EQ(out, "ylo");
+  if (stores_content()) {
+    EXPECT_EQ(out, "ylo");
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Engines, PageStoreTest,
