@@ -1,0 +1,191 @@
+// A5 — ablation: page-store backend sweep (memory vs. file-per-page vs.
+// log-structured) over the fig-2a append workload.
+//
+// The paper's providers served immutable pages from RAM (the memory
+// engine); a production deployment needs durability. This bench quantifies
+// what each durable backend costs:
+//   * file:  one file per page, fsync + atomic rename per Put — a metadata
+//            flush and an inode for every page (the layout Sears & van
+//            Ingen show degrading at scale).
+//   * log:   append-only segments with leader-based group commit — many
+//            concurrent Puts share one fdatasync per flush window.
+//   * log-nosync: the same store with the durability window open (syncs
+//            only on segment seal), an upper bound for the log layout.
+//
+// Two sweeps: raw store-level Put throughput with concurrent writers
+// (where group commit shows up), then the full BlobSeer stack appending a
+// blob through an embedded cluster with each backend configured, the same
+// workload shape as bench_fig2a_append measured in wall-clock time.
+#include <cinttypes>
+
+#include <filesystem>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/string_util.h"
+#include "core/cluster.h"
+#include "pagelog/log_page_store.h"
+#include "provider/page_store.h"
+
+using namespace blobseer;
+
+namespace {
+
+struct StoreResult {
+  double mbps = 0;
+  double puts_per_sec = 0;
+  provider::PageStoreStats stats;
+};
+
+std::unique_ptr<provider::PageStore> MakeBackend(const std::string& backend,
+                                                 const std::string& dir) {
+  if (backend == "file") return provider::MakeFilePageStore(dir);
+  if (backend == "log") return pagelog::MakeLogPageStore(dir);
+  if (backend == "log-nosync") {
+    pagelog::LogPageStoreOptions opts;
+    opts.sync = false;
+    return pagelog::MakeLogPageStore(dir, opts);
+  }
+  return provider::MakeMemoryPageStore();
+}
+
+/// W concurrent writers each Put `pages_per_writer` pages of `psize` bytes.
+StoreResult RunStoreSweep(const std::string& backend, const std::string& dir,
+                          size_t writers, uint64_t pages_per_writer,
+                          uint64_t psize) {
+  std::filesystem::remove_all(dir);
+  auto store = MakeBackend(backend, dir);
+  std::string payload(psize, 'p');
+
+  Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < writers; w++) {
+    threads.emplace_back([&, w] {
+      for (uint64_t i = 0; i < pages_per_writer; i++) {
+        PageId id{w + 1, i};
+        Status s = store->Put(id, Slice(payload));
+        if (!s.ok()) {
+          fprintf(stderr, "put failed (%s): %s\n", backend.c_str(),
+                  s.ToString().c_str());
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double secs = timer.ElapsedSeconds();
+
+  StoreResult r;
+  uint64_t total_pages = writers * pages_per_writer;
+  r.mbps = static_cast<double>(total_pages * psize) / (1 << 20) / secs;
+  r.puts_per_sec = static_cast<double>(total_pages) / secs;
+  r.stats = store->GetStats();
+  store.reset();
+  std::filesystem::remove_all(dir);
+  return r;
+}
+
+/// Full-stack fig-2a shape: one client appends `total` bytes in
+/// `append_bytes` chunks into a fresh blob on a cluster whose providers run
+/// `page_store`; returns wall-clock append MB/s.
+double RunClusterAppend(const std::string& page_store, uint64_t psize,
+                        uint64_t total, uint64_t append_bytes) {
+  core::ClusterOptions opts;
+  opts.num_providers = 4;
+  opts.num_meta = 4;
+  opts.page_store = page_store;
+  auto cluster = core::EmbeddedCluster::Start(opts);
+  if (!cluster.ok()) return -1;
+  auto client = (*cluster)->NewClient();
+  if (!client.ok()) return -1;
+  auto id = (*client)->Create(psize);
+  if (!id.ok()) return -1;
+
+  std::string chunk(append_bytes, 'a');
+  Stopwatch timer;
+  for (uint64_t appended = 0; appended < total; appended += append_bytes) {
+    auto v = (*client)->Append(*id, Slice(chunk));
+    if (!v.ok()) {
+      fprintf(stderr, "append failed: %s\n", v.status().ToString().c_str());
+      return -1;
+    }
+  }
+  return static_cast<double>(total) / (1 << 20) / timer.ElapsedSeconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::QuickMode(argc, argv);
+  const uint64_t psize = bench::FlagU64(argc, argv, "psize_kb", 64) * 1024;
+  const size_t writers = bench::FlagU64(argc, argv, "writers", 4);
+  const uint64_t pages_per_writer =
+      bench::FlagU64(argc, argv, "pages_per_writer", quick ? 48 : 256);
+  const uint64_t total_mb =
+      bench::FlagU64(argc, argv, "total_mb", quick ? 4 : 32);
+  const uint64_t append_kb = bench::FlagU64(argc, argv, "append_kb", 1024);
+
+  std::string root =
+      (std::filesystem::temp_directory_path() /
+       StrFormat("bs_ablation_store_%d", static_cast<int>(::getpid())))
+          .string();
+
+  printf("== Ablation A5: page-store backend sweep ==\n");
+  printf("   (%zu writers x %" PRIu64 " pages of %" PRIu64
+         " KB; store dir %s)\n\n",
+         writers, pages_per_writer, psize >> 10, root.c_str());
+
+  const std::vector<std::string> backends = {"memory", "file", "log",
+                                             "log-nosync"};
+  bench::Table store_table({"backend", "put MB/s", "puts/s", "syncs",
+                            "segments", "dead bytes"});
+  double file_mbps = 0, log_mbps = 0;
+  for (const auto& b : backends) {
+    StoreResult r =
+        RunStoreSweep(b, root + "/" + b, writers, pages_per_writer, psize);
+    if (b == "file") file_mbps = r.mbps;
+    if (b == "log") log_mbps = r.mbps;
+    store_table.AddRow({b, StrFormat("%.1f", r.mbps),
+                        StrFormat("%.0f", r.puts_per_sec),
+                        std::to_string(r.stats.syncs),
+                        std::to_string(r.stats.segments),
+                        std::to_string(r.stats.dead_bytes)});
+  }
+  store_table.Print();
+  printf("\nshape check: log (group-commit fdatasync) should beat file "
+         "(fsync+rename per page):\n  log/file speedup = %.1fx %s\n",
+         file_mbps > 0 ? log_mbps / file_mbps : 0.0,
+         log_mbps >= file_mbps ? "[ok]" : "[REGRESSION]");
+
+  printf("\n== Full-stack append (fig-2a workload, wall clock) ==\n");
+  printf("   (embedded cluster, 4 providers; 1 client appends %" PRIu64
+         " MB in %" PRIu64 " KB chunks, %" PRIu64 " KB pages)\n\n",
+         total_mb, append_kb, psize >> 10);
+  bench::Table cluster_table({"backend", "append MB/s"});
+  for (const auto& b : backends) {
+    std::string spec = b == "memory" ? std::string("memory")
+                       : b == "file" ? "file:" + root + "/cluster_file"
+                                     : "log:" + root + "/cluster_" + b;
+    if (b == "log-nosync") continue;  // cluster wiring uses default options
+    double mbps =
+        RunClusterAppend(spec, psize, total_mb << 20, append_kb << 10);
+    cluster_table.AddRow({b, StrFormat("%.1f", mbps)});
+    std::filesystem::remove_all(root);
+  }
+  cluster_table.Print();
+  std::filesystem::remove_all(root);
+
+  // Perf gate: the log store losing to file-per-page is a regression, but
+  // the comparison is only meaningful in optimized builds (sanitizer/debug
+  // instrumentation taxes the log store's CRC path far more than the file
+  // store's single write+fsync) and on a quiet machine (ctest runs this
+  // smoke RUN_SERIAL for that reason).
+#ifdef NDEBUG
+  return log_mbps >= file_mbps ? 0 : 1;
+#else
+  return 0;
+#endif
+}

@@ -11,6 +11,38 @@ uint64_t Fnv1a64(Slice data) {
   return h;
 }
 
+namespace {
+
+/// 256-entry table for the reflected Castagnoli polynomial, built once.
+struct Crc32cTable {
+  uint32_t entry[256];
+  Crc32cTable() {
+    for (uint32_t i = 0; i < 256; i++) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; bit++) {
+        c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      }
+      entry[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  static const Crc32cTable table;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < n; i++) {
+    crc = table.entry[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(Slice data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
 uint64_t Mix64(uint64_t x) {
   x += 0x9E3779B97F4A7C15ULL;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;

@@ -15,6 +15,14 @@ uint64_t Fnv1a64(Slice data);
 /// One round of the splitmix64 mixer; good avalanche for integer keys.
 uint64_t Mix64(uint64_t x);
 
+/// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78): the checksum used
+/// by the pagelog on-disk record format to detect torn or corrupted records.
+uint32_t Crc32c(Slice data);
+
+/// Incremental form: extends `crc` (result of a previous Crc32c/Extend call,
+/// or 0 for an empty prefix) over another byte range.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
 /// Combines two 64-bit hashes.
 inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return Mix64(a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2)));

@@ -1,6 +1,7 @@
 #include "core/cluster.h"
 
 #include "common/string_util.h"
+#include "pagelog/log_page_store.h"
 #include "pmanager/client.h"
 
 namespace blobseer::core {
@@ -13,6 +14,10 @@ std::unique_ptr<provider::PageStore> MakeStore(const std::string& spec,
   if (StartsWith(spec, "file:")) {
     return provider::MakeFilePageStore(
         StrFormat("%s/provider-%zu", spec.substr(5).c_str(), index));
+  }
+  if (StartsWith(spec, "log:")) {
+    return pagelog::MakeLogPageStore(
+        StrFormat("%s/provider-%zu", spec.substr(4).c_str(), index));
   }
   return provider::MakeMemoryPageStore();
 }

@@ -1,0 +1,134 @@
+// On-disk format of the log-structured page store (see
+// docs/pagelog_format.md for the full specification and recovery rules).
+//
+// A store directory holds numbered append-only segment files. Each segment
+// starts with a 16-byte segment header and is followed by records. Every
+// record is a fixed 32-byte header optionally followed by a payload; the
+// header carries a CRC-32C over the typed fields plus the payload so that a
+// torn tail (power loss mid-append) or bit rot is detected on open.
+//
+// All integers are little-endian at fixed offsets.
+#ifndef BLOBSEER_PAGELOG_FORMAT_H_
+#define BLOBSEER_PAGELOG_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/hash.h"
+#include "common/slice.h"
+#include "common/string_util.h"
+#include "common/types.h"
+
+namespace blobseer::pagelog {
+
+inline constexpr uint32_t kSegmentMagic = 0x5347'4C50;  // "PLGS"
+inline constexpr uint32_t kRecordMagic = 0x5243'4C50;   // "PLCR"
+inline constexpr uint32_t kFormatVersion = 1;
+
+inline constexpr size_t kSegmentHeaderSize = 16;
+inline constexpr size_t kRecordHeaderSize = 32;
+
+enum RecordType : uint32_t {
+  kRecordPut = 1,     ///< header + page payload
+  kRecordDelete = 2,  ///< header only (len == 0); tombstone for version GC
+};
+
+/// Decoded record header. `crc` covers header bytes [8, 32) — type, len,
+/// page id — followed by the payload bytes.
+struct RecordHeader {
+  uint32_t type = 0;
+  uint32_t len = 0;
+  PageId id;
+  uint32_t crc = 0;
+};
+
+namespace wire {
+
+// Explicit little-endian byte order so store directories are portable
+// across hosts (memcpy of the native representation would not be).
+inline void PutU32(char* p, uint32_t v) {
+  for (int i = 0; i < 4; i++) p[i] = static_cast<char>(v >> (8 * i));
+}
+inline void PutU64(char* p, uint64_t v) {
+  for (int i = 0; i < 8; i++) p[i] = static_cast<char>(v >> (8 * i));
+}
+inline uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; i++)
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  return v;
+}
+inline uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; i++)
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  return v;
+}
+
+}  // namespace wire
+
+/// Segment file name for sequence number `seq` ("segment-00000001.log").
+inline std::string SegmentFileName(uint32_t seq) {
+  return StrFormat("segment-%08u.log", seq);
+}
+
+/// Serializes the 16-byte segment header: [magic][format version][seq].
+inline void EncodeSegmentHeader(uint32_t seq, char out[kSegmentHeaderSize]) {
+  wire::PutU32(out + 0, kSegmentMagic);
+  wire::PutU32(out + 4, kFormatVersion);
+  wire::PutU64(out + 8, seq);
+}
+
+/// Returns false if magic or version mismatch.
+inline bool DecodeSegmentHeader(const char in[kSegmentHeaderSize],
+                                uint64_t* seq) {
+  if (wire::GetU32(in + 0) != kSegmentMagic) return false;
+  if (wire::GetU32(in + 4) != kFormatVersion) return false;
+  *seq = wire::GetU64(in + 8);
+  return true;
+}
+
+/// Serializes the 32-byte record header and computes the record CRC:
+///   [0]  u32 magic
+///   [4]  u32 crc32c over bytes [8,32) + payload
+///   [8]  u32 type
+///   [12] u32 payload length
+///   [16] u64 page id hi
+///   [24] u64 page id lo
+inline void EncodeRecordHeader(RecordType type, const PageId& id,
+                               Slice payload, char out[kRecordHeaderSize]) {
+  wire::PutU32(out + 0, kRecordMagic);
+  wire::PutU32(out + 8, type);
+  wire::PutU32(out + 12, static_cast<uint32_t>(payload.size()));
+  wire::PutU64(out + 16, id.hi);
+  wire::PutU64(out + 24, id.lo);
+  uint32_t crc = Crc32cExtend(0, out + 8, kRecordHeaderSize - 8);
+  crc = Crc32cExtend(crc, payload.data(), payload.size());
+  wire::PutU32(out + 4, crc);
+}
+
+/// Decodes a record header; returns false on magic mismatch. CRC validation
+/// needs the payload and is done by the caller via RecordCrcMatches.
+inline bool DecodeRecordHeader(const char in[kRecordHeaderSize],
+                               RecordHeader* out) {
+  if (wire::GetU32(in + 0) != kRecordMagic) return false;
+  out->crc = wire::GetU32(in + 4);
+  out->type = wire::GetU32(in + 8);
+  out->len = wire::GetU32(in + 12);
+  out->id.hi = wire::GetU64(in + 16);
+  out->id.lo = wire::GetU64(in + 24);
+  return true;
+}
+
+/// Recomputes the CRC of a decoded header + payload and compares.
+inline bool RecordCrcMatches(const char header[kRecordHeaderSize],
+                             const RecordHeader& h, Slice payload) {
+  uint32_t crc = Crc32cExtend(0, header + 8, kRecordHeaderSize - 8);
+  crc = Crc32cExtend(crc, payload.data(), payload.size());
+  return crc == h.crc;
+}
+
+}  // namespace blobseer::pagelog
+
+#endif  // BLOBSEER_PAGELOG_FORMAT_H_

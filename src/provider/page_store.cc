@@ -1,5 +1,7 @@
 #include "provider/page_store.h"
 
+#include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -12,21 +14,6 @@
 namespace blobseer::provider {
 
 namespace {
-
-Status CheckRange(uint64_t object_size, uint64_t offset, uint64_t* len) {
-  if (*len == 0) {
-    if (offset > object_size) return Status::OutOfRange("page read offset");
-    *len = object_size - offset;
-    return Status::OK();
-  }
-  if (offset + *len > object_size)
-    return Status::OutOfRange(StrFormat(
-        "page read [%llu,+%llu) beyond object of %llu bytes",
-        static_cast<unsigned long long>(offset),
-        static_cast<unsigned long long>(*len),
-        static_cast<unsigned long long>(object_size)));
-  return Status::OK();
-}
 
 class MemoryPageStore : public PageStore {
  public:
@@ -51,7 +38,7 @@ class MemoryPageStore : public PageStore {
     stats_.reads++;
     auto it = pages_.find(id);
     if (it == pages_.end()) return Status::NotFound("page " + id.ToString());
-    BS_RETURN_NOT_OK(CheckRange(it->second.size(), offset, &len));
+    BS_RETURN_NOT_OK(CheckReadRange(it->second.size(), offset, &len));
     out->assign(it->second.data() + offset, len);
     return Status::OK();
   }
@@ -100,7 +87,7 @@ class NullPageStore : public PageStore {
     stats_.reads++;
     auto it = sizes_.find(id);
     if (it == sizes_.end()) return Status::NotFound("page " + id.ToString());
-    BS_RETURN_NOT_OK(CheckRange(it->second, offset, &len));
+    BS_RETURN_NOT_OK(CheckReadRange(it->second, offset, &len));
     out->assign(len, '\0');
     return Status::OK();
   }
@@ -139,8 +126,34 @@ class FilePageStore : public PageStore {
       partial.push_back(c);
     }
     for (int i = 0; i < 256; i++) {
-      ::mkdir(StrFormat("%s/%02x", dir_.c_str(), i).c_str(), 0755);
+      std::string bucket = StrFormat("%s/%02x", dir_.c_str(), i);
+      if (::mkdir(bucket.c_str(), 0755) != 0 && errno == EEXIST) {
+        RecoverBucket(bucket);
+      }
     }
+  }
+
+  /// Reopening an existing directory: seed pages/bytes from the page files
+  /// already on disk so stats reflect reality, and sweep stale temp files
+  /// left by a crash mid-Put.
+  void RecoverBucket(const std::string& bucket) {
+    DIR* d = ::opendir(bucket.c_str());
+    if (!d) return;
+    while (struct dirent* ent = ::readdir(d)) {
+      std::string name = ent->d_name;
+      std::string path = bucket + "/" + name;
+      if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+        ::remove(path.c_str());
+        continue;
+      }
+      if (name.size() < 5 || name.compare(name.size() - 5, 5, ".page") != 0)
+        continue;
+      struct stat st;
+      if (::stat(path.c_str(), &st) != 0) continue;
+      stats_.pages++;
+      stats_.bytes += static_cast<uint64_t>(st.st_size);
+    }
+    ::closedir(d);
   }
 
   Status Put(const PageId& id, Slice data) override {
@@ -150,29 +163,53 @@ class FilePageStore : public PageStore {
       stats_.writes++;
     }
     // Immutability: if the file exists with the same size, treat as
-    // idempotent replay.
+    // idempotent replay — but the prior attempt's directory fsync may have
+    // failed after the rename, so re-issue it before acking durability.
     struct stat st;
     if (::stat(path.c_str(), &st) == 0) {
-      if (static_cast<uint64_t>(st.st_size) == data.size())
-        return Status::OK();
-      return Status::AlreadyExists("page file exists: " + path);
+      if (static_cast<uint64_t>(st.st_size) != data.size())
+        return Status::AlreadyExists("page file exists: " + path);
+      Status dir_sync = SyncDirOf(path);
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.syncs++;
+      return dir_sync;
     }
+    // Durable publish: write + fsync the temp file, rename it into place,
+    // then fsync the bucket directory so the new directory entry survives
+    // power loss too (temp+rename alone only orders the data, it does not
+    // persist the name).
     std::string tmp = path + ".tmp";
-    FILE* f = ::fopen(tmp.c_str(), "wb");
-    if (!f) return Status::IOError("open " + tmp + ": " + strerror(errno));
-    size_t n = data.empty() ? 0 : ::fwrite(data.data(), 1, data.size(), f);
-    if (::fclose(f) != 0 || n != data.size()) {
-      ::remove(tmp.c_str());
-      return Status::IOError("write " + tmp);
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) return Status::IOError("open " + tmp + ": " + strerror(errno));
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        ::remove(tmp.c_str());
+        return Status::IOError("write " + tmp + ": " + strerror(errno));
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
     }
+    if (::fsync(fd) != 0) {
+      ::close(fd);
+      ::remove(tmp.c_str());
+      return Status::IOError("fsync " + tmp + ": " + strerror(errno));
+    }
+    ::close(fd);
     if (::rename(tmp.c_str(), path.c_str()) != 0) {
       ::remove(tmp.c_str());
       return Status::IOError("rename " + path);
     }
+    Status dir_sync = SyncDirOf(path);
     std::lock_guard<std::mutex> lock(mu_);
+    stats_.syncs += 2;  // data file + bucket directory
     stats_.pages++;
     stats_.bytes += data.size();
-    return Status::OK();
+    return dir_sync;
   }
 
   Status Read(const PageId& id, uint64_t offset, uint64_t len,
@@ -186,7 +223,7 @@ class FilePageStore : public PageStore {
     if (!f) return Status::NotFound("page " + id.ToString());
     ::fseek(f, 0, SEEK_END);
     uint64_t size = static_cast<uint64_t>(::ftell(f));
-    Status s = CheckRange(size, offset, &len);
+    Status s = CheckReadRange(size, offset, &len);
     if (!s.ok()) {
       ::fclose(f);
       return s;
@@ -206,13 +243,19 @@ class FilePageStore : public PageStore {
                         ? static_cast<uint64_t>(st.st_size)
                         : 0;
     bool existed = ::remove(path.c_str()) == 0;
+    // The unlink must survive power loss too, or version-GC'd pages
+    // resurrect on reopen. Synced even when the file is already gone: a
+    // retried Delete must cover a prior attempt whose unlink landed but
+    // whose directory flush failed.
+    Status dir_sync = SyncDirOf(path);
     std::lock_guard<std::mutex> lock(mu_);
     stats_.deletes++;
+    stats_.syncs++;
     if (existed) {
       stats_.pages--;
       stats_.bytes -= size;
     }
-    return Status::OK();
+    return dir_sync;
   }
 
   PageStoreStats GetStats() const override {
@@ -221,6 +264,18 @@ class FilePageStore : public PageStore {
   }
 
  private:
+  static Status SyncDirOf(const std::string& path) {
+    std::string dir = path.substr(0, path.rfind('/'));
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+      return Status::IOError("open dir " + dir + ": " + strerror(errno));
+    int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0)
+      return Status::IOError("fsync dir " + dir + ": " + strerror(errno));
+    return Status::OK();
+  }
+
   std::string PathFor(const PageId& id) const {
     return StrFormat("%s/%02x/%016llx%016llx.page", dir_.c_str(),
                      static_cast<int>(id.lo & 0xff),

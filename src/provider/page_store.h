@@ -20,6 +20,11 @@ struct PageStoreStats {
   uint64_t writes = 0;
   uint64_t reads = 0;
   uint64_t deletes = 0;
+  // Log-structured backend extension (zero for the other engines).
+  uint64_t segments = 0;     ///< on-disk segment files currently open
+  uint64_t dead_bytes = 0;   ///< payload bytes of deleted/duplicate records
+  uint64_t syncs = 0;        ///< fdatasync/fsync calls issued (group commit)
+  uint64_t compactions = 0;  ///< segments reclaimed by Compact()
 };
 
 /// Abstract page object store. Page objects are immutable once written
@@ -42,8 +47,32 @@ class PageStore {
 
   virtual Status Delete(const PageId& id) = 0;
 
+  /// Reclaims space held by deleted pages. No-op for engines that free space
+  /// eagerly; the log-structured backend rewrites segments whose dead ratio
+  /// exceeds its configured threshold. Safe to call concurrently with reads
+  /// and writes.
+  virtual Status Compact() { return Status::OK(); }
+
   virtual PageStoreStats GetStats() const = 0;
 };
+
+/// Validates a read of [offset, offset+len) against an object of
+/// `object_size` bytes; `len == 0` means "through the end" and is rewritten
+/// to the remaining byte count. Shared by every PageStore engine.
+inline Status CheckReadRange(uint64_t object_size, uint64_t offset,
+                             uint64_t* len) {
+  if (offset > object_size) return Status::OutOfRange("page read offset");
+  uint64_t avail = object_size - offset;
+  if (*len == 0) {
+    *len = avail;
+    return Status::OK();
+  }
+  if (*len > avail)
+    return Status::OutOfRange("page read [" + std::to_string(offset) + ",+" +
+                              std::to_string(*len) + ") beyond object of " +
+                              std::to_string(object_size) + " bytes");
+  return Status::OK();
+}
 
 /// Heap-backed store (the configuration used for all paper experiments —
 /// Grid'5000 providers served pages from RAM).

@@ -5,7 +5,11 @@
 // Usage:
 //   blobseer_server --listen=0.0.0.0:7700 --roles=vmanager,pmanager
 //   blobseer_server --listen=0.0.0.0:7701 --roles=provider,meta
-//       --pmanager=vmhost:7700 --store=file:/var/lib/blobseer
+//       --pmanager=vmhost:7700 --store=log:/var/lib/blobseer
+//
+// --store selects the provider page engine: "memory" (default), "null",
+// "file:<dir>" (one fsynced file per page), or "log:<dir>" (log-structured
+// segment store with group-commit durability; see docs/pagelog_format.md).
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -15,6 +19,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "dht/service.h"
+#include "pagelog/log_page_store.h"
 #include "pmanager/client.h"
 #include "pmanager/service.h"
 #include "provider/service.h"
@@ -70,6 +75,8 @@ int main(int argc, char** argv) {
         store = provider::MakeNullPageStore();
       } else if (StartsWith(store_spec, "file:")) {
         store = provider::MakeFilePageStore(store_spec.substr(5));
+      } else if (StartsWith(store_spec, "log:")) {
+        store = pagelog::MakeLogPageStore(store_spec.substr(4));
       } else {
         store = provider::MakeMemoryPageStore();
       }

@@ -210,6 +210,21 @@ TEST(HashTest, Deterministic) {
   EXPECT_NE(Mix64(1), Mix64(2));
 }
 
+TEST(HashTest, Crc32cKnownVectors) {
+  // RFC 3720 appendix B test vector.
+  EXPECT_EQ(Crc32c(Slice("123456789")), 0xE3069283u);
+  EXPECT_EQ(Crc32c(Slice("")), 0u);
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(Slice(zeros)), 0x8A9136AAu);
+}
+
+TEST(HashTest, Crc32cExtendMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t crc = Crc32cExtend(0, data.data(), 10);
+  crc = Crc32cExtend(crc, data.data() + 10, data.size() - 10);
+  EXPECT_EQ(crc, Crc32c(Slice(data)));
+}
+
 TEST(RngTest, DeterministicGivenSeed) {
   Rng a(7), b(7), c(8);
   EXPECT_EQ(a.Next(), b.Next());

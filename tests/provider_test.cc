@@ -1,9 +1,11 @@
-// Data provider tests: the three page-store engines and the RPC service.
+// Data provider tests: every page-store engine behind one parametrized
+// fixture (memory, file, null, log) plus the RPC service.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <filesystem>
 
+#include "pagelog/log_page_store.h"
 #include "provider/client.h"
 #include "provider/page_store.h"
 #include "provider/service.h"
@@ -12,25 +14,42 @@
 namespace blobseer::provider {
 namespace {
 
-class PageStoreTest : public ::testing::TestWithParam<std::string> {
+struct BackendParam {
+  const char* name;
+  bool stores_content;  ///< false for the size-only null engine
+  bool durable;         ///< survives destroy + reopen on the same directory
+};
+
+void PrintTo(const BackendParam& p, std::ostream* os) { *os << p.name; }
+
+std::unique_ptr<PageStore> MakeBackend(const std::string& name,
+                                       const std::string& dir) {
+  if (name == "file") return MakeFilePageStore(dir);
+  if (name == "null") return MakeNullPageStore();
+  if (name == "log") return pagelog::MakeLogPageStore(dir);
+  return MakeMemoryPageStore();
+}
+
+class PageStoreTest : public ::testing::TestWithParam<BackendParam> {
  protected:
   void SetUp() override {
-    if (GetParam() == "file") {
-      dir_ = ::testing::TempDir() + "/bs_pages_" +
-             std::to_string(reinterpret_cast<uintptr_t>(this));
-      store_ = MakeFilePageStore(dir_);
-    } else if (GetParam() == "null") {
-      store_ = MakeNullPageStore();
-    } else {
-      store_ = MakeMemoryPageStore();
-    }
+    dir_ = ::testing::TempDir() + "/bs_pages_" + GetParam().name + "_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+    store_ = MakeBackend(GetParam().name, dir_);
   }
   void TearDown() override {
     store_.reset();
-    if (!dir_.empty()) std::filesystem::remove_all(dir_);
+    std::filesystem::remove_all(dir_);
   }
 
-  bool stores_content() const { return GetParam() != "null"; }
+  /// Destroys and reopens the store on the same directory (durable engines).
+  void Reopen() {
+    store_.reset();
+    store_ = MakeBackend(GetParam().name, dir_);
+  }
+
+  bool stores_content() const { return GetParam().stores_content; }
 
   std::unique_ptr<PageStore> store_;
   std::string dir_;
@@ -58,6 +77,15 @@ TEST_P(PageStoreTest, ReadBeyondObjectFails) {
   std::string out;
   EXPECT_TRUE(store_->Read(id, 0, 4, &out).IsOutOfRange());
   EXPECT_TRUE(store_->Read(id, 4, 0, &out).IsOutOfRange());
+}
+
+TEST_P(PageStoreTest, ReadRangeOverflowRejected) {
+  PageId id{1, 5};
+  ASSERT_TRUE(store_->Put(id, Slice("0123456789")).ok());
+  std::string out;
+  // offset + len wraps around uint64; must be OutOfRange, not a huge read.
+  EXPECT_TRUE(store_->Read(id, 8, UINT64_MAX - 4, &out).IsOutOfRange());
+  EXPECT_TRUE(store_->Read(id, UINT64_MAX, 2, &out).IsOutOfRange());
 }
 
 TEST_P(PageStoreTest, MissingPageIsNotFound) {
@@ -99,24 +127,58 @@ TEST_P(PageStoreTest, ManyPages) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Engines, PageStoreTest,
-                         ::testing::Values("memory", "file", "null"));
-
-TEST(FilePageStoreTest, PersistsAcrossReopen) {
-  std::string dir = ::testing::TempDir() + "/bs_persist";
-  std::filesystem::remove_all(dir);
-  {
-    auto store = MakeFilePageStore(dir);
-    ASSERT_TRUE(store->Put(PageId{3, 3}, Slice("durable")).ok());
+TEST_P(PageStoreTest, CompactIsAlwaysSafe) {
+  for (uint64_t i = 0; i < 16; i++) {
+    ASSERT_TRUE(store_->Put(PageId{8, i}, Slice("compactable")).ok());
   }
-  {
-    auto store = MakeFilePageStore(dir);
-    std::string out;
-    ASSERT_TRUE(store->Read(PageId{3, 3}, 0, 0, &out).ok());
-    EXPECT_EQ(out, "durable");
+  for (uint64_t i = 0; i < 8; i++) {
+    ASSERT_TRUE(store_->Delete(PageId{8, i}).ok());
   }
-  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(store_->Compact().ok());
+  EXPECT_EQ(store_->GetStats().pages, 8u);
+  std::string out;
+  ASSERT_TRUE(store_->Read(PageId{8, 12}, 0, 0, &out).ok());
+  if (stores_content()) {
+    EXPECT_EQ(out, "compactable");
+  }
 }
+
+TEST_P(PageStoreTest, PersistsAcrossReopen) {
+  if (!GetParam().durable) GTEST_SKIP() << "engine is not durable";
+  ASSERT_TRUE(store_->Put(PageId{3, 3}, Slice("durable")).ok());
+  ASSERT_TRUE(store_->Put(PageId{3, 4}, Slice("")).ok());  // empty page
+  Reopen();
+  std::string out;
+  ASSERT_TRUE(store_->Read(PageId{3, 3}, 0, 0, &out).ok());
+  EXPECT_EQ(out, "durable");
+  ASSERT_TRUE(store_->Read(PageId{3, 4}, 0, 0, &out).ok());
+  EXPECT_EQ(out, "");
+  EXPECT_EQ(store_->GetStats().pages, 2u);
+  // Immutability survives the reopen too.
+  EXPECT_TRUE(store_->Put(PageId{3, 3}, Slice("other-size")).IsAlreadyExists());
+}
+
+TEST_P(PageStoreTest, DeletePersistsAcrossReopen) {
+  if (!GetParam().durable) GTEST_SKIP() << "engine is not durable";
+  ASSERT_TRUE(store_->Put(PageId{4, 1}, Slice("kept")).ok());
+  ASSERT_TRUE(store_->Put(PageId{4, 2}, Slice("gone")).ok());
+  ASSERT_TRUE(store_->Delete(PageId{4, 2}).ok());
+  Reopen();
+  std::string out;
+  ASSERT_TRUE(store_->Read(PageId{4, 1}, 0, 0, &out).ok());
+  EXPECT_EQ(out, "kept");
+  EXPECT_TRUE(store_->Read(PageId{4, 2}, 0, 0, &out).IsNotFound());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, PageStoreTest,
+    ::testing::Values(BackendParam{"memory", true, false},
+                      BackendParam{"file", true, true},
+                      BackendParam{"null", false, false},
+                      BackendParam{"log", true, true}),
+    [](const ::testing::TestParamInfo<BackendParam>& info) {
+      return std::string(info.param.name);
+    });
 
 TEST(ProviderServiceTest, EndToEndOverRpc) {
   rpc::InProcNetwork net;
