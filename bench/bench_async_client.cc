@@ -1,0 +1,157 @@
+// Async-client pipelining bench: one client, TCP loopback cluster.
+//
+// Compares 64 blocking appends fanned over the default 16-thread executor
+// (each append parks a worker thread for its full RPC latency) against 64
+// async appends issued from a single thread (the continuation chains
+// pipeline every RPC; nothing blocks). The async side must sustain the
+// whole window in flight at once, so its throughput bounds how far the
+// client is from "one thread per operation".
+//
+// Exits non-zero if the async pipeline fails to beat the blocking fan-out —
+// this is the acceptance gate for the futures-based client API.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "client/blob_client.h"
+#include "common/clock.h"
+#include "common/executor.h"
+#include "common/future.h"
+#include "core/cluster.h"
+
+namespace {
+
+using namespace blobseer;          // NOLINT
+using namespace blobseer::bench;   // NOLINT
+using client::BlobClient;
+
+struct RunResult {
+  double seconds = 0;
+  uint64_t ops = 0;
+  uint64_t bytes = 0;
+  double ops_per_sec() const { return ops / seconds; }
+  double mb_per_sec() const { return bytes / seconds / (1 << 20); }
+};
+
+// `ops` blocking appends through a `threads`-wide executor, `window` at a
+// time: the classic thread-per-operation client.
+RunResult RunSync(BlobClient* client, BlobId id, const std::string& payload,
+                  uint64_t ops, size_t threads, size_t window) {
+  ThreadPoolExecutor pool(threads);
+  Stopwatch timer;
+  Status st = pool.ParallelFor(ops, window, [&](size_t) {
+    auto v = client->Append(id, payload);
+    return v.ok() ? Status::OK() : v.status();
+  });
+  RunResult r;
+  r.seconds = timer.ElapsedSeconds();
+  r.ops = ops;
+  r.bytes = ops * payload.size();
+  if (!st.ok()) {
+    fprintf(stderr, "sync appends failed: %s\n", st.ToString().c_str());
+    exit(1);
+  }
+  return r;
+}
+
+// `ops` async appends from ONE thread, `window` in flight at a time.
+RunResult RunAsync(BlobClient* client, BlobId id, const std::string& payload,
+                   uint64_t ops, size_t window) {
+  Stopwatch timer;
+  uint64_t issued = 0;
+  Status first;
+  while (issued < ops) {
+    size_t wave = std::min<uint64_t>(window, ops - issued);
+    std::vector<Future<Version>> in_flight;
+    in_flight.reserve(wave);
+    for (size_t i = 0; i < wave; i++)
+      in_flight.push_back(client->AppendAsync(id, payload));
+    issued += wave;
+    auto all = WhenAll(std::move(in_flight)).Wait();
+    if (!all.ok() && first.ok()) first = all.status();
+    if (all.ok() && first.ok()) first = FirstError(*all);
+  }
+  RunResult r;
+  r.seconds = timer.ElapsedSeconds();
+  r.ops = ops;
+  r.bytes = ops * payload.size();
+  if (!first.ok()) {
+    fprintf(stderr, "async appends failed: %s\n", first.ToString().c_str());
+    exit(1);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = QuickMode(argc, argv);
+  const uint64_t ops = FlagU64(argc, argv, "ops", quick ? 64 : 512);
+  const uint64_t psize = FlagU64(argc, argv, "psize", 16 * 1024);
+  const uint64_t pages_per_op = FlagU64(argc, argv, "pages", 4);
+  const size_t window = FlagU64(argc, argv, "window", 64);
+  const size_t threads = FlagU64(argc, argv, "threads", 16);
+
+  core::ClusterOptions copts;
+  copts.num_providers = 4;
+  copts.num_meta = 4;
+  copts.transport = "tcp";
+  auto cluster = core::EmbeddedCluster::Start(copts);
+  if (!cluster.ok()) {
+    fprintf(stderr, "cluster: %s\n", cluster.status().ToString().c_str());
+    return 1;
+  }
+  auto client = (*cluster)->NewClient();
+  if (!client.ok()) return 1;
+
+  std::string payload(psize * pages_per_op, 'a');
+  printf("async-client bench: %llu appends x %llu KiB over TCP loopback, "
+         "window %zu\n  sync: %zu-thread executor, blocking Append\n"
+         "  async: single issuing thread, AppendAsync pipeline\n\n",
+         static_cast<unsigned long long>(ops),
+         static_cast<unsigned long long>(payload.size() / 1024), window,
+         threads);
+
+  // Warm up: descriptor/directory caches and TCP connections.
+  auto warm = (*client)->Create(psize);
+  if (!warm.ok()) return 1;
+  if (!(*client)->Append(*warm, payload).ok()) return 1;
+
+  auto sync_blob = (*client)->Create(psize);
+  if (!sync_blob.ok()) return 1;
+  RunResult sync_r =
+      RunSync(client->get(), *sync_blob, payload, ops, threads, window);
+
+  auto async_blob = (*client)->Create(psize);
+  if (!async_blob.ok()) return 1;
+  RunResult async_r =
+      RunAsync(client->get(), *async_blob, payload, ops, window);
+
+  Table table({"mode", "ops/s", "MB/s", "seconds"});
+  auto row = [&](const char* name, const RunResult& r) {
+    char a[32], b[32], c[32];
+    snprintf(a, sizeof(a), "%.0f", r.ops_per_sec());
+    snprintf(b, sizeof(b), "%.1f", r.mb_per_sec());
+    snprintf(c, sizeof(c), "%.3f", r.seconds);
+    table.AddRow({name, a, b, c});
+  };
+  row("sync-16thr", sync_r);
+  row("async-1thr", async_r);
+  table.Print();
+
+  double speedup = async_r.ops_per_sec() / sync_r.ops_per_sec();
+  printf("\nasync/sync speedup = %.2fx (gate: async with %zu in flight must "
+         "beat blocking fan-out)\n",
+         speedup, window);
+  if (async_r.ops_per_sec() <= sync_r.ops_per_sec()) {
+    fprintf(stderr,
+            "FAIL: async pipeline (%.0f ops/s) did not beat %zu blocking "
+            "appends on the %zu-thread executor (%.0f ops/s)\n",
+            async_r.ops_per_sec(), window, threads, sync_r.ops_per_sec());
+    return 1;
+  }
+  printf("[ok]\n");
+  return 0;
+}

@@ -110,11 +110,10 @@ int main() {
         for (uint64_t i = 0; i < n; i++) chunk[i] = p.fn(chunk[i], off + i);
         if (!p.blob.WriteSync(chunk, off).ok()) return;
       }
-      uint64_t size = 0;
-      auto v = p.blob.GetRecent(&size);
+      auto v = p.blob.GetRecent();
       if (!v.ok()) return;
       std::string out;
-      if (!p.blob.Read(*v, 0, size, &out).ok()) return;
+      if (!p.blob.Read(v->version, 0, v->size, &out).ok()) return;
       p.result = MeanAbs(out);
     });
   }
@@ -123,11 +122,10 @@ int main() {
   printf("\npipeline results (each on its own branch of snapshot %llu):\n",
          static_cast<unsigned long long>(*base));
   for (auto& p : pipelines) {
-    uint64_t size = 0;
-    auto v = p.blob.GetRecent(&size);
+    auto v = p.blob.GetRecent();
     printf("  blob %llu  %-28s |x-128| mean %.2f  (%llu versions)\n",
            static_cast<unsigned long long>(p.blob.id()), p.name, p.result,
-           v.ok() ? static_cast<unsigned long long>(*v - *base) : 0ull);
+           v.ok() ? static_cast<unsigned long long>(v->version - *base) : 0ull);
   }
 
   // The original snapshot is untouched; storage grew only by the pages the

@@ -84,12 +84,11 @@ int main() {
   }
   for (auto& t : sites) t.join();
 
-  uint64_t size = 0;
-  auto snapshot = (*owner)->GetRecent(*id, &size);
-  if (!snapshot.ok() || !(*owner)->Sync(*id, *snapshot).ok()) return 1;
+  auto snapshot = (*owner)->GetRecent(*id);
+  if (!snapshot.ok() || !(*owner)->Sync(*id, snapshot->version).ok()) return 1;
   printf("  blob now at version %llu, %llu bytes\n",
-         static_cast<unsigned long long>(*snapshot),
-         static_cast<unsigned long long>(size));
+         static_cast<unsigned long long>(snapshot->version),
+         static_cast<unsigned long long>(snapshot->size));
 
   // --- Phase 2: map over a fixed snapshot while uploads continue. -------
   // Index the snapshot once (a real deployment would store photo offsets
@@ -103,8 +102,8 @@ int main() {
   {
     uint64_t off = 0;
     std::string header;
-    while (off + 8 <= size) {
-      if (!(*owner)->Read(*id, *snapshot, off, 8, &header).ok()) return 1;
+    while (off + 8 <= snapshot->size) {
+      if (!(*owner)->Read(*id, snapshot->version, off, 8, &header).ok()) return 1;
       PhotoRef ref;
       memcpy(&ref.camera, header.data(), 4);
       memcpy(&ref.len, header.data() + 4, 4);
@@ -116,7 +115,7 @@ int main() {
   printf("phase 2: %zu photos indexed; %d map workers process snapshot %llu "
          "while new uploads arrive...\n",
          photos.size(), kMapWorkers,
-         static_cast<unsigned long long>(*snapshot));
+         static_cast<unsigned long long>(snapshot->version));
 
   // Background uploads keep appending to prove snapshot isolation.
   std::thread background([&] {
@@ -143,7 +142,7 @@ int main() {
         const PhotoRef& ref = photos[i];
         std::string pixels;
         if (!(*client)
-                 ->Read(*id, *snapshot, ref.offset + 8, ref.len, &pixels)
+                 ->Read(*id, snapshot->version, ref.offset + 8, ref.len, &pixels)
                  .ok())
           return;
         double c = Contrast(pixels);
@@ -184,22 +183,22 @@ int main() {
          enhanced);
 
   // --- Versioning dividend: the mapped snapshot is still intact. --------
-  uint64_t final_size = 0;
-  auto final_v = (*owner)->GetRecent(*id, &final_size);
+  auto final_v = (*owner)->GetRecent(*id);
   if (!final_v.ok()) return 1;
   std::string probe_then, probe_now;
   const PhotoRef& first = photos[0];
-  if (!(*owner)->Read(*id, *snapshot, first.offset + 8, first.len,
+  if (!(*owner)->Read(*id, snapshot->version, first.offset + 8, first.len,
                       &probe_then).ok())
     return 1;
-  if (!(*owner)->Read(*id, *final_v, first.offset + 8, first.len, &probe_now)
+  if (!(*owner)->Read(*id, final_v->version, first.offset + 8, first.len,
+                      &probe_now)
            .ok())
     return 1;
   printf("final: version %llu (%llu bytes). Snapshot %llu still readable; "
          "first photo %s by enhancement.\n",
-         static_cast<unsigned long long>(*final_v),
-         static_cast<unsigned long long>(final_size),
-         static_cast<unsigned long long>(*snapshot),
+         static_cast<unsigned long long>(final_v->version),
+         static_cast<unsigned long long>(final_v->size),
+         static_cast<unsigned long long>(snapshot->version),
          probe_then == probe_now ? "untouched" : "changed (old version kept)");
   printf("photo_archive OK\n");
   return 0;

@@ -56,21 +56,20 @@ int main() {
   }
   for (auto& t : writers) t.join();
 
-  uint64_t size = 0;
-  auto v = (*owner)->GetRecent(*id, &size);
-  if (!v.ok() || !(*owner)->Sync(*id, *v).ok()) return 1;
+  auto v = (*owner)->GetRecent(*id);
+  if (!v.ok() || !(*owner)->Sync(*id, v->version).ok()) return 1;
   printf("\n%d writers appended %d x 256 KiB each over TCP -> version %llu, "
          "%.1f MiB\n",
-         kWriters, kAppendsEach, static_cast<unsigned long long>(*v),
-         static_cast<double>(size) / (1 << 20));
+         kWriters, kAppendsEach, static_cast<unsigned long long>(v->version),
+         static_cast<double>(v->size) / (1 << 20));
 
   // Verify every append landed exactly once (each writer's byte value must
   // fill whole 256 KiB extents).
   std::string all;
-  if (!(*owner)->Read(*id, *v, 0, size, &all).ok()) return 1;
+  if (!(*owner)->Read(*id, v->version, 0, v->size, &all).ok()) return 1;
   int counts[kWriters] = {};
   bool torn = false;
-  for (uint64_t off = 0; off < size; off += 256 * 1024) {
+  for (uint64_t off = 0; off < v->size; off += 256 * 1024) {
     char c = all[off];
     for (uint64_t i = 0; i < 256 * 1024; i++) {
       if (all[off + i] != c) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/math_util.h"
@@ -15,6 +16,117 @@ using meta::MetaNode;
 using meta::NodeKey;
 using meta::PageFragment;
 using vmanager::AssignTicket;
+
+// Shared state of one WRITE/APPEND (or abort-repair) chain. Everything a
+// stage borrows — the page split, the caller's payload view, compaction
+// buffers, the node batch — hangs off this object, which every continuation
+// captures by shared_ptr, so buffers live exactly as long as the operation.
+struct BlobClient::UpdateOp {
+  BlobClient* c = nullptr;
+  BlobId id = kInvalidBlobId;
+  Slice data;         // caller's buffer (WRITE/APPEND) or `zeros` below
+  std::string zeros;  // abort-repair payload
+  uint64_t offset = 0;
+  bool is_append = false;
+
+  BlobDescriptor desc;
+  AssignTicket ticket;
+  std::shared_ptr<std::vector<PageWrite>> writes;
+
+  // Metadata-build state (initialized by BuildAndWriteMetaAsync).
+  BranchAncestry ancestry;
+  BlobId self_origin = kInvalidBlobId;
+  std::map<Extent, Version> border_map;
+  std::shared_ptr<meta::MetaClient::SharedNodeMemo> memo;
+  std::mutex mu;  // guards nodes + merged (leaves build concurrently)
+  std::vector<std::pair<NodeKey, MetaNode>> nodes;
+  std::vector<std::shared_ptr<std::string>> merged;  // compaction buffers
+
+  Promise<Version> promise;
+
+  void AddNode(const Extent& block, MetaNode node) {
+    std::lock_guard<std::mutex> lock(mu);
+    nodes.emplace_back(NodeKey{self_origin, ticket.version, block},
+                       std::move(node));
+  }
+};
+
+struct BlobClient::ReadOp {
+  BlobClient* c = nullptr;
+  BlobId id = kInvalidBlobId;
+  Version version = kNoVersion;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+  BlobDescriptor desc;
+  BranchAncestry ancestry;
+  std::string out;
+  std::vector<meta::LeafRef> leaves;
+  Promise<std::string> promise;
+};
+
+struct BlobClient::SyncOp {
+  BlobClient* c = nullptr;
+  BlobId id = kInvalidBlobId;
+  Version version = kNoVersion;
+  uint64_t timeout_us = kNoTimeout;
+  uint64_t waited = 0;
+  Promise<Unit> promise;
+
+  static constexpr uint64_t kSliceUs = 250 * 1000;
+
+  // One AwaitPublished round per Step; re-arms itself until published,
+  // error, or timeout. The server holds the call in blocking mode (the
+  // completion thread, not a caller thread, sees the response); polling
+  // mode re-polls after a nap taken on an executor task so the virtual
+  // clock drives it under simnet.
+  void Step(const std::shared_ptr<SyncOp>& self) {
+    uint64_t remaining =
+        timeout_us == kNoTimeout ? kSliceUs : timeout_us - waited;
+    uint64_t server_wait =
+        c->options_.blocking_sync ? std::min(remaining, kSliceUs) : 0;
+    c->vm_.AwaitPublishedAsync(id, version, server_wait)
+        .OnReady(nullptr, [self, server_wait,
+                           remaining](Result<Unit> r) {
+          if (r.ok()) {
+            self->promise.Set(Unit{});
+            return;
+          }
+          if (!r.status().IsTimedOut()) {
+            self->promise.Set(r.status());
+            return;
+          }
+          if (!self->c->options_.blocking_sync) {
+            // Sleep first, charge after: the final (partial) nap must
+            // elapse before the timeout fires, like the classic poll loop.
+            uint64_t nap =
+                std::min<uint64_t>(self->c->options_.sync_poll_us, remaining);
+            self->c->executor_->Schedule([self, nap] {
+              self->c->clock_->SleepForMicros(nap);
+              if (!self->Account(nap)) return;
+              self->Step(self);
+            });
+            return;
+          }
+          if (!self->Account(server_wait)) return;
+          // Re-arm on the executor: over an inline-completing transport
+          // (inproc) a direct Step here would recurse on this stack for
+          // the whole wait.
+          self->c->executor_->Schedule([self] { self->Step(self); });
+        });
+  }
+
+  /// Charges `step` against the timeout; false (after failing the promise)
+  /// when the budget is exhausted.
+  bool Account(uint64_t step) {
+    if (timeout_us == kNoTimeout) return true;
+    waited += step;
+    if (waited >= timeout_us) {
+      promise.Set(Status::TimedOut("SYNC timeout"));
+      return false;
+    }
+    return true;
+  }
+};
 
 BlobClient::BlobClient(rpc::Transport* transport, std::string vmanager_address,
                        std::string pmanager_address,
@@ -57,30 +169,35 @@ PageId BlobClient::NewPageId() {
   return PageId{client_id_, page_seq_.fetch_add(1, std::memory_order_relaxed)};
 }
 
-Result<BlobDescriptor> BlobClient::Descriptor(BlobId id) {
+Future<BlobDescriptor> BlobClient::DescriptorAsync(BlobId id) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = descriptors_.find(id);
-    if (it != descriptors_.end()) return it->second;
+    if (it != descriptors_.end())
+      return MakeReadyFuture<BlobDescriptor>(BlobDescriptor(it->second));
   }
-  return Open(id);
+  return OpenAsync(id);
 }
 
-Result<BlobId> BlobClient::Create(uint64_t psize) {
-  auto desc = vm_.CreateBlob(psize);
-  if (!desc.ok()) return desc.status();
-  std::lock_guard<std::mutex> lock(mu_);
-  BlobId id = desc->id;
-  descriptors_[id] = std::move(desc).ValueUnsafe();
-  return id;
+Future<BlobId> BlobClient::CreateAsync(uint64_t psize) {
+  return vm_.CreateBlobAsync(psize).Then(
+      [this](Result<BlobDescriptor> desc) -> Result<BlobId> {
+        if (!desc.ok()) return desc.status();
+        std::lock_guard<std::mutex> lock(mu_);
+        BlobId id = desc->id;
+        descriptors_[id] = std::move(desc).ValueUnsafe();
+        return id;
+      });
 }
 
-Result<BlobDescriptor> BlobClient::Open(BlobId id) {
-  auto desc = vm_.OpenBlob(id, nullptr, nullptr);
-  if (!desc.ok()) return desc.status();
-  std::lock_guard<std::mutex> lock(mu_);
-  descriptors_[id] = *desc;
-  return std::move(desc).ValueUnsafe();
+Future<BlobDescriptor> BlobClient::OpenAsync(BlobId id) {
+  return vm_.OpenBlobAsync(id).Then(
+      [this, id](Result<vmanager::OpenInfo> info) -> Result<BlobDescriptor> {
+        if (!info.ok()) return info.status();
+        std::lock_guard<std::mutex> lock(mu_);
+        descriptors_[id] = info->descriptor;
+        return std::move(info->descriptor);
+      });
 }
 
 std::vector<BlobClient::PageWrite> BlobClient::SplitIntoPages(
@@ -105,394 +222,714 @@ std::vector<BlobClient::PageWrite> BlobClient::SplitIntoPages(
   return out;
 }
 
-Status BlobClient::StorePages(std::vector<PageWrite>* writes) {
-  auto provider_ids = pm_.Allocate(static_cast<uint32_t>(writes->size()));
-  if (!provider_ids.ok()) return provider_ids.status();
-  std::vector<std::string> addresses(writes->size());
-  for (size_t i = 0; i < writes->size(); i++) {
-    (*writes)[i].frag.pid = NewPageId();
-    (*writes)[i].frag.provider = (*provider_ids)[i];
-    auto addr = ProviderAddress((*provider_ids)[i]);
-    if (!addr.ok()) return addr.status();
-    addresses[i] = std::move(addr).ValueUnsafe();
-  }
-  BS_RETURN_NOT_OK(executor_->ParallelFor(
-      writes->size(), options_.data_fanout, [&](size_t i) {
-        const PageWrite& w = (*writes)[i];
-        return providers_.WritePage(addresses[i], w.frag.pid, w.bytes);
-      }));
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.pages_stored += writes->size();
-  return Status::OK();
-}
-
-void BlobClient::DeletePages(const std::vector<PageWrite>& writes) {
-  (void)executor_->ParallelFor(
-      writes.size(), options_.data_fanout, [&](size_t i) {
-        if (!writes[i].frag.pid.valid()) return Status::OK();
-        auto addr = ProviderAddress(writes[i].frag.provider);
-        if (!addr.ok()) return Status::OK();
-        (void)providers_.DeletePage(*addr, writes[i].frag.pid);
-        return Status::OK();
+Future<Unit> BlobClient::StorePagesAsync(
+    std::shared_ptr<std::vector<PageWrite>> writes) {
+  // Paper Algorithm 2: allocate providers, then store every page fully in
+  // parallel with no synchronization between transfers.
+  return pm_.AllocateAsync(static_cast<uint32_t>(writes->size()))
+      .Then([this, writes](
+                Result<std::vector<ProviderId>> providers) -> Future<Unit> {
+        if (!providers.ok()) return MakeReadyFuture(providers.status());
+        std::vector<Future<std::string>> addresses;
+        addresses.reserve(writes->size());
+        for (size_t i = 0; i < writes->size(); i++) {
+          (*writes)[i].frag.pid = NewPageId();
+          (*writes)[i].frag.provider = (*providers)[i];
+          addresses.push_back(pm_.ResolveAddressAsync((*providers)[i]));
+        }
+        return WhenAll(std::move(addresses))
+            .Then([this, writes](Result<std::vector<Result<std::string>>>
+                                     addrs) -> Future<Unit> {
+              if (!addrs.ok()) return MakeReadyFuture(addrs.status());
+              Status first = FirstError(*addrs);
+              if (!first.ok()) return MakeReadyFuture(std::move(first));
+              std::vector<Future<Unit>> puts;
+              puts.reserve(writes->size());
+              for (size_t i = 0; i < writes->size(); i++) {
+                const PageWrite& w = (*writes)[i];
+                puts.push_back(providers_.WritePageAsync(*(*addrs)[i],
+                                                         w.frag.pid, w.bytes));
+              }
+              return WhenAll(std::move(puts))
+                  .Then([this, writes](
+                            Result<std::vector<Result<Unit>>> all) -> Status {
+                    if (!all.ok()) return all.status();
+                    BS_RETURN_NOT_OK(FirstError(*all));
+                    std::lock_guard<std::mutex> lock(stats_mu_);
+                    stats_.pages_stored += writes->size();
+                    return Status::OK();
+                  });
+            });
       });
 }
 
-Result<std::string> BlobClient::ProviderAddress(ProviderId id) {
-  return pm_.ResolveAddress(id);
+Future<Unit> BlobClient::DeletePagesAsync(
+    std::shared_ptr<std::vector<PageWrite>> writes) {
+  std::vector<Future<Unit>> deletions;
+  for (const PageWrite& w : *writes) {
+    if (!w.frag.pid.valid()) continue;
+    deletions.push_back(
+        pm_.ResolveAddressAsync(w.frag.provider)
+            .Then([this, pid = w.frag.pid](
+                      Result<std::string> addr) -> Future<Unit> {
+              if (!addr.ok()) return MakeReadyFuture(Status::OK());
+              return providers_.DeletePageAsync(*addr, pid)
+                  .Then([](Result<Unit>) { return Status::OK(); });
+            }));
+  }
+  return WhenAll(std::move(deletions))
+      .Then([writes](Result<std::vector<Result<Unit>>>) {
+        return Status::OK();  // best-effort by design
+      });
 }
 
-Status BlobClient::BuildAndWriteMeta(const BlobDescriptor& desc,
-                                     const AssignTicket& ticket,
-                                     std::vector<PageWrite>* writes) {
-  const uint64_t psize = desc.psize;
-  const Extent range = ticket.range();
-  const BranchAncestry ancestry = desc.Ancestry();
-  const Version vw = ticket.version;
+Future<Version> BlobClient::ResolveBorderAsync(std::shared_ptr<UpdateOp> op,
+                                               const Extent& block) {
+  auto it = op->border_map.find(block);
+  if (it != op->border_map.end())
+    return MakeReadyFuture<Version>(Version{it->second});
+  return meta_.ResolveBlockVersionAsync(op->ancestry, op->ticket.published,
+                                        op->ticket.published_size,
+                                        op->desc.psize, block, op->memo);
+}
 
-  std::map<Extent, Version> border_map;
-  for (const auto& b : ticket.borders) border_map[b.block] = b.version;
-  meta::MetaClient::NodeMemo memo;  // shared across this update's descents
-  auto resolve = [&](const Extent& block) -> Result<Version> {
-    auto it = border_map.find(block);
-    if (it != border_map.end()) return it->second;
-    return meta_.ResolveBlockVersion(ancestry, ticket.published,
-                                     ticket.published_size, psize, block,
-                                     &memo);
+Future<Unit> BlobClient::BuildLeafAsync(std::shared_ptr<UpdateOp> op,
+                                        PageWrite* w) {
+  const uint64_t psize = op->desc.psize;
+  const AssignTicket& ticket = op->ticket;
+  Extent block{w->page_index * psize, psize};
+  // Content length of this page in the new and old snapshots.
+  uint64_t cs_new = std::min(block.end(), ticket.new_size) - block.offset;
+  uint64_t cs_old =
+      block.offset >= ticket.old_size
+          ? 0
+          : std::min(block.end(), ticket.old_size) - block.offset;
+  uint64_t frag_end = w->frag.page_off + w->frag.len;
+  bool head_missing = w->frag.page_off > 0;
+  bool tail_missing = frag_end < cs_new;
+  if (!head_missing && !tail_missing) {
+    op->AddNode(block, MetaNode::Leaf({w->frag}, kNoVersion, 1));
+    return MakeReadyFuture(Status::OK());
+  }
+
+  return ResolveBorderAsync(op, block)
+      .Then([this, op, w, block, cs_new,
+             cs_old](Result<Version> prev_r) -> Future<Unit> {
+        if (!prev_r.ok()) return MakeReadyFuture(prev_r.status());
+        Version prev = *prev_r;
+        if (prev == kNoVersion) {
+          return MakeReadyFuture(Status::Internal(
+              "missing previous leaf for partial page at " +
+              block.ToString()));
+        }
+        if (prev > op->ticket.published) {
+          // The previous leaf is still unpublished: link to it blindly
+          // (chain length unknown; a later write compacts).
+          op->AddNode(block,
+                      MetaNode::Leaf({w->frag}, prev, meta::kUnknownChainLen));
+          return MakeReadyFuture(Status::OK());
+        }
+        // The previous leaf is published, hence readable: learn its chain
+        // length and compact if the chain grew too long.
+        return meta_
+            .GetNodeAsync(NodeKey{op->ancestry.Resolve(prev), prev, block})
+            .Then([this, op, w, block, cs_new, cs_old,
+                   prev](Result<MetaNode> prev_leaf_r) -> Future<Unit> {
+              if (!prev_leaf_r.ok())
+                return MakeReadyFuture(prev_leaf_r.status());
+              MetaNode prev_leaf = std::move(prev_leaf_r).ValueUnsafe();
+              if (prev_leaf.chain_len != meta::kUnknownChainLen &&
+                  prev_leaf.chain_len + 1 <= options_.max_chain) {
+                op->AddNode(block, MetaNode::Leaf({w->frag}, prev,
+                                                  prev_leaf.chain_len + 1));
+                return MakeReadyFuture(Status::OK());
+              }
+              // Compaction: materialize the merged page so the chain
+              // resets. The merged buffer lives on the op.
+              auto buffer = std::make_shared<std::string>(cs_new, '\0');
+              {
+                std::lock_guard<std::mutex> lock(op->mu);
+                op->merged.push_back(buffer);
+              }
+              Future<Unit> filled =
+                  cs_old == 0
+                      ? MakeReadyFuture(Status::OK())
+                      : ResolveLeafPiecesAsync(op->ancestry, block, prev_leaf,
+                                               {Interval{0, cs_old}})
+                            .Then([this, buffer](
+                                      Result<std::vector<FetchPiece>> pieces)
+                                      -> Future<Unit> {
+                              if (!pieces.ok())
+                                return MakeReadyFuture(pieces.status());
+                              std::vector<uint64_t> bases(pieces->size(), 0);
+                              return FetchPiecesIntoAsync(
+                                  std::move(*pieces), std::move(bases), 0,
+                                  buffer->data());
+                            });
+              return filled.Then([this, op, w, buffer,
+                                  block](Result<Unit> r) -> Future<Unit> {
+                if (!r.ok()) return MakeReadyFuture(r.status());
+                std::memcpy(buffer->data() + w->frag.page_off,
+                            w->bytes.data(), w->bytes.size());
+                auto one = std::make_shared<std::vector<PageWrite>>(1);
+                (*one)[0].page_index = w->page_index;
+                (*one)[0].frag.page_off = 0;
+                (*one)[0].frag.len = static_cast<uint32_t>(buffer->size());
+                (*one)[0].frag.data_off = 0;
+                (*one)[0].bytes = Slice(*buffer);
+                return StorePagesAsync(one).Then(
+                    [this, op, one, block](Result<Unit> stored) -> Status {
+                      if (!stored.ok()) return stored.status();
+                      op->AddNode(block, MetaNode::Leaf({(*one)[0].frag},
+                                                        kNoVersion, 1));
+                      std::lock_guard<std::mutex> lock(stats_mu_);
+                      stats_.compactions++;
+                      return Status::OK();
+                    });
+              });
+            });
+      });
+}
+
+Future<Unit> BlobClient::BuildAndWriteMetaAsync(std::shared_ptr<UpdateOp> op) {
+  op->ancestry = op->desc.Ancestry();
+  op->self_origin = op->ancestry.Resolve(op->ticket.version);
+  op->border_map.clear();
+  for (const auto& b : op->ticket.borders) op->border_map[b.block] = b.version;
+  // Shared across this update's descents: a writer resolving several border
+  // blocks walks overlapping root-to-block paths.
+  op->memo = std::make_shared<meta::MetaClient::SharedNodeMemo>();
+
+  // --- Leaves (paper Algorithm 4, first loop), all in parallel. ---
+  std::vector<Future<Unit>> leaves;
+  leaves.reserve(op->writes->size());
+  for (PageWrite& w : *op->writes) leaves.push_back(BuildLeafAsync(op, &w));
+
+  return WhenAll(std::move(leaves))
+      .Then([this,
+             op](Result<std::vector<Result<Unit>>> all) -> Future<Unit> {
+        if (!all.ok()) return MakeReadyFuture(all.status());
+        Status first = FirstError(*all);
+        if (!first.ok()) return MakeReadyFuture(std::move(first));
+
+        // --- Inner nodes (second loop): resolve non-updated children of
+        // every new inner node, then assemble bottom-up. ---
+        const uint64_t psize = op->desc.psize;
+        const Extent range = op->ticket.range();
+        const Version vw = op->ticket.version;
+        struct InnerPlan {
+          Extent block;
+          Version left = kNoVersion;
+          Version right = kNoVersion;
+          int left_resolve = -1;   // index into `resolves`
+          int right_resolve = -1;
+        };
+        auto plans = std::make_shared<std::vector<InnerPlan>>();
+        std::vector<Future<Version>> resolves;
+        for (const Extent& block :
+             meta::UpdateNodeSet(range, op->ticket.new_size, psize)) {
+          if (meta::IsLeafBlock(block, psize)) continue;
+          InnerPlan plan;
+          plan.block = block;
+          Extent left = meta::LeftChildBlock(block);
+          Extent right = meta::RightChildBlock(block);
+          if (left.Intersects(range)) {
+            plan.left = vw;
+          } else {
+            plan.left_resolve = static_cast<int>(resolves.size());
+            resolves.push_back(ResolveBorderAsync(op, left));
+          }
+          if (right.Intersects(range)) {
+            plan.right = vw;
+          } else {
+            plan.right_resolve = static_cast<int>(resolves.size());
+            resolves.push_back(ResolveBorderAsync(op, right));
+          }
+          plans->push_back(plan);
+        }
+        return WhenAll(std::move(resolves))
+            .Then([this, op, plans](
+                      Result<std::vector<Result<Version>>> rs) -> Future<Unit> {
+              if (!rs.ok()) return MakeReadyFuture(rs.status());
+              Status first = FirstError(*rs);
+              if (!first.ok()) return MakeReadyFuture(std::move(first));
+              for (const auto& plan : *plans) {
+                Version vl = plan.left_resolve >= 0
+                                 ? *(*rs)[plan.left_resolve]
+                                 : plan.left;
+                Version vr = plan.right_resolve >= 0
+                                 ? *(*rs)[plan.right_resolve]
+                                 : plan.right;
+                op->AddNode(plan.block, MetaNode::Inner(vl, vr));
+              }
+              std::vector<std::pair<NodeKey, MetaNode>> nodes;
+              {
+                std::lock_guard<std::mutex> lock(op->mu);
+                nodes = std::move(op->nodes);
+              }
+              size_t count = nodes.size();
+              return meta_.WriteNodesAsync(std::move(nodes))
+                  .Then([this, op, count](Result<Unit> wr) -> Status {
+                    if (!wr.ok()) return wr.status();
+                    std::lock_guard<std::mutex> lock(stats_mu_);
+                    stats_.meta_nodes_written += count;
+                    return Status::OK();
+                  });
+            });
+      });
+}
+
+Future<Version> BlobClient::RunUpdateAsync(std::shared_ptr<UpdateOp> op) {
+  Future<Unit> built =
+      BuildAndWriteMetaAsync(op).Then([this, op](Result<Unit> r)
+                                          -> Future<Unit> {
+        if (r.ok()) return MakeReadyFuture(Status::OK());
+        // The update cannot be completed: abort it so the version chain
+        // keeps advancing, then surface the original failure.
+        Status cause = r.status();
+        return AbortAsync(op->id, op->ticket.version)
+            .Then([cause](Result<Unit>) -> Status { return cause; });
+      });
+  return built.Then([this, op](Result<Unit> r) -> Future<Version> {
+    if (!r.ok()) return MakeReadyFuture<Version>(r.status());
+    return vm_.NotifySuccessAsync(op->id, op->ticket.version)
+        .Then([this, op](Result<Unit> n) -> Result<Version> {
+          if (!n.ok()) return n.status();
+          {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            if (op->is_append) {
+              stats_.appends++;
+            } else {
+              stats_.writes++;
+            }
+            stats_.bytes_written += op->data.size();
+          }
+          return op->ticket.version;
+        });
+  });
+}
+
+Future<Version> BlobClient::WriteAsync(BlobId id, Slice data,
+                                       uint64_t offset) {
+  if (data.empty())
+    return MakeReadyFuture<Version>(Status::InvalidArgument("empty write"));
+  auto op = std::make_shared<UpdateOp>();
+  op->c = this;
+  op->id = id;
+  op->data = data;
+  op->offset = offset;
+  op->is_append = false;
+  Future<Version> f = op->promise.GetFuture();
+
+  DescriptorAsync(id).OnReady(nullptr, [this, op](Result<BlobDescriptor> d) {
+    if (!d.ok()) {
+      op->promise.Set(d.status());
+      return;
+    }
+    op->desc = std::move(d).ValueUnsafe();
+    // Paper Algorithm 2: store the new pages first, fully in parallel,
+    // with no synchronization; only then register the update.
+    op->writes = std::make_shared<std::vector<PageWrite>>(
+        SplitIntoPages(op->data, op->offset, op->desc.psize));
+    StorePagesAsync(op->writes).OnReady(nullptr, [this, op](Result<Unit> s) {
+      if (!s.ok()) {
+        Status cause = s.status();
+        DeletePagesAsync(op->writes).OnReady(
+            nullptr, [op, cause](Result<Unit>) { op->promise.Set(cause); });
+        return;
+      }
+      vm_.AssignVersionAsync(op->id, /*is_append=*/false, op->offset,
+                             op->data.size())
+          .OnReady(nullptr, [this, op](Result<AssignTicket> t) {
+            if (!t.ok()) {
+              Status cause = t.status();
+              DeletePagesAsync(op->writes)
+                  .OnReady(nullptr, [op, cause](Result<Unit>) {
+                    op->promise.Set(cause);
+                  });
+              return;
+            }
+            op->ticket = std::move(t).ValueUnsafe();
+            RunUpdateAsync(op).OnReady(nullptr, [op](Result<Version> v) {
+              op->promise.Set(std::move(v));
+            });
+          });
+    });
+  });
+  return f;
+}
+
+Future<Version> BlobClient::AppendAsync(BlobId id, Slice data) {
+  if (data.empty())
+    return MakeReadyFuture<Version>(Status::InvalidArgument("empty append"));
+  auto op = std::make_shared<UpdateOp>();
+  op->c = this;
+  op->id = id;
+  op->data = data;
+  op->is_append = true;
+  Future<Version> f = op->promise.GetFuture();
+
+  DescriptorAsync(id).OnReady(nullptr, [this, op](Result<BlobDescriptor> d) {
+    if (!d.ok()) {
+      op->promise.Set(d.status());
+      return;
+    }
+    op->desc = std::move(d).ValueUnsafe();
+    // Appends learn their offset from the version manager (paper section
+    // 3.3); with unaligned blob sizes the page split depends on it, so the
+    // version is assigned before the pages are stored (DESIGN.md 3.3).
+    vm_.AssignVersionAsync(op->id, /*is_append=*/true, 0, op->data.size())
+        .OnReady(nullptr, [this, op](Result<AssignTicket> t) {
+          if (!t.ok()) {
+            op->promise.Set(t.status());
+            return;
+          }
+          op->ticket = std::move(t).ValueUnsafe();
+          op->offset = op->ticket.offset;
+          op->writes = std::make_shared<std::vector<PageWrite>>(
+              SplitIntoPages(op->data, op->offset, op->desc.psize));
+          StorePagesAsync(op->writes)
+              .OnReady(nullptr, [this, op](Result<Unit> s) {
+                if (!s.ok()) {
+                  Status cause = s.status();
+                  AbortAsync(op->id, op->ticket.version)
+                      .OnReady(nullptr, [op, cause](Result<Unit>) {
+                        op->promise.Set(cause);
+                      });
+                  return;
+                }
+                RunUpdateAsync(op).OnReady(nullptr, [op](Result<Version> v) {
+                  op->promise.Set(std::move(v));
+                });
+              });
+        });
+  });
+  return f;
+}
+
+Future<std::vector<BlobClient::FetchPiece>> BlobClient::ResolveLeafPiecesAsync(
+    const BranchAncestry& ancestry, const Extent& block, const MetaNode& leaf,
+    std::vector<Interval> needed) {
+  struct WalkOp {
+    BlobClient* c;
+    BranchAncestry ancestry;
+    Extent block;
+    MetaNode cur;
+    std::vector<Interval> needed;
+    std::vector<FetchPiece> out;
+    Promise<std::vector<FetchPiece>> promise;
+
+    void Step(const std::shared_ptr<WalkOp>& self) {
+      // Overlay this leaf's fragments onto whatever is still uncovered.
+      for (const PageFragment& frag : cur.fragments) {
+        uint64_t fb = frag.page_off;
+        uint64_t fe = frag.page_off + frag.len;
+        std::vector<Interval> rest;
+        rest.reserve(needed.size() + 1);
+        for (const Interval& iv : needed) {
+          uint64_t ob = std::max(iv.begin, fb);
+          uint64_t oe = std::min(iv.end, fe);
+          if (ob >= oe) {
+            rest.push_back(iv);
+            continue;
+          }
+          out.push_back(FetchPiece{frag.pid, frag.provider,
+                                   frag.data_off + (ob - fb), oe - ob, ob});
+          if (iv.begin < ob) rest.push_back(Interval{iv.begin, ob});
+          if (oe < iv.end) rest.push_back(Interval{oe, iv.end});
+        }
+        needed = std::move(rest);
+        if (needed.empty()) {
+          promise.Set(std::move(out));
+          return;
+        }
+      }
+      if (cur.prev_version == kNoVersion) {
+        promise.Set(Status::Corruption(
+            "page bytes not covered by fragment chain at " +
+            block.ToString()));
+        return;
+      }
+      c->meta_
+          .GetNodeAsync(NodeKey{ancestry.Resolve(cur.prev_version),
+                                cur.prev_version, block})
+          .OnReady(nullptr, [self](Result<MetaNode> next) {
+            if (!next.ok()) {
+              self->promise.Set(next.status());
+              return;
+            }
+            self->cur = std::move(next).ValueUnsafe();
+            self->Step(self);
+          });
+    }
   };
+  auto op = std::make_shared<WalkOp>();
+  op->c = this;
+  op->ancestry = ancestry;
+  op->block = block;
+  op->cur = leaf;
+  op->needed = std::move(needed);
+  auto f = op->promise.GetFuture();
+  op->Step(op);
+  return f;
+}
 
-  std::vector<std::pair<NodeKey, MetaNode>> nodes;
-  const BlobId self_origin = ancestry.Resolve(vw);
+Future<Unit> BlobClient::FetchPiecesIntoAsync(std::vector<FetchPiece> pieces,
+                                              std::vector<uint64_t> bases,
+                                              uint64_t range_offset,
+                                              char* dst) {
+  auto shared_pieces =
+      std::make_shared<std::vector<FetchPiece>>(std::move(pieces));
+  auto shared_bases = std::make_shared<std::vector<uint64_t>>(std::move(bases));
+  std::vector<Future<std::string>> addresses;
+  addresses.reserve(shared_pieces->size());
+  for (const FetchPiece& p : *shared_pieces)
+    addresses.push_back(pm_.ResolveAddressAsync(p.provider));
+  return WhenAll(std::move(addresses))
+      .Then([this, shared_pieces, shared_bases, range_offset,
+             dst](Result<std::vector<Result<std::string>>> addrs)
+                -> Future<Unit> {
+        if (!addrs.ok()) return MakeReadyFuture(addrs.status());
+        Status first = FirstError(*addrs);
+        if (!first.ok()) return MakeReadyFuture(std::move(first));
+        std::vector<Future<Unit>> fetches;
+        fetches.reserve(shared_pieces->size());
+        for (size_t i = 0; i < shared_pieces->size(); i++) {
+          const FetchPiece& p = (*shared_pieces)[i];
+          uint64_t base = (*shared_bases)[i];
+          // Pieces cover disjoint output ranges, so the copies are safe to
+          // run concurrently on completion threads.
+          fetches.push_back(
+              providers_.ReadPageAsync(*(*addrs)[i], p.pid, p.src_off, p.len)
+                  .Then([p, base, range_offset,
+                         dst](Result<std::string> chunk) -> Status {
+                    if (!chunk.ok()) return chunk.status();
+                    if (chunk->size() != p.len)
+                      return Status::Corruption("short page read");
+                    std::memcpy(dst + (base + p.page_local_off - range_offset),
+                                chunk->data(), chunk->size());
+                    return Status::OK();
+                  }));
+        }
+        return WhenAll(std::move(fetches))
+            .Then([shared_pieces](
+                      Result<std::vector<Result<Unit>>> all) -> Status {
+              if (!all.ok()) return all.status();
+              return FirstError(*all);
+            });
+      });
+}
 
-  // --- Leaves (paper Algorithm 4, first loop). ---
-  for (PageWrite& w : *writes) {
-    Extent block{w.page_index * psize, psize};
-    // Content length of this page in the new and old snapshots.
-    uint64_t cs_new =
-        std::min(block.end(), ticket.new_size) - block.offset;
-    uint64_t cs_old =
-        block.offset >= ticket.old_size
-            ? 0
-            : std::min(block.end(), ticket.old_size) - block.offset;
-    uint64_t frag_end = w.frag.page_off + w.frag.len;
-    bool head_missing = w.frag.page_off > 0;
-    bool tail_missing = frag_end < cs_new;
-    bool needs_prev = head_missing || tail_missing;
+Future<std::string> BlobClient::ReadAsync(BlobId id, Version version,
+                                          uint64_t offset, uint64_t size) {
+  auto op = std::make_shared<ReadOp>();
+  op->c = this;
+  op->id = id;
+  op->version = version;
+  op->offset = offset;
+  op->size = size;
+  Future<std::string> f = op->promise.GetFuture();
 
-    if (!needs_prev) {
-      nodes.emplace_back(NodeKey{self_origin, vw, block},
-                         MetaNode::Leaf({w.frag}, kNoVersion, 1));
-      continue;
+  DescriptorAsync(id).OnReady(nullptr, [this, op](Result<BlobDescriptor> d) {
+    if (!d.ok()) {
+      op->promise.Set(d.status());
+      return;
     }
+    op->desc = std::move(d).ValueUnsafe();
+    op->ancestry = op->desc.Ancestry();
+    // GET_SIZE doubles as the publication check (paper Algorithm 1 line 1).
+    vm_.GetSizeAsync(op->id, op->version)
+        .OnReady(nullptr, [this, op](Result<uint64_t> blob_size) {
+          if (!blob_size.ok()) {
+            op->promise.Set(blob_size.status());
+            return;
+          }
+          if (op->offset + op->size > *blob_size) {
+            op->promise.Set(Status::OutOfRange(
+                StrFormat("read [%llu,+%llu) beyond snapshot size %llu",
+                          static_cast<unsigned long long>(op->offset),
+                          static_cast<unsigned long long>(op->size),
+                          static_cast<unsigned long long>(*blob_size))));
+            return;
+          }
+          op->out.resize(op->size);
+          if (op->size == 0) {
+            op->promise.Set(std::move(op->out));
+            return;
+          }
+          const Extent range{op->offset, op->size};
+          meta_
+              .ReadMetaAsync(op->ancestry, op->version, *blob_size,
+                             op->desc.psize, range)
+              .OnReady(nullptr, [this, op,
+                                 range](Result<std::vector<meta::LeafRef>>
+                                            leaves) {
+                if (!leaves.ok()) {
+                  op->promise.Set(leaves.status());
+                  return;
+                }
+                op->leaves = std::move(leaves).ValueUnsafe();
+                // Resolve fragment chains per leaf (parallel across
+                // leaves), then fetch all pieces in one parallel wave.
+                std::vector<Future<std::vector<FetchPiece>>> per_leaf;
+                per_leaf.reserve(op->leaves.size());
+                for (const meta::LeafRef& leaf : op->leaves) {
+                  Extent needed_abs = leaf.block.Clip(range);
+                  Interval needed{needed_abs.offset - leaf.block.offset,
+                                  needed_abs.end() - leaf.block.offset};
+                  per_leaf.push_back(ResolveLeafPiecesAsync(
+                      op->ancestry, leaf.block, leaf.node, {needed}));
+                }
+                WhenAll(std::move(per_leaf))
+                    .OnReady(nullptr, [this, op](
+                                          Result<std::vector<
+                                              Result<std::vector<FetchPiece>>>>
+                                              resolved) {
+                      if (!resolved.ok()) {
+                        op->promise.Set(resolved.status());
+                        return;
+                      }
+                      Status first = FirstError(*resolved);
+                      if (!first.ok()) {
+                        op->promise.Set(std::move(first));
+                        return;
+                      }
+                      std::vector<FetchPiece> pieces;
+                      std::vector<uint64_t> bases;
+                      for (size_t i = 0; i < resolved->size(); i++) {
+                        for (const FetchPiece& p : *(*resolved)[i]) {
+                          pieces.push_back(p);
+                          bases.push_back(op->leaves[i].block.offset);
+                        }
+                      }
+                      FetchPiecesIntoAsync(std::move(pieces), std::move(bases),
+                                           op->offset, op->out.data())
+                          .OnReady(nullptr, [this, op](Result<Unit> fetched) {
+                            if (!fetched.ok()) {
+                              op->promise.Set(fetched.status());
+                              return;
+                            }
+                            {
+                              std::lock_guard<std::mutex> lock(stats_mu_);
+                              stats_.reads++;
+                              stats_.bytes_read += op->size;
+                            }
+                            op->promise.Set(std::move(op->out));
+                          });
+                    });
+              });
+        });
+  });
+  return f;
+}
 
-    BS_ASSIGN_OR_RETURN(Version prev, resolve(block));
-    if (prev == kNoVersion) {
-      return Status::Internal("missing previous leaf for partial page at " +
-                              block.ToString());
-    }
+Future<RecentVersion> BlobClient::GetRecentAsync(BlobId id) {
+  return vm_.GetRecentAsync(id);
+}
 
-    uint32_t chain = meta::kUnknownChainLen;
-    MetaNode prev_leaf;
-    bool have_prev_leaf = false;
-    if (prev <= ticket.published) {
-      // The previous leaf is published, hence readable: learn its chain
-      // length and compact if the chain grew too long.
-      auto pl = meta_.GetNode(
-          NodeKey{ancestry.Resolve(prev), prev, block});
-      if (!pl.ok()) return pl.status();
-      prev_leaf = std::move(pl).ValueUnsafe();
-      have_prev_leaf = true;
-      if (prev_leaf.chain_len != meta::kUnknownChainLen &&
-          prev_leaf.chain_len + 1 <= options_.max_chain) {
-        chain = prev_leaf.chain_len + 1;
-      }
-    }
+Future<uint64_t> BlobClient::GetSizeAsync(BlobId id, Version version) {
+  return vm_.GetSizeAsync(id, version);
+}
 
-    if (have_prev_leaf && chain == meta::kUnknownChainLen) {
-      // Compaction: materialize the merged page so the chain resets.
-      std::string merged(cs_new, '\0');
-      if (cs_old > 0) {
-        std::vector<FetchPiece> pieces;
-        BS_RETURN_NOT_OK(ResolveLeafPieces(ancestry, block, prev_leaf,
-                                           {Interval{0, cs_old}}, &pieces));
-        BS_RETURN_NOT_OK(FetchPieces(pieces, 0, 0, merged.data()));
-      }
-      std::memcpy(merged.data() + w.frag.page_off, w.bytes.data(),
-                  w.bytes.size());
-      PageWrite compacted;
-      compacted.page_index = w.page_index;
-      compacted.frag.page_off = 0;
-      compacted.frag.len = static_cast<uint32_t>(cs_new);
-      compacted.frag.data_off = 0;
-      compacted.bytes = Slice(merged);
-      std::vector<PageWrite> one{compacted};
-      BS_RETURN_NOT_OK(StorePages(&one));
-      nodes.emplace_back(NodeKey{self_origin, vw, block},
-                         MetaNode::Leaf({one[0].frag}, kNoVersion, 1));
-      {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        stats_.compactions++;
-      }
-      continue;
-    }
+Future<Unit> BlobClient::SyncAsync(BlobId id, Version version,
+                                   uint64_t timeout_us) {
+  auto op = std::make_shared<SyncOp>();
+  op->c = this;
+  op->id = id;
+  op->version = version;
+  op->timeout_us = timeout_us;
+  Future<Unit> f = op->promise.GetFuture();
+  op->Step(op);
+  return f;
+}
 
-    nodes.emplace_back(NodeKey{self_origin, vw, block},
-                       MetaNode::Leaf({w.frag}, prev, chain));
-  }
+Future<Unit> BlobClient::AbortAsync(BlobId id, Version version) {
+  return DescriptorAsync(id).Then(
+      [this, id, version](Result<BlobDescriptor> desc) -> Future<Unit> {
+        if (!desc.ok()) return MakeReadyFuture(desc.status());
+        BlobDescriptor d = std::move(desc).ValueUnsafe();
+        return vm_.AbortUpdateAsync(id, version)
+            .Then([this, id, version,
+                   d](Result<vmanager::AbortOutcome> outcome) -> Future<Unit> {
+              if (!outcome.ok()) return MakeReadyFuture(outcome.status());
+              if (outcome->retracted) return MakeReadyFuture(Status::OK());
+              // Repair: replay the aborted update as zeros (DESIGN.md 3.3)
+              // so that every node key later updates may have
+              // border-referenced exists.
+              auto op = std::make_shared<UpdateOp>();
+              op->c = this;
+              op->id = id;
+              op->desc = d;
+              op->ticket = outcome->repair;
+              op->zeros.assign(op->ticket.size, '\0');
+              op->data = Slice(op->zeros);
+              op->offset = op->ticket.offset;
+              op->writes = std::make_shared<std::vector<PageWrite>>(
+                  SplitIntoPages(op->data, op->offset, d.psize));
+              return StorePagesAsync(op->writes)
+                  .Then([this, op](Result<Unit> stored) -> Future<Unit> {
+                    if (!stored.ok())
+                      return MakeReadyFuture(stored.status());
+                    return BuildAndWriteMetaAsync(op).Then(
+                        [this, op](Result<Unit> built) -> Future<Unit> {
+                          if (!built.ok())
+                            return MakeReadyFuture(built.status());
+                          return vm_
+                              .NotifySuccessAsync(op->id, op->ticket.version)
+                              .Then([this, op](Result<Unit> n) -> Status {
+                                if (!n.ok()) return n.status();
+                                std::lock_guard<std::mutex> lock(stats_mu_);
+                                stats_.repairs++;
+                                return Status::OK();
+                              });
+                        });
+                  });
+            });
+      });
+}
 
-  // --- Inner nodes, bottom-up (paper Algorithm 4, second loop). ---
-  for (const Extent& block :
-       meta::UpdateNodeSet(range, ticket.new_size, psize)) {
-    if (meta::IsLeafBlock(block, psize)) continue;
-    Extent left = meta::LeftChildBlock(block);
-    Extent right = meta::RightChildBlock(block);
-    Version vl, vr;
-    if (left.Intersects(range)) {
-      vl = vw;
-    } else {
-      BS_ASSIGN_OR_RETURN(vl, resolve(left));
-    }
-    if (right.Intersects(range)) {
-      vr = vw;
-    } else {
-      BS_ASSIGN_OR_RETURN(vr, resolve(right));
-    }
-    nodes.emplace_back(NodeKey{self_origin, vw, block},
-                       MetaNode::Inner(vl, vr));
-  }
+// --- Synchronous facade: thin waits over the async chains. Wait parks the
+// caller on an executor-provided event, so the same code blocks correctly
+// on real threads and on simnet tasks. ---
 
-  BS_RETURN_NOT_OK(meta_.WriteNodes(nodes));
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.meta_nodes_written += nodes.size();
-  return Status::OK();
+Result<BlobId> BlobClient::Create(uint64_t psize) {
+  return CreateAsync(psize).Wait(executor_);
+}
+
+Result<BlobDescriptor> BlobClient::Open(BlobId id) {
+  return OpenAsync(id).Wait(executor_);
 }
 
 Result<Version> BlobClient::Write(BlobId id, Slice data, uint64_t offset) {
-  if (data.empty()) return Status::InvalidArgument("empty write");
-  BS_ASSIGN_OR_RETURN(BlobDescriptor desc, Descriptor(id));
-
-  // Paper Algorithm 2: store the new pages first, fully in parallel, with
-  // no synchronization; only then register the update.
-  std::vector<PageWrite> writes = SplitIntoPages(data, offset, desc.psize);
-  Status stored = StorePages(&writes);
-  if (!stored.ok()) {
-    DeletePages(writes);
-    return stored;
-  }
-
-  auto ticket = vm_.AssignVersion(id, /*is_append=*/false, offset, data.size());
-  if (!ticket.ok()) {
-    DeletePages(writes);
-    return ticket.status();
-  }
-
-  Status built = BuildAndWriteMeta(desc, *ticket, &writes);
-  if (!built.ok()) {
-    (void)Abort(id, ticket->version);
-    return built;
-  }
-  BS_RETURN_NOT_OK(vm_.NotifySuccess(id, ticket->version));
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.writes++;
-    stats_.bytes_written += data.size();
-  }
-  return ticket->version;
+  return WriteAsync(id, data, offset).Wait(executor_);
 }
 
 Result<Version> BlobClient::Append(BlobId id, Slice data) {
-  if (data.empty()) return Status::InvalidArgument("empty append");
-  BS_ASSIGN_OR_RETURN(BlobDescriptor desc, Descriptor(id));
-
-  // Appends learn their offset from the version manager (paper section
-  // 3.3); with unaligned blob sizes the page split depends on it, so the
-  // version is assigned before the pages are stored (DESIGN.md 3.3).
-  auto ticket = vm_.AssignVersion(id, /*is_append=*/true, 0, data.size());
-  if (!ticket.ok()) return ticket.status();
-
-  std::vector<PageWrite> writes =
-      SplitIntoPages(data, ticket->offset, desc.psize);
-  Status st = StorePages(&writes);
-  if (st.ok()) st = BuildAndWriteMeta(desc, *ticket, &writes);
-  if (!st.ok()) {
-    (void)Abort(id, ticket->version);
-    return st;
-  }
-  BS_RETURN_NOT_OK(vm_.NotifySuccess(id, ticket->version));
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.appends++;
-    stats_.bytes_written += data.size();
-  }
-  return ticket->version;
-}
-
-Status BlobClient::ResolveLeafPieces(const BranchAncestry& ancestry,
-                                     const Extent& block,
-                                     const meta::MetaNode& leaf,
-                                     std::vector<Interval> needed,
-                                     std::vector<FetchPiece>* out) {
-  MetaNode cur = leaf;
-  for (;;) {
-    // Overlay this leaf's fragments onto whatever is still uncovered.
-    for (const PageFragment& frag : cur.fragments) {
-      uint64_t fb = frag.page_off;
-      uint64_t fe = frag.page_off + frag.len;
-      std::vector<Interval> rest;
-      rest.reserve(needed.size() + 1);
-      for (const Interval& iv : needed) {
-        uint64_t ob = std::max(iv.begin, fb);
-        uint64_t oe = std::min(iv.end, fe);
-        if (ob >= oe) {
-          rest.push_back(iv);
-          continue;
-        }
-        out->push_back(FetchPiece{frag.pid, frag.provider,
-                                  frag.data_off + (ob - fb), oe - ob, ob});
-        if (iv.begin < ob) rest.push_back(Interval{iv.begin, ob});
-        if (oe < iv.end) rest.push_back(Interval{oe, iv.end});
-      }
-      needed = std::move(rest);
-      if (needed.empty()) return Status::OK();
-    }
-    if (cur.prev_version == kNoVersion) {
-      return Status::Corruption("page bytes not covered by fragment chain at " +
-                                block.ToString());
-    }
-    auto next = meta_.GetNode(
-        NodeKey{ancestry.Resolve(cur.prev_version), cur.prev_version, block});
-    if (!next.ok()) return next.status();
-    cur = std::move(next).ValueUnsafe();
-  }
-}
-
-Status BlobClient::FetchPieces(const std::vector<FetchPiece>& pieces,
-                               uint64_t page_base, uint64_t range_offset,
-                               char* dst) {
-  std::vector<std::string> addresses(pieces.size());
-  for (size_t i = 0; i < pieces.size(); i++) {
-    auto addr = ProviderAddress(pieces[i].provider);
-    if (!addr.ok()) return addr.status();
-    addresses[i] = std::move(addr).ValueUnsafe();
-  }
-  return executor_->ParallelFor(
-      pieces.size(), options_.data_fanout, [&](size_t i) {
-        const FetchPiece& p = pieces[i];
-        std::string chunk;
-        BS_RETURN_NOT_OK(providers_.ReadPage(addresses[i], p.pid, p.src_off,
-                                             p.len, &chunk));
-        if (chunk.size() != p.len)
-          return Status::Corruption("short page read");
-        std::memcpy(dst + (page_base + p.page_local_off - range_offset),
-                    chunk.data(), chunk.size());
-        return Status::OK();
-      });
+  return AppendAsync(id, data).Wait(executor_);
 }
 
 Status BlobClient::Read(BlobId id, Version version, uint64_t offset,
                         uint64_t size, std::string* out) {
-  BS_ASSIGN_OR_RETURN(BlobDescriptor desc, Descriptor(id));
-  // GET_SIZE doubles as the publication check (paper Algorithm 1 line 1).
-  auto blob_size = vm_.GetSize(id, version);
-  if (!blob_size.ok()) return blob_size.status();
-  if (offset + size > *blob_size)
-    return Status::OutOfRange(
-        StrFormat("read [%llu,+%llu) beyond snapshot size %llu",
-                  static_cast<unsigned long long>(offset),
-                  static_cast<unsigned long long>(size),
-                  static_cast<unsigned long long>(*blob_size)));
-  out->clear();
-  out->resize(size);
-  if (size == 0) return Status::OK();
-
-  const BranchAncestry ancestry = desc.Ancestry();
-  const Extent range{offset, size};
-  std::vector<meta::LeafRef> leaves;
-  BS_RETURN_NOT_OK(meta_.ReadMeta(ancestry, version, *blob_size, desc.psize,
-                                  range, &leaves));
-
-  // Resolve fragment chains per leaf (parallel across leaves), then fetch
-  // all pieces in one parallel wave.
-  std::vector<std::vector<FetchPiece>> per_leaf(leaves.size());
-  BS_RETURN_NOT_OK(executor_->ParallelFor(
-      leaves.size(), options_.meta_fanout, [&](size_t i) {
-        const meta::LeafRef& leaf = leaves[i];
-        Extent needed_abs = leaf.block.Clip(range);
-        Interval needed{needed_abs.offset - leaf.block.offset,
-                        needed_abs.end() - leaf.block.offset};
-        return ResolveLeafPieces(ancestry, leaf.block, leaf.node, {needed},
-                                 &per_leaf[i]);
-      }));
-
-  std::vector<FetchPiece> pieces;
-  std::vector<uint64_t> bases;
-  for (size_t i = 0; i < leaves.size(); i++) {
-    for (const FetchPiece& p : per_leaf[i]) {
-      pieces.push_back(p);
-      bases.push_back(leaves[i].block.offset);
-    }
-  }
-  // FetchPieces assumes one base per call; inline the fetch here instead to
-  // allow mixed bases in a single parallel wave.
-  std::vector<std::string> addresses(pieces.size());
-  for (size_t i = 0; i < pieces.size(); i++) {
-    auto addr = ProviderAddress(pieces[i].provider);
-    if (!addr.ok()) return addr.status();
-    addresses[i] = std::move(addr).ValueUnsafe();
-  }
-  BS_RETURN_NOT_OK(executor_->ParallelFor(
-      pieces.size(), options_.data_fanout, [&](size_t i) {
-        const FetchPiece& p = pieces[i];
-        std::string chunk;
-        BS_RETURN_NOT_OK(providers_.ReadPage(addresses[i], p.pid, p.src_off,
-                                             p.len, &chunk));
-        if (chunk.size() != p.len)
-          return Status::Corruption("short page read");
-        std::memcpy(out->data() + (bases[i] + p.page_local_off - offset),
-                    chunk.data(), chunk.size());
-        return Status::OK();
-      }));
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    stats_.reads++;
-    stats_.bytes_read += size;
-  }
+  auto r = ReadAsync(id, version, offset, size).Wait(executor_);
+  if (!r.ok()) return r.status();
+  *out = std::move(r).ValueUnsafe();
   return Status::OK();
 }
 
-Result<Version> BlobClient::GetRecent(BlobId id, uint64_t* size) {
-  Version v;
-  uint64_t sz;
-  BS_RETURN_NOT_OK(vm_.GetRecent(id, &v, &sz));
-  if (size) *size = sz;
-  return v;
+Result<RecentVersion> BlobClient::GetRecent(BlobId id) {
+  return GetRecentAsync(id).Wait(executor_);
 }
 
 Result<uint64_t> BlobClient::GetSize(BlobId id, Version version) {
-  return vm_.GetSize(id, version);
+  return GetSizeAsync(id, version).Wait(executor_);
 }
 
 Status BlobClient::Sync(BlobId id, Version version, uint64_t timeout_us) {
-  const uint64_t slice_us = 250 * 1000;
-  uint64_t waited = 0;
-  for (;;) {
-    uint64_t remaining =
-        timeout_us == kNoTimeout ? slice_us : timeout_us - waited;
-    uint64_t server_wait =
-        options_.blocking_sync ? std::min(remaining, slice_us) : 0;
-    Status s = vm_.AwaitPublished(id, version, server_wait);
-    if (s.ok()) return s;
-    if (!s.IsTimedOut()) return s;
-    uint64_t step = server_wait;
-    if (!options_.blocking_sync) {
-      uint64_t nap = std::min<uint64_t>(options_.sync_poll_us, remaining);
-      clock_->SleepForMicros(nap);
-      step = nap;
-    }
-    if (timeout_us != kNoTimeout) {
-      waited += step;
-      if (waited >= timeout_us) return Status::TimedOut("SYNC timeout");
-    }
-  }
+  return SyncAsync(id, version, timeout_us).Wait(executor_).status();
+}
+
+Status BlobClient::Abort(BlobId id, Version version) {
+  return AbortAsync(id, version).Wait(executor_).status();
 }
 
 Result<BlobId> BlobClient::Branch(BlobId id, Version version) {
@@ -502,26 +939,6 @@ Result<BlobId> BlobClient::Branch(BlobId id, Version version) {
   BlobId bid = desc->id;
   descriptors_[bid] = std::move(desc).ValueUnsafe();
   return bid;
-}
-
-Status BlobClient::Abort(BlobId id, Version version) {
-  BS_ASSIGN_OR_RETURN(BlobDescriptor desc, Descriptor(id));
-  auto outcome = vm_.AbortUpdate(id, version);
-  if (!outcome.ok()) return outcome.status();
-  if (outcome->retracted) return Status::OK();
-
-  // Repair: replay the aborted update as zeros (DESIGN.md 3.3) so that
-  // every node key later updates may have border-referenced exists.
-  const AssignTicket& ticket = outcome->repair;
-  std::string zeros(ticket.size, '\0');
-  std::vector<PageWrite> writes =
-      SplitIntoPages(Slice(zeros), ticket.offset, desc.psize);
-  BS_RETURN_NOT_OK(StorePages(&writes));
-  BS_RETURN_NOT_OK(BuildAndWriteMeta(desc, ticket, &writes));
-  BS_RETURN_NOT_OK(vm_.NotifySuccess(id, version));
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.repairs++;
-  return Status::OK();
 }
 
 ClientStats BlobClient::GetStats() const {

@@ -2,6 +2,14 @@
 // (section 2.1) — CREATE, READ, WRITE, APPEND, GET_RECENT, GET_SIZE, SYNC,
 // BRANCH — over the version manager, provider manager, data providers and
 // the DHT-backed metadata store.
+//
+// The async API (*Async methods returning Future<T>) is the real
+// implementation: every operation is a continuation chain whose RPC
+// fan-outs (page stores, metadata node writes, page fetches) pipeline over
+// the transport without parking a client thread per operation, so a single
+// client can keep dozens of updates in flight. The synchronous methods are
+// thin waits over the same chains. See docs/client_api.md for the
+// threading model and argument-lifetime rules.
 #ifndef BLOBSEER_CLIENT_BLOB_CLIENT_H_
 #define BLOBSEER_CLIENT_BLOB_CLIENT_H_
 
@@ -15,6 +23,7 @@
 #include "common/blob_descriptor.h"
 #include "common/clock.h"
 #include "common/executor.h"
+#include "common/future.h"
 #include "common/result.h"
 #include "dht/client.h"
 #include "meta/meta_client.h"
@@ -28,7 +37,8 @@ struct ClientOptions {
   /// Worker threads for the client's internally-owned executor (ignored
   /// when an external executor is supplied).
   size_t io_threads = 16;
-  /// Maximum parallel page transfers per operation.
+  /// Maximum parallel page transfers per operation (sync helpers; the
+  /// async pipeline is bounded by channels_per_endpoint pipelining).
   size_t data_fanout = 8;
   /// Maximum parallel metadata (DHT) operations per batch/level.
   size_t meta_fanout = 16;
@@ -60,7 +70,8 @@ struct ClientStats {
 };
 
 /// One BlobSeer client process. Thread-safe: concurrent operations on the
-/// same client are allowed and proceed in parallel.
+/// same client are allowed and proceed in parallel; async operations from a
+/// single caller thread additionally overlap with each other.
 class BlobClient {
  public:
   static constexpr uint64_t kNoTimeout = UINT64_MAX;
@@ -78,44 +89,65 @@ class BlobClient {
   BlobClient(const BlobClient&) = delete;
   BlobClient& operator=(const BlobClient&) = delete;
 
+  // --- Asynchronous core. Futures resolve on the transport's completion
+  // context (or on the caller when the transport completes inline); Slice
+  // arguments are borrowed and must stay alive until the returned future
+  // resolves. ---
+
   /// CREATE: new empty blob with the given page size (power of two).
-  Result<BlobId> Create(uint64_t psize);
+  Future<BlobId> CreateAsync(uint64_t psize);
 
   /// Fetches (and caches) a blob's descriptor.
-  Result<BlobDescriptor> Open(BlobId id);
+  Future<BlobDescriptor> OpenAsync(BlobId id);
 
   /// WRITE: replaces `data.size()` bytes at `offset`, producing a new
-  /// snapshot. Returns the assigned version; the snapshot may not be
-  /// published yet when this returns (use Sync for read-your-writes).
-  /// Fails with OutOfRange if `offset` exceeds the size of the preceding
-  /// snapshot.
-  Result<Version> Write(BlobId id, Slice data, uint64_t offset);
+  /// snapshot. Resolves to the assigned version; the snapshot may not be
+  /// published yet (use Sync/SyncAsync for read-your-writes). Fails with
+  /// OutOfRange if `offset` exceeds the size of the preceding snapshot.
+  Future<Version> WriteAsync(BlobId id, Slice data, uint64_t offset);
 
   /// APPEND: WRITE at the implicit offset = size of the preceding snapshot.
-  Result<Version> Append(BlobId id, Slice data);
+  Future<Version> AppendAsync(BlobId id, Slice data);
 
-  /// READ from published snapshot `version`. Fails if the version is not
-  /// yet published or the range exceeds the snapshot size.
-  Status Read(BlobId id, Version version, uint64_t offset, uint64_t size,
-              std::string* out);
+  /// READ from published snapshot `version`; resolves to the bytes read.
+  /// Fails if the version is not yet published or the range exceeds the
+  /// snapshot size.
+  Future<std::string> ReadAsync(BlobId id, Version version, uint64_t offset,
+                                uint64_t size);
 
-  /// GET_RECENT: a recently published version (>= anything published before
-  /// the call) and its size.
-  Result<Version> GetRecent(BlobId id, uint64_t* size = nullptr);
+  /// GET_RECENT: a recently published version (>= anything published
+  /// before the call) and its size.
+  Future<RecentVersion> GetRecentAsync(BlobId id);
 
   /// GET_SIZE of a published snapshot.
-  Result<uint64_t> GetSize(BlobId id, Version version);
+  Future<uint64_t> GetSizeAsync(BlobId id, Version version);
 
-  /// SYNC: blocks until `version` is published (or timeout).
-  Status Sync(BlobId id, Version version, uint64_t timeout_us = kNoTimeout);
-
-  /// BRANCH: new blob sharing content with `id` up to `version`.
-  Result<BlobId> Branch(BlobId id, Version version);
+  /// SYNC: resolves once `version` is published (or TimedOut). The wait is
+  /// held server-side (blocking_sync) or re-polled through the executor,
+  /// so no caller thread is parked either way.
+  Future<Unit> SyncAsync(BlobId id, Version version,
+                         uint64_t timeout_us = kNoTimeout);
 
   /// Abandons an assigned-but-unpublished update: retracts it when
   /// possible, otherwise repairs it as a zero-filled update and publishes
   /// it so the version chain keeps advancing (writer-crash recovery).
+  Future<Unit> AbortAsync(BlobId id, Version version);
+
+  // --- Synchronous facade: each call waits on the async chain above. ---
+
+  Result<BlobId> Create(uint64_t psize);
+  Result<BlobDescriptor> Open(BlobId id);
+  Result<Version> Write(BlobId id, Slice data, uint64_t offset);
+  Result<Version> Append(BlobId id, Slice data);
+  Status Read(BlobId id, Version version, uint64_t offset, uint64_t size,
+              std::string* out);
+  Result<RecentVersion> GetRecent(BlobId id);
+  Result<uint64_t> GetSize(BlobId id, Version version);
+  Status Sync(BlobId id, Version version, uint64_t timeout_us = kNoTimeout);
   Status Abort(BlobId id, Version version);
+
+  /// BRANCH: new blob sharing content with `id` up to `version`.
+  Result<BlobId> Branch(BlobId id, Version version);
 
   ClientStats GetStats() const;
 
@@ -124,12 +156,13 @@ class BlobClient {
   dht::DhtClient& dht() { return dht_; }
   meta::MetaClient& meta() { return meta_; }
   const ClientOptions& options() const { return options_; }
+  Executor* executor() { return executor_; }
 
  private:
   struct PageWrite {
     uint64_t page_index = 0;
     meta::PageFragment frag;
-    Slice bytes;  // fragment payload (borrowed from caller / zero buffer)
+    Slice bytes;  // fragment payload (borrowed from caller / owned buffer)
   };
   struct FetchPiece {
     PageId pid;
@@ -143,34 +176,54 @@ class BlobClient {
     uint64_t end = 0;
   };
 
-  Result<BlobDescriptor> Descriptor(BlobId id);
+  /// Shared state of one WRITE/APPEND (or abort-repair) continuation
+  /// chain; lives until its future resolves.
+  struct UpdateOp;
+  /// Shared state of one READ chain.
+  struct ReadOp;
+  /// Shared state of one SYNC await/poll loop.
+  struct SyncOp;
+
+  Future<BlobDescriptor> DescriptorAsync(BlobId id);
   PageId NewPageId();
 
   /// Splits an update's payload along the page grid.
   std::vector<PageWrite> SplitIntoPages(Slice data, uint64_t offset,
                                         uint64_t psize) const;
-  /// Allocates providers and stores all page objects in parallel.
-  Status StorePages(std::vector<PageWrite>* writes);
-  /// Best-effort deletion of already-stored pages (failure cleanup).
-  void DeletePages(const std::vector<PageWrite>& writes);
 
-  /// Builds the new snapshot's tree (paper Algorithm 4) and writes it.
-  Status BuildAndWriteMeta(const BlobDescriptor& desc,
-                           const vmanager::AssignTicket& ticket,
-                           std::vector<PageWrite>* writes);
+  /// Allocates providers and stores all page objects as one async wave.
+  Future<Unit> StorePagesAsync(std::shared_ptr<std::vector<PageWrite>> writes);
+  /// Best-effort deletion of already-stored pages (failure cleanup);
+  /// always resolves OK.
+  Future<Unit> DeletePagesAsync(
+      std::shared_ptr<std::vector<PageWrite>> writes);
+
+  /// Stage 2 of an update: version assigned, pages stored (WRITE) or about
+  /// to be stored (APPEND) — runs the remaining chain through metadata
+  /// build and publication.
+  Future<Version> RunUpdateAsync(std::shared_ptr<UpdateOp> op);
+
+  /// Builds the new snapshot's tree (paper Algorithm 4) and writes it:
+  /// leaves (with chain bookkeeping and compaction) fan out in parallel,
+  /// then inner nodes assemble from border resolutions, then all nodes are
+  /// written in one wave.
+  Future<Unit> BuildAndWriteMetaAsync(std::shared_ptr<UpdateOp> op);
+  Future<Unit> BuildLeafAsync(std::shared_ptr<UpdateOp> op, PageWrite* w);
+  Future<Version> ResolveBorderAsync(std::shared_ptr<UpdateOp> op,
+                                     const Extent& block);
 
   /// Chain-walk composition: which stored bytes satisfy `needed` (page-
   /// local intervals) for the page `block` whose newest leaf is `leaf`.
-  Status ResolveLeafPieces(const BranchAncestry& ancestry, const Extent& block,
-                           const meta::MetaNode& leaf,
-                           std::vector<Interval> needed,
-                           std::vector<FetchPiece>* out);
+  Future<std::vector<FetchPiece>> ResolveLeafPiecesAsync(
+      const BranchAncestry& ancestry, const Extent& block,
+      const meta::MetaNode& leaf, std::vector<Interval> needed);
 
-  /// Fetches pieces into `dst` (page-local base `dst_base` subtracted).
-  Status FetchPieces(const std::vector<FetchPiece>& pieces, uint64_t page_base,
-                     uint64_t range_offset, char* dst);
-
-  Result<std::string> ProviderAddress(ProviderId id);
+  /// Fetches `pieces` into `dst` (piece i lands at
+  /// bases[i] + page_local_off - range_offset). `dst` must stay alive until
+  /// resolution; callers own it through their op state.
+  Future<Unit> FetchPiecesIntoAsync(std::vector<FetchPiece> pieces,
+                                    std::vector<uint64_t> bases,
+                                    uint64_t range_offset, char* dst);
 
   rpc::Transport* transport_;
   ClientOptions options_;

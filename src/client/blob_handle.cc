@@ -3,15 +3,30 @@
 namespace blobseer::client {
 
 Status Blob::ReadRecent(uint64_t offset, uint64_t size, std::string* out) {
-  auto v = client_->GetRecent(id_);
-  if (!v.ok()) return v.status();
-  return client_->Read(id_, *v, offset, size, out);
+  auto recent = client_->GetRecent(id_);
+  if (!recent.ok()) return recent.status();
+  return client_->Read(id_, recent->version, offset, size, out);
 }
 
 Result<Blob> Blob::Branch(Version version) {
   auto bid = client_->Branch(id_, version);
   if (!bid.ok()) return bid.status();
   return Blob(client_, *bid);
+}
+
+Future<Version> Blob::AppendSyncAsync(Slice data) {
+  BlobClient* client = client_;
+  BlobId id = id_;
+  return client->AppendAsync(id, data).Then(
+      [client, id](Result<Version> v) -> Future<Version> {
+        if (!v.ok()) return MakeReadyFuture<Version>(v.status());
+        Version version = *v;
+        return client->SyncAsync(id, version)
+            .Then([version](Result<Unit> s) -> Result<Version> {
+              if (!s.ok()) return s.status();
+              return version;
+            });
+      });
 }
 
 Result<Version> Blob::AppendSync(Slice data) {

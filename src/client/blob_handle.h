@@ -9,7 +9,9 @@
 namespace blobseer::client {
 
 /// Lightweight, copyable view of one blob through one client. All calls
-/// forward to BlobClient; see its documentation for semantics.
+/// forward to BlobClient; see its documentation for semantics (async
+/// forwards share the Slice-borrow rule: keep payloads alive until the
+/// returned future resolves).
 class Blob {
  public:
   Blob() = default;
@@ -29,9 +31,7 @@ class Blob {
   }
   /// Reads [offset, offset+size) from the most recent published snapshot.
   Status ReadRecent(uint64_t offset, uint64_t size, std::string* out);
-  Result<Version> GetRecent(uint64_t* size = nullptr) {
-    return client_->GetRecent(id_, size);
-  }
+  Result<RecentVersion> GetRecent() { return client_->GetRecent(id_); }
   Result<uint64_t> GetSize(Version version) {
     return client_->GetSize(id_, version);
   }
@@ -40,6 +40,30 @@ class Blob {
     return client_->Sync(id_, version, timeout_us);
   }
   Result<Blob> Branch(Version version);
+
+  /// Async forwards.
+  Future<Version> WriteAsync(Slice data, uint64_t offset) {
+    return client_->WriteAsync(id_, data, offset);
+  }
+  Future<Version> AppendAsync(Slice data) {
+    return client_->AppendAsync(id_, data);
+  }
+  Future<std::string> ReadAsync(Version version, uint64_t offset,
+                                uint64_t size) {
+    return client_->ReadAsync(id_, version, offset, size);
+  }
+  Future<RecentVersion> GetRecentAsync() {
+    return client_->GetRecentAsync(id_);
+  }
+  Future<uint64_t> GetSizeAsync(Version version) {
+    return client_->GetSizeAsync(id_, version);
+  }
+  Future<Unit> SyncAsync(Version version,
+                         uint64_t timeout_us = BlobClient::kNoTimeout) {
+    return client_->SyncAsync(id_, version, timeout_us);
+  }
+  /// Appends and resolves once the new version is published.
+  Future<Version> AppendSyncAsync(Slice data);
 
   /// Appends and waits for publication (read-your-writes convenience).
   Result<Version> AppendSync(Slice data);

@@ -60,6 +60,13 @@ class BranchAncestry {
   std::vector<AncestrySegment> segments_;
 };
 
+/// GET_RECENT outcome: a recently published version together with its
+/// snapshot size (the paper's primitive returns both).
+struct RecentVersion {
+  Version version = 0;
+  uint64_t size = 0;
+};
+
 /// Everything a client needs to operate on a blob.
 struct BlobDescriptor {
   BlobId id = kInvalidBlobId;

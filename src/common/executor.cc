@@ -23,6 +23,10 @@ ThreadPoolExecutor::ThreadPoolExecutor(size_t threads)
 
 ThreadPoolExecutor::~ThreadPoolExecutor() = default;
 
+void ThreadPoolExecutor::Schedule(std::function<void()> fn) {
+  pool_->Submit(std::move(fn));
+}
+
 Status ThreadPoolExecutor::ParallelFor(
     size_t n, size_t max_parallel, const std::function<Status(size_t)>& fn) {
   if (n == 0) return Status::OK();

@@ -1,0 +1,339 @@
+// Promise/Future: the asynchronous counterpart of Result<T>.
+//
+// A Future<T> resolves exactly once to a Result<T> (value or Status). It is
+// single-consumer: attach one continuation with Then/OnReady, or block for
+// the result with Wait. Completion never busy-waits — a continuation runs
+// on the thread that fulfills the promise, or is handed to an Executor when
+// one is supplied ("executor-aware dispatch"), and Wait parks the caller on
+// a WaitEvent built by the executor (real condvar on OS threads, virtual
+// condition under simnet).
+//
+// Threading model (see docs/client_api.md):
+//  * Then(fn) / OnReady(cb) with no executor: fn runs inline — on the
+//    attaching thread if the future is already resolved, otherwise on
+//    whichever thread calls Promise::Set (for RPC-backed futures that is
+//    the transport completion thread / sim task). Keep such continuations
+//    short and non-blocking.
+//  * Then(executor, fn): fn is Schedule'd on the executor instead.
+//  * A Promise dropped without Set resolves its future to Internal
+//    ("promise abandoned"), so chains cannot hang on a leaked stage.
+#ifndef BLOBSEER_COMMON_FUTURE_H_
+#define BLOBSEER_COMMON_FUTURE_H_
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/executor.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace blobseer {
+
+/// Value carried by futures of operations that only report a Status.
+struct Unit {};
+
+template <typename T>
+class Future;
+template <typename T>
+class Promise;
+
+namespace internal {
+
+template <typename T>
+struct FutureState {
+  std::mutex mu;
+  std::optional<Result<T>> result;
+  bool fulfilled = false;
+  bool callback_attached = false;
+  Executor* callback_executor = nullptr;
+  std::function<void(Result<T>)> callback;
+
+  void Fulfill(Result<T> r) {
+    std::function<void(Result<T>)> cb;
+    Executor* ex = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      assert(!fulfilled && "promise fulfilled twice");
+      if (fulfilled) return;
+      fulfilled = true;
+      if (callback) {
+        cb = std::move(callback);
+        callback = nullptr;
+        ex = callback_executor;
+      } else {
+        result.emplace(std::move(r));
+        return;
+      }
+    }
+    Dispatch(ex, std::move(cb), std::move(r));
+  }
+
+  void Attach(Executor* ex, std::function<void(Result<T>)> cb) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      assert(!callback_attached && "future consumed twice");
+      callback_attached = true;
+      if (!result.has_value()) {
+        callback_executor = ex;
+        callback = std::move(cb);
+        return;
+      }
+    }
+    // Already resolved: result is immutable now, no lock needed to take it.
+    Dispatch(ex, std::move(cb), std::move(*result));
+  }
+
+  static void Dispatch(Executor* ex, std::function<void(Result<T>)> cb,
+                       Result<T> r) {
+    if (ex == nullptr) {
+      cb(std::move(r));
+      return;
+    }
+    // Wrap in shared_ptr: std::function requires copyable targets.
+    auto boxed = std::make_shared<Result<T>>(std::move(r));
+    ex->Schedule([cb = std::move(cb), boxed] { cb(std::move(*boxed)); });
+  }
+};
+
+/// Maps a continuation's return type onto the resulting future:
+/// Result<U> -> Future<U>, Future<U> -> Future<U> (flattened),
+/// Status -> Future<Unit>, plain U -> Future<U>.
+template <typename R>
+struct ContinuationTraits {
+  using Value = R;
+  static void Feed(Promise<Value>& p, R&& r);
+};
+template <typename U>
+struct ContinuationTraits<Result<U>> {
+  using Value = U;
+  static void Feed(Promise<Value>& p, Result<U>&& r);
+};
+template <>
+struct ContinuationTraits<Status> {
+  using Value = Unit;
+  static void Feed(Promise<Unit>& p, Status&& s);
+};
+template <typename U>
+struct ContinuationTraits<Future<U>> {
+  using Value = U;
+  static void Feed(Promise<Value>& p, Future<U>&& f);
+};
+
+}  // namespace internal
+
+/// Write side. Copyable (shared state); Set must be called at most once
+/// across all copies. If every copy is destroyed without Set, the future
+/// resolves to Internal("promise abandoned").
+template <typename T>
+class Promise {
+ public:
+  Promise()
+      : state_(std::make_shared<internal::FutureState<T>>()),
+        guard_(MakeGuard(state_)) {}
+
+  /// Resolves the future. Continuations attached without an executor run
+  /// inline on this thread before Set returns.
+  void Set(Result<T> r) { state_->Fulfill(std::move(r)); }
+  void Set(T value) { Set(Result<T>(std::move(value))); }
+  void Set(Status s) { Set(Result<T>(std::move(s))); }
+
+  Future<T> GetFuture() { return Future<T>(state_); }
+
+ private:
+  static std::shared_ptr<void> MakeGuard(
+      std::shared_ptr<internal::FutureState<T>> state) {
+    // Deleter fires when the last Promise copy dies: an abandoned promise
+    // (error path dropped a stage) resolves instead of hanging the chain.
+    return std::shared_ptr<void>(nullptr, [state = std::move(state)](void*) {
+      bool fulfilled;
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        fulfilled = state->fulfilled;
+      }
+      if (!fulfilled)
+        state->Fulfill(Result<T>(Status::Internal("promise abandoned")));
+    });
+  }
+
+  std::shared_ptr<internal::FutureState<T>> state_;
+  std::shared_ptr<void> guard_;
+};
+
+/// Read side. Single-consumer: exactly one of OnReady / Then / Wait may be
+/// called, exactly once.
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+  explicit Future(std::shared_ptr<internal::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// True once the result is available (racy by nature; useful in tests).
+  bool Ready() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->result.has_value();
+  }
+
+  /// Core primitive: invoke `cb` with the result. With `ex == nullptr` the
+  /// callback runs inline (see threading model above); otherwise it is
+  /// Schedule'd on `ex`.
+  void OnReady(Executor* ex, std::function<void(Result<T>)> cb) {
+    state_->Attach(ex, std::move(cb));
+  }
+
+  /// Chains a continuation. `fn` receives Result<T> and may return
+  /// Result<U>, Future<U> (flattened), Status (maps to Future<Unit>) or a
+  /// plain value U. Errors are NOT short-circuited: `fn` always runs and
+  /// decides how to propagate (return `r.status()` to pass errors through).
+  template <typename F>
+  auto Then(Executor* ex, F fn)
+      -> Future<typename internal::ContinuationTraits<
+          std::invoke_result_t<F, Result<T>>>::Value> {
+    using Traits =
+        internal::ContinuationTraits<std::invoke_result_t<F, Result<T>>>;
+    Promise<typename Traits::Value> p;
+    auto out = p.GetFuture();
+    OnReady(ex, [fn = std::move(fn), p](Result<T> r) mutable {
+      auto next = fn(std::move(r));
+      Traits::Feed(p, std::move(next));
+    });
+    return out;
+  }
+  template <typename F>
+  auto Then(F fn) {
+    return Then(nullptr, std::move(fn));
+  }
+
+  /// Blocks until resolution and returns the result. `ex` supplies the
+  /// parking primitive (pass the environment's executor when calling from
+  /// a simnet task); nullptr uses a plain condvar, which is correct on any
+  /// real thread.
+  Result<T> Wait(Executor* ex = nullptr) {
+    {
+      // Fast path: already resolved.
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->result.has_value() && !state_->callback_attached) {
+        state_->callback_attached = true;
+        return std::move(*state_->result);
+      }
+    }
+    std::shared_ptr<WaitEvent> event =
+        ex ? ex->MakeWaitEvent() : std::make_unique<CondVarWaitEvent>();
+    auto slot = std::make_shared<std::optional<Result<T>>>();
+    // Inline attach: runs on the fulfilling thread; only stores + signals.
+    // The callback shares ownership of the event so a signal racing this
+    // frame's return can never touch a destroyed event.
+    OnReady(nullptr, [slot, event](Result<T> r) {
+      slot->emplace(std::move(r));
+      event->Signal();
+    });
+    event->Await();
+    return std::move(**slot);
+  }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+template <typename T>
+Future<T> MakeReadyFuture(Result<T> r) {
+  Promise<T> p;
+  auto f = p.GetFuture();
+  p.Set(std::move(r));
+  return f;
+}
+template <typename T>
+Future<T> MakeReadyFuture(T value) {
+  return MakeReadyFuture<T>(Result<T>(std::move(value)));
+}
+inline Future<Unit> MakeReadyFuture(Status s) {
+  Promise<Unit> p;
+  auto f = p.GetFuture();
+  if (s.ok())
+    p.Set(Unit{});
+  else
+    p.Set(std::move(s));
+  return f;
+}
+
+namespace internal {
+
+template <typename R>
+void ContinuationTraits<R>::Feed(Promise<R>& p, R&& r) {
+  p.Set(Result<R>(std::move(r)));
+}
+template <typename U>
+void ContinuationTraits<Result<U>>::Feed(Promise<U>& p, Result<U>&& r) {
+  p.Set(std::move(r));
+}
+inline void ContinuationTraits<Status>::Feed(Promise<Unit>& p, Status&& s) {
+  if (s.ok())
+    p.Set(Unit{});
+  else
+    p.Set(std::move(s));
+}
+template <typename U>
+void ContinuationTraits<Future<U>>::Feed(Promise<U>& p, Future<U>&& f) {
+  f.OnReady(nullptr, [p](Result<U> r) mutable { p.Set(std::move(r)); });
+}
+
+}  // namespace internal
+
+/// Resolves once every input future has resolved, with all results in input
+/// order. Never fails itself — per-element errors are in the elements.
+/// The combinator for fan-out/fan-in stages (StorePages, FetchPieces, ...).
+template <typename T>
+Future<std::vector<Result<T>>> WhenAll(std::vector<Future<T>> futures) {
+  Promise<std::vector<Result<T>>> p;
+  auto out = p.GetFuture();
+  if (futures.empty()) {
+    p.Set(std::vector<Result<T>>{});
+    return out;
+  }
+  struct JoinState {
+    std::mutex mu;
+    std::vector<std::optional<Result<T>>> slots;
+    size_t remaining;
+    Promise<std::vector<Result<T>>> promise;
+  };
+  auto join = std::make_shared<JoinState>();
+  join->slots.resize(futures.size());
+  join->remaining = futures.size();
+  join->promise = p;
+  for (size_t i = 0; i < futures.size(); i++) {
+    futures[i].OnReady(nullptr, [join, i](Result<T> r) {
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(join->mu);
+        join->slots[i].emplace(std::move(r));
+        last = --join->remaining == 0;
+      }
+      if (!last) return;
+      std::vector<Result<T>> results;
+      results.reserve(join->slots.size());
+      for (auto& s : join->slots) results.push_back(std::move(*s));
+      join->promise.Set(std::move(results));
+    });
+  }
+  return out;
+}
+
+/// First non-OK status across a WhenAll result set (OK when all succeeded).
+template <typename T>
+Status FirstError(const std::vector<Result<T>>& results) {
+  for (const auto& r : results) {
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+}  // namespace blobseer
+
+#endif  // BLOBSEER_COMMON_FUTURE_H_

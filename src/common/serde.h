@@ -77,7 +77,7 @@ class BinaryReader {
   }
 
   Status GetBytes(std::string* out) {
-    uint32_t n;
+    uint32_t n = 0;  // initialized: GCC 12 -Wmaybe-uninitialized inlining FP
     BS_RETURN_NOT_OK(GetU32(&n));
     if (n > data_.size()) return Truncated();
     out->assign(data_.data(), n);
@@ -86,7 +86,7 @@ class BinaryReader {
   }
   /// Zero-copy variant: the returned slice borrows the reader's input.
   Status GetBytesView(Slice* out) {
-    uint32_t n;
+    uint32_t n = 0;
     BS_RETURN_NOT_OK(GetU32(&n));
     if (n > data_.size()) return Truncated();
     *out = data_.SubSlice(0, n);
@@ -138,7 +138,7 @@ void PutVector(BinaryWriter* w, const std::vector<T>& v) {
 template <typename T>
 Status GetVector(BinaryReader* r, std::vector<T>* out,
                  uint32_t sanity_max = 64u * 1024 * 1024) {
-  uint32_t n;
+  uint32_t n = 0;
   BS_RETURN_NOT_OK(r->GetU32(&n));
   // Every element encodes to at least one byte, so a count beyond the
   // remaining payload is corrupt — this also stops adversarial counts from

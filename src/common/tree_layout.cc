@@ -1,9 +1,9 @@
-#include "meta/layout.h"
+#include "common/tree_layout.h"
 
 #include "common/logging.h"
 #include "common/math_util.h"
 
-namespace blobseer::meta {
+namespace blobseer {
 
 uint64_t NumPages(uint64_t size, uint64_t psize) {
   return size == 0 ? 1 : CeilDiv(size, psize);
@@ -89,4 +89,4 @@ uint32_t TreeDepth(uint64_t size, uint64_t psize) {
   return FloorLog2(RootSizeBytes(size, psize) / psize) + 1;
 }
 
-}  // namespace blobseer::meta
+}  // namespace blobseer

@@ -62,6 +62,66 @@ Status DhtClient::Get(Slice key, std::string* value) {
   return last;
 }
 
+Future<Unit> DhtClient::PutAsync(Slice key, Slice value) {
+  auto req = PutRequest{key.ToString(), value.ToString()};
+  std::vector<Future<PutResponse>> calls;
+  Status first_error;
+  for (size_t node : placement_->ReplicaNodes(key, options_.replication)) {
+    auto ch = pool_.Get(nodes_[node]);
+    if (!ch.ok()) {
+      if (first_error.ok()) first_error = ch.status();
+      continue;
+    }
+    calls.push_back(rpc::CallMethodAsync<PutRequest, PutResponse>(
+        ch->get(), rpc::Method::kDhtPut, req));
+  }
+  if (calls.empty()) {
+    return MakeReadyFuture(first_error.ok() ? Status::Unavailable("dht put")
+                                            : first_error);
+  }
+  return WhenAll(std::move(calls))
+      .Then([first_error](Result<std::vector<Result<PutResponse>>> all)
+                -> Status {
+        if (!all.ok()) return all.status();
+        Status first = first_error;
+        for (const auto& r : *all) {
+          if (r.ok()) return Status::OK();
+          if (first.ok()) first = r.status();
+        }
+        return first.ok() ? Status::Unavailable("dht put") : first;
+      });
+}
+
+Future<std::string> DhtClient::GetAsync(Slice key) {
+  GetRequest req{key.ToString()};
+  auto try_replica = [this](const GetRequest& r,
+                            size_t node) -> Future<std::string> {
+    auto ch = pool_.Get(nodes_[node]);
+    if (!ch.ok()) return MakeReadyFuture<std::string>(ch.status());
+    return rpc::CallMethodAsync<GetRequest, GetResponse>(
+               ch->get(), rpc::Method::kDhtGet, r)
+        .Then([](Result<GetResponse> rsp) -> Result<std::string> {
+          if (!rsp.ok()) return rsp.status();
+          return std::move(rsp->value);
+        });
+  };
+  // Fallback chain in placement order: each later replica is consulted only
+  // after the previous attempt resolved with an error.
+  std::vector<size_t> replicas =
+      placement_->ReplicaNodes(key, options_.replication);
+  if (replicas.empty())
+    return MakeReadyFuture<std::string>(Status::NotFound("dht key"));
+  Future<std::string> f = try_replica(req, replicas[0]);
+  for (size_t i = 1; i < replicas.size(); i++) {
+    f = f.Then([try_replica, req, node = replicas[i]](
+                   Result<std::string> r) -> Future<std::string> {
+      if (r.ok()) return MakeReadyFuture<std::string>(std::move(r));
+      return try_replica(req, node);
+    });
+  }
+  return f;
+}
+
 Status DhtClient::Delete(Slice key) {
   DeleteRequest req{key.ToString()};
   Status first_error;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/future.h"
 #include "dht/placement.h"
 #include "rpc/channel_pool.h"
 #include "rpc/transport.h"
@@ -32,6 +33,12 @@ class DhtClient {
   Status Put(Slice key, Slice value);
   Status Get(Slice key, std::string* value);
   Status Delete(Slice key);
+
+  /// Async variants with the same replica semantics: PutAsync resolves OK
+  /// once at least one replica accepted (replicas written in parallel);
+  /// GetAsync falls back across replicas in placement order.
+  Future<Unit> PutAsync(Slice key, Slice value);
+  Future<std::string> GetAsync(Slice key);
 
   /// Aggregate stats across all nodes.
   Status TotalStats(uint64_t* keys, uint64_t* bytes);

@@ -5,6 +5,7 @@
 #define BLOBSEER_META_META_CLIENT_H_
 
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -13,6 +14,7 @@
 
 #include "common/blob_descriptor.h"
 #include "common/executor.h"
+#include "common/future.h"
 #include "common/result.h"
 #include "dht/client.h"
 #include "meta/layout.h"
@@ -87,6 +89,35 @@ class MetaClient {
 
   /// GetNode through an optional per-operation memo.
   Result<MetaNode> GetNodeMemoized(const NodeKey& key, NodeMemo* memo);
+
+  /// Thread-safe per-operation memo for the async paths: one update's
+  /// border resolutions run as concurrent continuation chains that share
+  /// fetched nodes.
+  struct SharedNodeMemo {
+    std::mutex mu;
+    NodeMemo map;
+  };
+
+  /// Async variants of the node and tree operations. Continuations resolve
+  /// on the DHT transport's completion context; cache hits resolve
+  /// immediately on the calling thread.
+  Future<Unit> PutNodeAsync(const NodeKey& key, const MetaNode& node);
+  Future<MetaNode> GetNodeAsync(const NodeKey& key);
+  Future<MetaNode> GetNodeMemoizedAsync(const NodeKey& key,
+                                        std::shared_ptr<SharedNodeMemo> memo);
+  /// All puts are issued at once; per-endpoint pipelining bounds the real
+  /// parallelism (the sync path instead fans out `fanout`-wide).
+  Future<Unit> WriteNodesAsync(
+      std::vector<std::pair<NodeKey, MetaNode>> nodes);
+  Future<std::vector<LeafRef>> ReadMetaAsync(const BranchAncestry& ancestry,
+                                             Version version,
+                                             uint64_t blob_size,
+                                             uint64_t psize,
+                                             const Extent& range);
+  Future<Version> ResolveBlockVersionAsync(
+      const BranchAncestry& ancestry, Version published,
+      uint64_t published_size, uint64_t psize, const Extent& block,
+      std::shared_ptr<SharedNodeMemo> memo);
 
   void InvalidateCache();
   MetaCacheStats GetCacheStats() const;

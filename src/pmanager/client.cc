@@ -42,19 +42,50 @@ Result<std::vector<ProviderId>> ProviderManagerClient::Allocate(
   return std::move(rsp.providers);
 }
 
-Result<std::string> ProviderManagerClient::ResolveAddress(ProviderId id) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = directory_.find(id);
-    if (it != directory_.end()) return it->second;
-  }
-  auto dir = FetchDirectory();
-  if (!dir.ok()) return dir.status();
+Future<std::vector<ProviderId>> ProviderManagerClient::AllocateAsync(
+    uint32_t num_pages) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return MakeReadyFuture<std::vector<ProviderId>>(ch.status());
+  return rpc::CallMethodAsync<AllocateRequest, AllocateResponse>(
+             ch->get(), rpc::Method::kPmAllocate, AllocateRequest{num_pages})
+      .Then([](Result<AllocateResponse> rsp)
+                -> Result<std::vector<ProviderId>> {
+        if (!rsp.ok()) return rsp.status();
+        return std::move(rsp->providers);
+      });
+}
+
+Result<std::string> ProviderManagerClient::CachedAddress(ProviderId id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = directory_.find(id);
   if (it == directory_.end())
     return Status::NotFound("provider id " + std::to_string(id));
   return it->second;
+}
+
+Result<std::string> ProviderManagerClient::ResolveAddress(ProviderId id) {
+  auto cached = CachedAddress(id);
+  if (cached.ok()) return cached;
+  auto dir = FetchDirectory();
+  if (!dir.ok()) return dir.status();
+  return CachedAddress(id);
+}
+
+Future<std::string> ProviderManagerClient::ResolveAddressAsync(ProviderId id) {
+  auto cached = CachedAddress(id);
+  if (cached.ok()) return MakeReadyFuture<std::string>(std::move(cached));
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return MakeReadyFuture<std::string>(ch.status());
+  return rpc::CallMethodAsync<DirectoryRequest, DirectoryResponse>(
+             ch->get(), rpc::Method::kPmDirectory, DirectoryRequest{})
+      .Then([this, id](Result<DirectoryResponse> rsp) -> Result<std::string> {
+        if (!rsp.ok()) return rsp.status();
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          for (const auto& e : rsp->entries) directory_[e.id] = e.address;
+        }
+        return CachedAddress(id);
+      });
 }
 
 Result<std::vector<DirectoryEntry>> ProviderManagerClient::FetchDirectory() {

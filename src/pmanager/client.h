@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/future.h"
 #include "common/result.h"
 #include "pmanager/messages.h"
 #include "rpc/channel_pool.h"
@@ -33,7 +34,13 @@ class ProviderManagerClient {
   /// Forces a directory refresh and returns it.
   Result<std::vector<DirectoryEntry>> FetchDirectory();
 
+  /// Async variants used by the client pipeline; a directory cache hit
+  /// resolves the address future immediately.
+  Future<std::vector<ProviderId>> AllocateAsync(uint32_t num_pages);
+  Future<std::string> ResolveAddressAsync(ProviderId id);
+
  private:
+  Result<std::string> CachedAddress(ProviderId id);
   rpc::Transport* transport_;
   std::string address_;
   rpc::ChannelPool pool_;

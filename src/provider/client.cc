@@ -44,15 +44,67 @@ Status ProviderClient::DeletePage(const std::string& address,
 
 Status ProviderClient::Stats(const std::string& address, uint64_t* pages,
                              uint64_t* bytes) {
+  auto st = FetchStats(address);
+  if (!st.ok()) return st.status();
+  *pages = st->pages;
+  *bytes = st->bytes;
+  return Status::OK();
+}
+
+Result<PageStoreStats> ProviderClient::FetchStats(const std::string& address) {
   auto ch = pool_.Get(address);
   if (!ch.ok()) return ch.status();
   StatsRequest req;
   StatsResponse rsp;
   BS_RETURN_NOT_OK(
       rpc::CallMethod(ch->get(), rpc::Method::kProviderStats, req, &rsp));
-  *pages = rsp.pages;
-  *bytes = rsp.bytes;
-  return Status::OK();
+  PageStoreStats st;
+  st.pages = rsp.pages;
+  st.bytes = rsp.bytes;
+  st.writes = rsp.writes;
+  st.reads = rsp.reads;
+  st.deletes = rsp.deletes;
+  st.segments = rsp.segments;
+  st.dead_bytes = rsp.dead_bytes;
+  st.syncs = rsp.syncs;
+  st.compactions = rsp.compactions;
+  return st;
+}
+
+Future<Unit> ProviderClient::WritePageAsync(const std::string& address,
+                                            const PageId& pid, Slice data) {
+  auto ch = pool_.Get(address);
+  if (!ch.ok()) return MakeReadyFuture(ch.status());
+  WriteRequest req;
+  req.pid = pid;
+  req.data = data.ToString();
+  return rpc::CallMethodAsync<WriteRequest, WriteResponse>(
+             ch->get(), rpc::Method::kProviderWrite, req)
+      .Then([](Result<WriteResponse> rsp) { return rsp.status(); });
+}
+
+Future<std::string> ProviderClient::ReadPageAsync(const std::string& address,
+                                                  const PageId& pid,
+                                                  uint64_t offset,
+                                                  uint64_t len) {
+  auto ch = pool_.Get(address);
+  if (!ch.ok()) return MakeReadyFuture<std::string>(ch.status());
+  return rpc::CallMethodAsync<ReadRequest, ReadResponse>(
+             ch->get(), rpc::Method::kProviderRead,
+             ReadRequest{pid, offset, len})
+      .Then([](Result<ReadResponse> rsp) -> Result<std::string> {
+        if (!rsp.ok()) return rsp.status();
+        return std::move(rsp->data);
+      });
+}
+
+Future<Unit> ProviderClient::DeletePageAsync(const std::string& address,
+                                             const PageId& pid) {
+  auto ch = pool_.Get(address);
+  if (!ch.ok()) return MakeReadyFuture(ch.status());
+  return rpc::CallMethodAsync<DeleteRequest, DeleteResponse>(
+             ch->get(), rpc::Method::kProviderDelete, DeleteRequest{pid})
+      .Then([](Result<DeleteResponse> rsp) { return rsp.status(); });
 }
 
 }  // namespace blobseer::provider

@@ -4,7 +4,10 @@
 
 #include <string>
 
+#include "common/future.h"
+#include "common/result.h"
 #include "common/types.h"
+#include "provider/page_store.h"
 #include "rpc/channel_pool.h"
 #include "rpc/transport.h"
 
@@ -21,6 +24,16 @@ class ProviderClient {
                   uint64_t offset, uint64_t len, std::string* out);
   Status DeletePage(const std::string& address, const PageId& pid);
   Status Stats(const std::string& address, uint64_t* pages, uint64_t* bytes);
+  /// Full store statistics, including the log-backend extension fields.
+  Result<PageStoreStats> FetchStats(const std::string& address);
+
+  /// Async variants used by the client pipeline's page fan-out.
+  Future<Unit> WritePageAsync(const std::string& address, const PageId& pid,
+                              Slice data);
+  Future<std::string> ReadPageAsync(const std::string& address,
+                                    const PageId& pid, uint64_t offset,
+                                    uint64_t len);
+  Future<Unit> DeletePageAsync(const std::string& address, const PageId& pid);
 
  private:
   rpc::ChannelPool pool_;

@@ -64,22 +64,40 @@ struct StatsRequest {
   Status DecodeFrom(BinaryReader*) { return Status::OK(); }
 };
 
+/// Mirrors PageStoreStats field-for-field, including the log-structured
+/// backend extension (segments/dead_bytes/syncs/compactions are zero for
+/// the other engines).
 struct StatsResponse {
   uint64_t pages = 0;
   uint64_t bytes = 0;
   uint64_t writes = 0;
   uint64_t reads = 0;
+  uint64_t deletes = 0;
+  uint64_t segments = 0;
+  uint64_t dead_bytes = 0;
+  uint64_t syncs = 0;
+  uint64_t compactions = 0;
   void EncodeTo(BinaryWriter* w) const {
     w->PutU64(pages);
     w->PutU64(bytes);
     w->PutU64(writes);
     w->PutU64(reads);
+    w->PutU64(deletes);
+    w->PutU64(segments);
+    w->PutU64(dead_bytes);
+    w->PutU64(syncs);
+    w->PutU64(compactions);
   }
   Status DecodeFrom(BinaryReader* r) {
     BS_RETURN_NOT_OK(r->GetU64(&pages));
     BS_RETURN_NOT_OK(r->GetU64(&bytes));
     BS_RETURN_NOT_OK(r->GetU64(&writes));
-    return r->GetU64(&reads);
+    BS_RETURN_NOT_OK(r->GetU64(&reads));
+    BS_RETURN_NOT_OK(r->GetU64(&deletes));
+    BS_RETURN_NOT_OK(r->GetU64(&segments));
+    BS_RETURN_NOT_OK(r->GetU64(&dead_bytes));
+    BS_RETURN_NOT_OK(r->GetU64(&syncs));
+    return r->GetU64(&compactions);
   }
 };
 

@@ -36,6 +36,11 @@ Status ProviderService::Handle(rpc::Method method, Slice payload,
             rsp->bytes = st.bytes;
             rsp->writes = st.writes;
             rsp->reads = st.reads;
+            rsp->deletes = st.deletes;
+            rsp->segments = st.segments;
+            rsp->dead_bytes = st.dead_bytes;
+            rsp->syncs = st.syncs;
+            rsp->compactions = st.compactions;
             return Status::OK();
           });
     default:

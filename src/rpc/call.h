@@ -3,7 +3,9 @@
 #define BLOBSEER_RPC_CALL_H_
 
 #include <string>
+#include <utility>
 
+#include "common/future.h"
 #include "common/serde.h"
 #include "rpc/transport.h"
 
@@ -21,6 +23,36 @@ Status CallMethod(Channel* channel, Method method, const Request& req,
   BinaryReader r{Slice(out)};
   BS_RETURN_NOT_OK(rsp->DecodeFrom(&r));
   return r.ExpectEnd();
+}
+
+/// Async counterpart: encodes `req` inline, issues CallAsync, decodes in the
+/// completion callback. The returned future resolves on the transport's
+/// completion context (see Channel::CallAsync). `channel` must stay alive
+/// until the future resolves — channels obtained from a ChannelPool are
+/// retained by the pool, which satisfies this.
+template <typename Request, typename Response>
+Future<Response> CallMethodAsync(Channel* channel, Method method,
+                                 const Request& req) {
+  BinaryWriter w;
+  req.EncodeTo(&w);
+  Promise<Response> p;
+  Future<Response> f = p.GetFuture();
+  channel->CallAsync(method, Slice(w.buffer()),
+                     [p](Status st, std::string out) mutable {
+                       if (!st.ok()) {
+                         p.Set(std::move(st));
+                         return;
+                       }
+                       Response rsp;
+                       BinaryReader r{Slice(out)};
+                       Status ds = rsp.DecodeFrom(&r);
+                       if (ds.ok()) ds = r.ExpectEnd();
+                       if (!ds.ok())
+                         p.Set(std::move(ds));
+                       else
+                         p.Set(std::move(rsp));
+                     });
+  return f;
 }
 
 /// Server-side glue: decodes the payload into Request, invokes

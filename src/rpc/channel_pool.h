@@ -1,5 +1,10 @@
-// Channel pooling: the client library issues parallel requests to the same
-// endpoint through distinct channels (TCP channels serialize frames).
+// Channel pooling: the client library spreads requests to one endpoint
+// across several channels. TCP channels pipeline (many requests in flight
+// per connection, FIFO per connection), so the pool's job is server-side
+// parallelism — the TCP server processes each connection serially, and
+// distinct connections are what let requests overlap in the handler — plus
+// isolation from head-of-line blocking behind a slow request (e.g. a
+// blocking AwaitPublished hold).
 #ifndef BLOBSEER_RPC_CHANNEL_POOL_H_
 #define BLOBSEER_RPC_CHANNEL_POOL_H_
 

@@ -22,6 +22,15 @@ class InProcChannel : public Channel {
     return handler_->Handle(method, request, response);
   }
 
+  // Native async path: in-process handlers are ordinary function calls, so
+  // "non-blocking" means completing inline on the caller — no thread is
+  // parked waiting on I/O and no completion thread exists to hand off to.
+  void CallAsync(Method method, Slice request, CallCallback done) override {
+    std::string response;
+    Status st = Call(method, request, &response);
+    done(std::move(st), std::move(response));
+  }
+
  private:
   std::weak_ptr<void> registration_;
   ServiceHandler* handler_;

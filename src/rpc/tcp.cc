@@ -8,9 +8,12 @@
 
 #include <atomic>
 #include <cstring>
+#include <deque>
 #include <set>
 #include <thread>
 #include <vector>
+
+#include "common/executor.h"
 
 #include "common/logging.h"
 #include "common/serde.h"
@@ -174,34 +177,136 @@ class TcpServer {
 
 namespace {
 
+/// Reads one response frame. The returned status is transport-level; on OK,
+/// `*app_status` carries the application outcome and `*payload` the body.
+Status ReadResponseFrame(int fd, Status* app_status, std::string* payload) {
+  uint32_t rlen = 0;
+  BS_RETURN_NOT_OK(ReadFull(fd, &rlen, 4));
+  if (rlen < 5 || rlen > kMaxFrame)
+    return Status::Corruption("bad response frame length");
+  std::string frame;
+  frame.resize(rlen);
+  BS_RETURN_NOT_OK(ReadFull(fd, frame.data(), rlen));
+  uint8_t code = static_cast<uint8_t>(frame[0]);
+  uint32_t msg_len;
+  std::memcpy(&msg_len, frame.data() + 1, 4);
+  if (5 + static_cast<uint64_t>(msg_len) > rlen)
+    return Status::Corruption("bad response message length");
+  if (code != 0) {
+    *app_status = Status::FromCode(static_cast<StatusCode>(code),
+                                   frame.substr(5, msg_len));
+    payload->clear();
+  } else {
+    *app_status = Status::OK();
+    payload->assign(frame.data() + 5 + msg_len, rlen - 5 - msg_len);
+  }
+  return Status::OK();
+}
+
+/// Pipelined channel: requests are framed onto the connection as they
+/// arrive (writers serialized under mu_) and a per-connection reader thread
+/// matches responses to callbacks in FIFO order — the server processes each
+/// connection sequentially, so response order equals request order. Call is
+/// a thin park-on-event wrapper over CallAsync, and a caller thread is
+/// never blocked on the network on the async path.
+///
+/// On connection failure every in-flight request is transparently re-issued
+/// once over a fresh connection (handles servers restarted between calls;
+/// safe for BlobSeer's idempotent request set), then failed.
 class TcpChannel : public Channel {
  public:
   explicit TcpChannel(std::string address) : address_(std::move(address)) {}
+
   ~TcpChannel() override {
-    if (fd_ >= 0) ::close(fd_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      // Wake the reader; it owns the fd and closes it on exit, failing any
+      // still-pending callbacks (closed_ suppresses their retry).
+      if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+    }
+    for (auto& t : readers_) t.join();
   }
 
   Status Call(Method method, Slice request, std::string* response) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (fd_ < 0) BS_RETURN_NOT_OK(DoConnect());
-    Status st = DoCall(method, request, response);
-    if (!st.ok() && (st.IsIOError() || st.IsUnavailable())) {
-      // One transparent reconnect+retry: handles servers restarted between
-      // calls. Safe for BlobSeer's idempotent request set.
-      ::close(fd_);
-      fd_ = -1;
-      BS_RETURN_NOT_OK(DoConnect());
-      st = DoCall(method, request, response);
-      if (!st.ok() && fd_ >= 0 && (st.IsIOError() || st.IsUnavailable())) {
-        ::close(fd_);
-        fd_ = -1;
-      }
+    auto event = std::make_shared<CondVarWaitEvent>();
+    Status result;
+    CallAsync(method, request, [&, event](Status st, std::string payload) {
+      result = std::move(st);
+      *response = std::move(payload);
+      event->Signal();
+    });
+    event->Await();
+    return result;
+  }
+
+  void CallAsync(Method method, Slice request, CallCallback done) override {
+    // Local validation failures never touch the wire, so they must not
+    // disturb the healthy pipeline (Submit treats write failures as
+    // connection failures and re-issues every in-flight request).
+    if (4 + static_cast<uint64_t>(request.size()) > kMaxFrame) {
+      done(Status::InvalidArgument("request too large"), std::string());
+      return;
     }
-    return st;
+    Pending p;
+    p.method = static_cast<uint32_t>(method);
+    p.request = request.ToString();  // retained for the transparent retry
+    p.done = std::move(done);
+    p.retried = false;
+    Submit(std::move(p));
   }
 
  private:
-  Status DoConnect() {
+  struct Pending {
+    uint32_t method = 0;
+    std::string request;
+    CallCallback done;
+    bool retried = false;
+  };
+
+  void Submit(Pending p) {
+    Status failure;
+    std::deque<Pending> orphans;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        failure = Status::Unavailable("channel closed: " + address_);
+        orphans.push_back(std::move(p));
+      } else {
+        if (fd_ < 0) failure = ConnectLocked();
+        if (failure.ok()) failure = WriteRequestLocked(p);
+        if (failure.ok()) {
+          pending_.push_back(std::move(p));
+          return;
+        }
+        // A mid-pipeline write failure strands every in-flight request:
+        // tear the connection down and take them all for retry/failure.
+        if (fd_ >= 0) {
+          ::shutdown(fd_, SHUT_RDWR);
+          fd_ = -1;
+          gen_++;
+        }
+        orphans.swap(pending_);
+        orphans.push_back(std::move(p));
+      }
+    }
+    FailOrRetry(std::move(orphans), failure);
+  }
+
+  /// Re-issues each orphaned request once; requests already retried (or
+  /// arriving after close) complete with `cause`. Runs without mu_ held.
+  void FailOrRetry(std::deque<Pending> orphans, const Status& cause) {
+    for (auto& p : orphans) {
+      if (p.retried) {
+        p.done(cause, std::string());
+      } else {
+        p.retried = true;
+        Submit(std::move(p));
+      }
+    }
+  }
+
+  Status ConnectLocked() {
     std::string host;
     uint16_t port;
     BS_RETURN_NOT_OK(ParseHostPort(address_, &host, &port));
@@ -217,44 +322,76 @@ class TcpChannel : public Channel {
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     fd_ = fd;
+    uint64_t gen = ++gen_;
+    readers_.emplace_back([this, fd, gen] { ReaderLoop(fd, gen); });
     return Status::OK();
   }
 
-  Status DoCall(Method method, Slice request, std::string* response) {
-    uint64_t body = 4 + request.size();
+  Status WriteRequestLocked(const Pending& p) {
+    uint64_t body = 4 + p.request.size();
     if (body > kMaxFrame) return Status::InvalidArgument("request too large");
     uint32_t len = static_cast<uint32_t>(body);
-    uint32_t m = static_cast<uint32_t>(method);
     std::string head;
     head.append(reinterpret_cast<const char*>(&len), 4);
-    head.append(reinterpret_cast<const char*>(&m), 4);
+    head.append(reinterpret_cast<const char*>(&p.method), 4);
     BS_RETURN_NOT_OK(WriteFull(fd_, head.data(), head.size()));
-    if (!request.empty())
-      BS_RETURN_NOT_OK(WriteFull(fd_, request.data(), request.size()));
-
-    uint32_t rlen = 0;
-    BS_RETURN_NOT_OK(ReadFull(fd_, &rlen, 4));
-    if (rlen < 5 || rlen > kMaxFrame)
-      return Status::Corruption("bad response frame length");
-    std::string frame;
-    frame.resize(rlen);
-    BS_RETURN_NOT_OK(ReadFull(fd_, frame.data(), rlen));
-    uint8_t code = static_cast<uint8_t>(frame[0]);
-    uint32_t msg_len;
-    std::memcpy(&msg_len, frame.data() + 1, 4);
-    if (5 + static_cast<uint64_t>(msg_len) > rlen)
-      return Status::Corruption("bad response message length");
-    if (code != 0) {
-      return Status::FromCode(static_cast<StatusCode>(code),
-                              frame.substr(5, msg_len));
-    }
-    response->assign(frame.data() + 5 + msg_len, rlen - 5 - msg_len);
+    if (!p.request.empty())
+      BS_RETURN_NOT_OK(WriteFull(fd_, p.request.data(), p.request.size()));
     return Status::OK();
+  }
+
+  void ReaderLoop(int fd, uint64_t gen) {
+    for (;;) {
+      Status app_status;
+      std::string payload;
+      Status rs = ReadResponseFrame(fd, &app_status, &payload);
+      if (!rs.ok()) {
+        std::deque<Pending> orphans;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (gen_ == gen) {
+            // This connection is still current: this thread owns teardown.
+            fd_ = -1;
+            gen_++;
+            orphans.swap(pending_);
+          }
+        }
+        ::close(fd);
+        FailOrRetry(std::move(orphans), rs);
+        return;
+      }
+      CallCallback done;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (gen_ != gen) {
+          // This connection was already torn down by a writer; it owns no
+          // channel state anymore.
+          ::close(fd);
+          return;
+        }
+        if (pending_.empty()) {
+          // Unsolicited response: protocol violation. Tear the connection
+          // down exactly like a read failure so later Submits reconnect
+          // instead of writing into a stale descriptor.
+          fd_ = -1;
+          gen_++;
+          ::close(fd);
+          return;
+        }
+        done = std::move(pending_.front().done);
+        pending_.pop_front();
+      }
+      done(std::move(app_status), std::move(payload));
+    }
   }
 
   std::string address_;
   std::mutex mu_;
   int fd_ = -1;
+  uint64_t gen_ = 0;
+  bool closed_ = false;
+  std::deque<Pending> pending_;
+  std::vector<std::thread> readers_;  // joined in the destructor
 };
 
 }  // namespace

@@ -3,6 +3,7 @@
 #ifndef BLOBSEER_RPC_TRANSPORT_H_
 #define BLOBSEER_RPC_TRANSPORT_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -25,12 +26,35 @@ class ServiceHandler {
                         std::string* response) = 0;
 };
 
-/// Client-side connection to one service endpoint. Call is synchronous;
-/// open several channels (see ChannelPool) for parallel requests.
+/// Completion callback for CallAsync: transport-or-application status plus
+/// the decoded response payload (empty on error).
+using CallCallback = std::function<void(Status, std::string)>;
+
+/// Client-side connection to one service endpoint. Call blocks the caller;
+/// CallAsync never parks a caller thread on transports with a native
+/// implementation (inproc runs the handler inline, tcp pipelines frames and
+/// completes from a per-connection reader thread, simnet completes from a
+/// spawned sim task). Open several channels (see ChannelPool) for parallel
+/// requests on transports that serialize per connection.
 class Channel {
  public:
   virtual ~Channel() = default;
   virtual Status Call(Method method, Slice request, std::string* response) = 0;
+
+  /// Issues the request and returns without waiting for the response;
+  /// `done` is invoked exactly once with the outcome. `request` is only
+  /// borrowed for the duration of this call — implementations that defer
+  /// transmission copy it. `done` may run on an internal transport thread:
+  /// keep it cheap and never block it on another RPC's completion.
+  ///
+  /// The base implementation is a blocking fallback (performs Call inline,
+  /// then invokes `done` on the calling thread) so every transport is
+  /// async-capable; real transports override it.
+  virtual void CallAsync(Method method, Slice request, CallCallback done) {
+    std::string response;
+    Status st = Call(method, request, &response);
+    done(std::move(st), std::move(response));
+  }
 };
 
 /// Factory for channels and servers on one kind of network.

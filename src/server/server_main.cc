@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   rpc::TcpTransport transport;
   auto composite = std::make_shared<rpc::CompositeHandler>();
   bool has_provider = false;
+  std::shared_ptr<provider::ProviderService> provider_service;
 
   for (const std::string& role : StrSplit(roles, ',')) {
     if (role == "vmanager") {
@@ -80,8 +81,9 @@ int main(int argc, char** argv) {
       } else {
         store = provider::MakeMemoryPageStore();
       }
-      composite->Register(
-          200, std::make_shared<provider::ProviderService>(std::move(store)));
+      provider_service =
+          std::make_shared<provider::ProviderService>(std::move(store));
+      composite->Register(200, provider_service);
       has_provider = true;
     } else if (!role.empty()) {
       fprintf(stderr, "unknown role: %s\n", role.c_str());
@@ -120,5 +122,22 @@ int main(int argc, char** argv) {
     RealClock::Default()->SleepForMicros(200 * 1000);
   }
   printf("shutting down\n");
+  if (provider_service) {
+    // Final page-store statistics, including the log-structured backend
+    // extension fields (mirrored by the provider Stats RPC).
+    provider::PageStoreStats st = provider_service->store().GetStats();
+    printf("provider stats: pages=%llu bytes=%llu writes=%llu reads=%llu "
+           "deletes=%llu segments=%llu dead_bytes=%llu syncs=%llu "
+           "compactions=%llu\n",
+           static_cast<unsigned long long>(st.pages),
+           static_cast<unsigned long long>(st.bytes),
+           static_cast<unsigned long long>(st.writes),
+           static_cast<unsigned long long>(st.reads),
+           static_cast<unsigned long long>(st.deletes),
+           static_cast<unsigned long long>(st.segments),
+           static_cast<unsigned long long>(st.dead_bytes),
+           static_cast<unsigned long long>(st.syncs),
+           static_cast<unsigned long long>(st.compactions));
+  }
   return 0;
 }

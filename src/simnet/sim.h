@@ -169,6 +169,26 @@ class SimClock : public Clock {
   SimScheduler* sched_;
 };
 
+/// WaitEvent in virtual time: parks the calling sim task on a SimCondition
+/// instead of a real condvar (which would stall the whole scheduler).
+/// Signal and Await must both run on sim tasks.
+class SimWaitEvent : public WaitEvent {
+ public:
+  explicit SimWaitEvent(SimScheduler* sched) : cond_(sched) {}
+  void Signal() override {
+    // Sim tasks are serialized by the scheduler, so the flag needs no lock.
+    signaled_ = true;
+    cond_.NotifyAll();
+  }
+  void Await() override {
+    while (!signaled_) cond_.WaitUntil(SimScheduler::kNever);
+  }
+
+ private:
+  SimCondition cond_;
+  bool signaled_ = false;
+};
+
 /// Executor that fans work out over spawned sim tasks (the sim counterpart
 /// of ThreadPoolExecutor).
 class SimExecutor : public Executor {
@@ -176,6 +196,14 @@ class SimExecutor : public Executor {
   explicit SimExecutor(SimScheduler* sched) : sched_(sched) {}
   Status ParallelFor(size_t n, size_t max_parallel,
                      const std::function<Status(size_t)>& fn) override;
+  /// Runs `fn` on a fresh sim task. Must be called from a running sim task
+  /// (future continuations under simnet always are).
+  void Schedule(std::function<void()> fn) override {
+    sched_->Spawn(std::move(fn));
+  }
+  std::unique_ptr<WaitEvent> MakeWaitEvent() override {
+    return std::make_unique<SimWaitEvent>(sched_);
+  }
 
  private:
   SimScheduler* sched_;

@@ -39,6 +39,20 @@ class SimChannel : public rpc::Channel {
     return st;
   }
 
+  // Native async path: the blocking flow-model call moves to a spawned sim
+  // task, so the issuing task continues immediately (in-flight requests
+  // from one sim client overlap in virtual time exactly as pipelined real
+  // requests would). Must be invoked from a running sim task.
+  void CallAsync(rpc::Method method, Slice request,
+                 rpc::CallCallback done) override {
+    sched_->Spawn([this, method, request = request.ToString(),
+                   done = std::move(done)] {
+      std::string response;
+      Status st = Call(method, Slice(request), &response);
+      done(std::move(st), std::move(response));
+    });
+  }
+
  private:
   SimScheduler* sched_;
   SimNetwork* net_;

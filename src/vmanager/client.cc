@@ -10,114 +10,214 @@ VersionManagerClient::VersionManagerClient(rpc::Transport* transport,
                                            size_t channels)
     : address_(std::move(address)), pool_(transport, channels) {}
 
-Result<BlobDescriptor> VersionManagerClient::CreateBlob(uint64_t psize) {
+Result<rpc::Channel*> VersionManagerClient::Chan() {
   auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  return ch->get();
+}
+
+Result<BlobDescriptor> VersionManagerClient::CreateBlob(uint64_t psize) {
+  auto ch = Chan();
   if (!ch.ok()) return ch.status();
   CreateBlobRequest req{psize};
   CreateBlobResponse rsp;
   BS_RETURN_NOT_OK(
-      rpc::CallMethod(ch->get(), rpc::Method::kVmCreateBlob, req, &rsp));
+      rpc::CallMethod(*ch, rpc::Method::kVmCreateBlob, req, &rsp));
   return std::move(rsp.descriptor);
+}
+
+Future<BlobDescriptor> VersionManagerClient::CreateBlobAsync(uint64_t psize) {
+  auto ch = Chan();
+  if (!ch.ok()) return MakeReadyFuture<BlobDescriptor>(ch.status());
+  return rpc::CallMethodAsync<CreateBlobRequest, CreateBlobResponse>(
+             *ch, rpc::Method::kVmCreateBlob, CreateBlobRequest{psize})
+      .Then([](Result<CreateBlobResponse> rsp) -> Result<BlobDescriptor> {
+        if (!rsp.ok()) return rsp.status();
+        return std::move(rsp->descriptor);
+      });
 }
 
 Result<BlobDescriptor> VersionManagerClient::OpenBlob(BlobId id,
                                                       Version* published,
                                                       uint64_t* published_size) {
-  auto ch = pool_.Get(address_);
+  auto ch = Chan();
   if (!ch.ok()) return ch.status();
   OpenBlobRequest req{id};
   OpenBlobResponse rsp;
   BS_RETURN_NOT_OK(
-      rpc::CallMethod(ch->get(), rpc::Method::kVmOpenBlob, req, &rsp));
+      rpc::CallMethod(*ch, rpc::Method::kVmOpenBlob, req, &rsp));
   if (published) *published = rsp.published;
   if (published_size) *published_size = rsp.published_size;
   return std::move(rsp.descriptor);
+}
+
+Future<OpenInfo> VersionManagerClient::OpenBlobAsync(BlobId id) {
+  auto ch = Chan();
+  if (!ch.ok()) return MakeReadyFuture<OpenInfo>(ch.status());
+  return rpc::CallMethodAsync<OpenBlobRequest, OpenBlobResponse>(
+             *ch, rpc::Method::kVmOpenBlob, OpenBlobRequest{id})
+      .Then([](Result<OpenBlobResponse> rsp) -> Result<OpenInfo> {
+        if (!rsp.ok()) return rsp.status();
+        return OpenInfo{std::move(rsp->descriptor), rsp->published,
+                        rsp->published_size};
+      });
 }
 
 Result<AssignTicket> VersionManagerClient::AssignVersion(BlobId id,
                                                          bool is_append,
                                                          uint64_t offset,
                                                          uint64_t size) {
-  auto ch = pool_.Get(address_);
+  auto ch = Chan();
   if (!ch.ok()) return ch.status();
   AssignRequest req{id, is_append, offset, size};
   AssignResponse rsp;
   BS_RETURN_NOT_OK(
-      rpc::CallMethod(ch->get(), rpc::Method::kVmAssignVersion, req, &rsp));
+      rpc::CallMethod(*ch, rpc::Method::kVmAssignVersion, req, &rsp));
   return std::move(rsp.ticket);
 }
 
+Future<AssignTicket> VersionManagerClient::AssignVersionAsync(BlobId id,
+                                                              bool is_append,
+                                                              uint64_t offset,
+                                                              uint64_t size) {
+  auto ch = Chan();
+  if (!ch.ok()) return MakeReadyFuture<AssignTicket>(ch.status());
+  return rpc::CallMethodAsync<AssignRequest, AssignResponse>(
+             *ch, rpc::Method::kVmAssignVersion,
+             AssignRequest{id, is_append, offset, size})
+      .Then([](Result<AssignResponse> rsp) -> Result<AssignTicket> {
+        if (!rsp.ok()) return rsp.status();
+        return std::move(rsp->ticket);
+      });
+}
+
 Status VersionManagerClient::NotifySuccess(BlobId id, Version version) {
-  auto ch = pool_.Get(address_);
+  auto ch = Chan();
   if (!ch.ok()) return ch.status();
   NotifyRequest req{id, version};
   NotifyResponse rsp;
-  return rpc::CallMethod(ch->get(), rpc::Method::kVmNotifySuccess, req, &rsp);
+  return rpc::CallMethod(*ch, rpc::Method::kVmNotifySuccess, req, &rsp);
+}
+
+Future<Unit> VersionManagerClient::NotifySuccessAsync(BlobId id,
+                                                      Version version) {
+  auto ch = Chan();
+  if (!ch.ok()) return MakeReadyFuture(ch.status());
+  return rpc::CallMethodAsync<NotifyRequest, NotifyResponse>(
+             *ch, rpc::Method::kVmNotifySuccess, NotifyRequest{id, version})
+      .Then([](Result<NotifyResponse> rsp) { return rsp.status(); });
 }
 
 Result<AbortOutcome> VersionManagerClient::AbortUpdate(BlobId id,
                                                        Version version) {
-  auto ch = pool_.Get(address_);
+  auto ch = Chan();
   if (!ch.ok()) return ch.status();
   AbortRequest req{id, version};
   AbortResponse rsp;
   BS_RETURN_NOT_OK(
-      rpc::CallMethod(ch->get(), rpc::Method::kVmAbortUpdate, req, &rsp));
+      rpc::CallMethod(*ch, rpc::Method::kVmAbortUpdate, req, &rsp));
   return std::move(rsp.outcome);
 }
 
-Status VersionManagerClient::GetRecent(BlobId id, Version* version,
-                                       uint64_t* size) {
-  auto ch = pool_.Get(address_);
+Future<AbortOutcome> VersionManagerClient::AbortUpdateAsync(BlobId id,
+                                                            Version version) {
+  auto ch = Chan();
+  if (!ch.ok()) return MakeReadyFuture<AbortOutcome>(ch.status());
+  return rpc::CallMethodAsync<AbortRequest, AbortResponse>(
+             *ch, rpc::Method::kVmAbortUpdate, AbortRequest{id, version})
+      .Then([](Result<AbortResponse> rsp) -> Result<AbortOutcome> {
+        if (!rsp.ok()) return rsp.status();
+        return std::move(rsp->outcome);
+      });
+}
+
+Result<RecentVersion> VersionManagerClient::GetRecent(BlobId id) {
+  auto ch = Chan();
   if (!ch.ok()) return ch.status();
   GetRecentRequest req{id};
   GetRecentResponse rsp;
   BS_RETURN_NOT_OK(
-      rpc::CallMethod(ch->get(), rpc::Method::kVmGetRecent, req, &rsp));
-  *version = rsp.version;
-  *size = rsp.size;
-  return Status::OK();
+      rpc::CallMethod(*ch, rpc::Method::kVmGetRecent, req, &rsp));
+  return RecentVersion{rsp.version, rsp.size};
+}
+
+Future<RecentVersion> VersionManagerClient::GetRecentAsync(BlobId id) {
+  auto ch = Chan();
+  if (!ch.ok()) return MakeReadyFuture<RecentVersion>(ch.status());
+  return rpc::CallMethodAsync<GetRecentRequest, GetRecentResponse>(
+             *ch, rpc::Method::kVmGetRecent, GetRecentRequest{id})
+      .Then([](Result<GetRecentResponse> rsp) -> Result<RecentVersion> {
+        if (!rsp.ok()) return rsp.status();
+        return RecentVersion{rsp->version, rsp->size};
+      });
 }
 
 Result<uint64_t> VersionManagerClient::GetSize(BlobId id, Version version) {
-  auto ch = pool_.Get(address_);
+  auto ch = Chan();
   if (!ch.ok()) return ch.status();
   GetSizeRequest req{id, version};
   GetSizeResponse rsp;
   BS_RETURN_NOT_OK(
-      rpc::CallMethod(ch->get(), rpc::Method::kVmGetSize, req, &rsp));
+      rpc::CallMethod(*ch, rpc::Method::kVmGetSize, req, &rsp));
   return rsp.size;
+}
+
+Future<uint64_t> VersionManagerClient::GetSizeAsync(BlobId id,
+                                                    Version version) {
+  auto ch = Chan();
+  if (!ch.ok()) return MakeReadyFuture<uint64_t>(ch.status());
+  return rpc::CallMethodAsync<GetSizeRequest, GetSizeResponse>(
+             *ch, rpc::Method::kVmGetSize, GetSizeRequest{id, version})
+      .Then([](Result<GetSizeResponse> rsp) -> Result<uint64_t> {
+        if (!rsp.ok()) return rsp.status();
+        return rsp->size;
+      });
 }
 
 Status VersionManagerClient::AwaitPublished(BlobId id, Version version,
                                             uint64_t timeout_us) {
-  auto ch = pool_.Get(address_);
+  auto ch = Chan();
   if (!ch.ok()) return ch.status();
   AwaitRequest req{id, version, timeout_us};
   AwaitResponse rsp;
   BS_RETURN_NOT_OK(
-      rpc::CallMethod(ch->get(), rpc::Method::kVmAwaitPublished, req, &rsp));
+      rpc::CallMethod(*ch, rpc::Method::kVmAwaitPublished, req, &rsp));
   return rsp.published ? Status::OK() : Status::TimedOut("not published");
+}
+
+Future<Unit> VersionManagerClient::AwaitPublishedAsync(BlobId id,
+                                                       Version version,
+                                                       uint64_t timeout_us) {
+  auto ch = Chan();
+  if (!ch.ok()) return MakeReadyFuture(ch.status());
+  return rpc::CallMethodAsync<AwaitRequest, AwaitResponse>(
+             *ch, rpc::Method::kVmAwaitPublished,
+             AwaitRequest{id, version, timeout_us})
+      .Then([](Result<AwaitResponse> rsp) -> Status {
+        if (!rsp.ok()) return rsp.status();
+        return rsp->published ? Status::OK()
+                              : Status::TimedOut("not published");
+      });
 }
 
 Result<BlobDescriptor> VersionManagerClient::Branch(BlobId id,
                                                     Version version) {
-  auto ch = pool_.Get(address_);
+  auto ch = Chan();
   if (!ch.ok()) return ch.status();
   BranchRequest req{id, version};
   BranchResponse rsp;
   BS_RETURN_NOT_OK(
-      rpc::CallMethod(ch->get(), rpc::Method::kVmBranch, req, &rsp));
+      rpc::CallMethod(*ch, rpc::Method::kVmBranch, req, &rsp));
   return std::move(rsp.descriptor);
 }
 
 Result<VmStats> VersionManagerClient::GetStats() {
-  auto ch = pool_.Get(address_);
+  auto ch = Chan();
   if (!ch.ok()) return ch.status();
   VmStatsRequest req;
   VmStatsResponse rsp;
   BS_RETURN_NOT_OK(
-      rpc::CallMethod(ch->get(), rpc::Method::kVmStats, req, &rsp));
+      rpc::CallMethod(*ch, rpc::Method::kVmStats, req, &rsp));
   VmStats st;
   st.blobs = rsp.blobs;
   st.assigned = rsp.assigned;

@@ -1,15 +1,24 @@
-// Typed client for the version manager.
+// Typed client for the version manager. Every method has an async variant
+// returning Future<T>; the sync form is a thin wait over the same RPC.
 #ifndef BLOBSEER_VMANAGER_CLIENT_H_
 #define BLOBSEER_VMANAGER_CLIENT_H_
 
 #include <string>
 
 #include "common/blob_descriptor.h"
+#include "common/future.h"
 #include "common/result.h"
 #include "rpc/channel_pool.h"
 #include "vmanager/core.h"
 
 namespace blobseer::vmanager {
+
+/// OpenBlob outcome: descriptor plus the published frontier at open time.
+struct OpenInfo {
+  BlobDescriptor descriptor;
+  Version published = 0;
+  uint64_t published_size = 0;
+};
 
 class VersionManagerClient {
  public:
@@ -23,16 +32,31 @@ class VersionManagerClient {
                                      uint64_t offset, uint64_t size);
   Status NotifySuccess(BlobId id, Version version);
   Result<AbortOutcome> AbortUpdate(BlobId id, Version version);
-  Status GetRecent(BlobId id, Version* version, uint64_t* size);
+  Result<RecentVersion> GetRecent(BlobId id);
   Result<uint64_t> GetSize(BlobId id, Version version);
   /// Returns OK / TimedOut like the core call.
   Status AwaitPublished(BlobId id, Version version, uint64_t timeout_us);
   Result<BlobDescriptor> Branch(BlobId id, Version version);
   Result<VmStats> GetStats();
 
+  Future<BlobDescriptor> CreateBlobAsync(uint64_t psize);
+  Future<OpenInfo> OpenBlobAsync(BlobId id);
+  Future<AssignTicket> AssignVersionAsync(BlobId id, bool is_append,
+                                          uint64_t offset, uint64_t size);
+  Future<Unit> NotifySuccessAsync(BlobId id, Version version);
+  Future<AbortOutcome> AbortUpdateAsync(BlobId id, Version version);
+  Future<RecentVersion> GetRecentAsync(BlobId id);
+  Future<uint64_t> GetSizeAsync(BlobId id, Version version);
+  /// Resolves OK once published, TimedOut after `timeout_us` (server-side
+  /// wait: no client thread is parked while the server holds the call).
+  Future<Unit> AwaitPublishedAsync(BlobId id, Version version,
+                                   uint64_t timeout_us);
+
   const std::string& address() const { return address_; }
 
  private:
+  Result<rpc::Channel*> Chan();
+
   std::string address_;
   rpc::ChannelPool pool_;
 };

@@ -6,7 +6,7 @@
 #include "common/logging.h"
 #include "common/math_util.h"
 #include "common/string_util.h"
-#include "meta/layout.h"
+#include "common/tree_layout.h"
 
 namespace blobseer::vmanager {
 
@@ -68,9 +68,9 @@ std::vector<BorderEntry> VersionManagerCore::ComputeBordersLocked(
     BlobMeta* blob, Version vw, const Extent& range, uint64_t old_size,
     uint64_t new_size) {
   std::vector<Extent> targets =
-      meta::UpdateBorderBlocks(range, new_size, blob->psize);
+      UpdateBorderBlocks(range, new_size, blob->psize);
   for (const Extent& e :
-       meta::EdgePageBlocks(range, old_size, blob->psize)) {
+       EdgePageBlocks(range, old_size, blob->psize)) {
     targets.push_back(e);
   }
   std::vector<BorderEntry> out;
@@ -89,7 +89,7 @@ std::vector<BorderEntry> VersionManagerCore::ComputeBordersLocked(
               rend = std::make_reverse_iterator(lo);
          it != rend; ++it) {
       const UpdateRecord& rec = it->second;
-      if (meta::NodeSetContains(block, rec.range, rec.size_after,
+      if (NodeSetContains(block, rec.range, rec.size_after,
                                 blob->psize)) {
         found = it->first;
         break;

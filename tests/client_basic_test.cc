@@ -41,11 +41,10 @@ TEST_F(ClientBasicTest, CreateReturnsDistinctIds) {
 TEST_F(ClientBasicTest, EmptyBlobSemantics) {
   auto id = client_->Create(64);
   ASSERT_TRUE(id.ok());
-  uint64_t size = 99;
-  auto v = client_->GetRecent(*id, &size);
+  auto v = client_->GetRecent(*id);
   ASSERT_TRUE(v.ok());
-  EXPECT_EQ(*v, 0u);
-  EXPECT_EQ(size, 0u);
+  EXPECT_EQ(v->version, 0u);
+  EXPECT_EQ(v->size, 0u);
   std::string out;
   // Zero-length read of the empty snapshot succeeds...
   EXPECT_TRUE(client_->Read(*id, 0, 0, 0, &out).ok());
@@ -181,8 +180,8 @@ TEST_F(ClientBasicTest, GetRecentIsMonotonic) {
     ASSERT_TRUE(blob.AppendSync(TestPayload(i, 33)).ok());
     auto v = blob.GetRecent();
     ASSERT_TRUE(v.ok());
-    EXPECT_GE(*v, last);
-    last = *v;
+    EXPECT_GE(v->version, last);
+    last = v->version;
   }
   EXPECT_EQ(last, 10u);
 }

@@ -58,7 +58,7 @@ TEST_F(BranchTest, BranchReadsSharedHistory) {
   EXPECT_FALSE(branch->Read(4, 0, 10, &out).ok());
   auto recent = branch->GetRecent();
   ASSERT_TRUE(recent.ok());
-  EXPECT_EQ(*recent, 3u);
+  EXPECT_EQ(recent->version, 3u);
 }
 
 TEST_F(BranchTest, BranchesDivergeIndependently) {
@@ -168,7 +168,7 @@ TEST_F(BranchTest, BranchFromEmptySnapshot) {
   ASSERT_TRUE(empty_branch.ok());
   auto recent = empty_branch->GetRecent();
   ASSERT_TRUE(recent.ok());
-  EXPECT_EQ(*recent, 0u);
+  EXPECT_EQ(recent->version, 0u);
   std::string d = TestPayload(1, 20);
   ASSERT_TRUE(empty_branch->AppendSync(d).ok());
   std::string out;

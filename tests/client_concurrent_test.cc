@@ -155,15 +155,14 @@ TEST_F(ConcurrentTest, ReadersRunAgainstActiveWriters) {
     readers.emplace_back([&] {
       auto client = NewClient();
       while (!stop.load()) {
-        uint64_t size = 0;
-        auto v = client->GetRecent(*id, &size);
+        auto v = client->GetRecent(*id);
         if (!v.ok()) {
           read_failures++;
           continue;
         }
         std::string out;
-        Status s = client->Read(*id, *v, 0, size, &out);
-        if (!s.ok() || out.size() != size) read_failures++;
+        Status s = client->Read(*id, v->version, 0, v->size, &out);
+        if (!s.ok() || out.size() != v->size) read_failures++;
         reads_done++;
       }
     });
@@ -242,12 +241,11 @@ TEST_F(ConcurrentTest, SharedClientIsThreadSafe) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
-  uint64_t size = 0;
   ASSERT_TRUE(client->Sync(*id, 60).ok());
-  auto v = client->GetRecent(*id, &size);
+  auto v = client->GetRecent(*id);
   ASSERT_TRUE(v.ok());
-  EXPECT_EQ(*v, 60u);
-  EXPECT_EQ(size, 60u * 77u);
+  EXPECT_EQ(v->version, 60u);
+  EXPECT_EQ(v->size, 60u * 77u);
 }
 
 }  // namespace

@@ -1,0 +1,177 @@
+// Unit tests for the promise/future primitive: continuation chaining,
+// flattening, WhenAll fan-in, executor dispatch, sync-over-async waits,
+// and abandoned-promise resolution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/executor.h"
+#include "common/future.h"
+
+namespace blobseer {
+namespace {
+
+TEST(FutureTest, ReadyFutureDeliversValue) {
+  auto f = MakeReadyFuture<int>(42);
+  auto r = f.Wait();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(FutureTest, ReadyFutureDeliversError) {
+  auto f = MakeReadyFuture<int>(Result<int>(Status::NotFound("nope")));
+  auto r = f.Wait();
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(FutureTest, SetBeforeAndAfterAttach) {
+  {
+    Promise<std::string> p;
+    auto f = p.GetFuture();
+    p.Set(std::string("early"));
+    std::string got;
+    f.OnReady(nullptr, [&](Result<std::string> r) { got = *r; });
+    EXPECT_EQ(got, "early");
+  }
+  {
+    Promise<std::string> p;
+    auto f = p.GetFuture();
+    std::string got;
+    f.OnReady(nullptr, [&](Result<std::string> r) { got = *r; });
+    EXPECT_TRUE(got.empty());
+    p.Set(std::string("late"));
+    EXPECT_EQ(got, "late");
+  }
+}
+
+TEST(FutureTest, ThenTransformsValueAndMapsTypes) {
+  // Result<U> return.
+  auto doubled = MakeReadyFuture<int>(21).Then(
+      [](Result<int> r) -> Result<int> { return *r * 2; });
+  EXPECT_EQ(*doubled.Wait(), 42);
+  // Plain-value return.
+  auto stringified = MakeReadyFuture<int>(7).Then(
+      [](Result<int> r) { return std::to_string(*r); });
+  EXPECT_EQ(*stringified.Wait(), "7");
+  // Status return maps to Future<Unit>.
+  Future<Unit> ok = MakeReadyFuture<int>(1).Then(
+      [](Result<int>) { return Status::OK(); });
+  EXPECT_TRUE(ok.Wait().ok());
+}
+
+TEST(FutureTest, ThenReceivesAndPropagatesErrors) {
+  bool saw_error = false;
+  auto f = MakeReadyFuture<int>(Result<int>(Status::TimedOut("t")))
+               .Then([&](Result<int> r) -> Result<int> {
+                 saw_error = !r.ok();
+                 return r.status();  // pass through
+               });
+  EXPECT_TRUE(saw_error);
+  EXPECT_TRUE(f.Wait().status().IsTimedOut());
+}
+
+TEST(FutureTest, ThenFlattensReturnedFuture) {
+  Promise<int> inner;
+  auto f = MakeReadyFuture<int>(1).Then(
+      [&](Result<int>) -> Future<int> { return inner.GetFuture(); });
+  EXPECT_FALSE(f.Ready());
+  inner.Set(99);
+  EXPECT_EQ(*f.Wait(), 99);
+}
+
+TEST(FutureTest, ChainAcrossThreads) {
+  Promise<int> p;
+  auto f = p.GetFuture()
+               .Then([](Result<int> r) -> Result<int> { return *r + 1; })
+               .Then([](Result<int> r) -> Result<int> { return *r * 10; });
+  std::thread t([&p] { p.Set(4); });
+  EXPECT_EQ(*f.Wait(), 50);
+  t.join();
+}
+
+TEST(FutureTest, ExecutorDispatchRunsOnPoolThread) {
+  ThreadPoolExecutor pool(2);
+  std::thread::id attach_thread = std::this_thread::get_id();
+  Promise<int> p;
+  auto f = p.GetFuture().Then(&pool, [&](Result<int> r) -> Result<int> {
+    EXPECT_NE(std::this_thread::get_id(), attach_thread);
+    return *r;
+  });
+  p.Set(5);
+  EXPECT_EQ(*f.Wait(&pool), 5);
+}
+
+TEST(FutureTest, WhenAllPreservesOrderAndErrors) {
+  std::vector<Promise<int>> promises(3);
+  std::vector<Future<int>> futures;
+  for (auto& p : promises) futures.push_back(p.GetFuture());
+  auto all = WhenAll(std::move(futures));
+  // Complete out of order.
+  promises[2].Set(2);
+  promises[0].Set(0);
+  promises[1].Set(Status::Unavailable("mid"));
+  auto r = all.Wait();
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ(*(*r)[0], 0);
+  EXPECT_TRUE((*r)[1].status().IsUnavailable());
+  EXPECT_EQ(*(*r)[2], 2);
+  EXPECT_TRUE(FirstError(*r).IsUnavailable());
+}
+
+TEST(FutureTest, WhenAllOfNothingIsReady) {
+  auto all = WhenAll(std::vector<Future<int>>{});
+  ASSERT_TRUE(all.Ready());
+  EXPECT_TRUE(all.Wait()->empty());
+}
+
+TEST(FutureTest, AbandonedPromiseResolvesWithInternal) {
+  Future<int> f;
+  {
+    Promise<int> p;
+    f = p.GetFuture();
+  }
+  auto r = f.Wait();
+  EXPECT_TRUE(r.status().IsInternal());
+  EXPECT_NE(r.status().message().find("abandoned"), std::string::npos);
+}
+
+TEST(FutureTest, WaitParksUntilCompletion) {
+  Promise<int> p;
+  auto f = p.GetFuture();
+  std::atomic<bool> set{false};
+  std::thread t([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    set.store(true);
+    p.Set(7);
+  });
+  auto r = f.Wait();
+  EXPECT_TRUE(set.load());
+  EXPECT_EQ(*r, 7);
+  t.join();
+}
+
+TEST(FutureTest, ManyConcurrentCompletions) {
+  ThreadPoolExecutor pool(4);
+  constexpr int kFutures = 256;
+  std::vector<Promise<int>> promises(kFutures);
+  std::vector<Future<int>> futures;
+  for (auto& p : promises) futures.push_back(p.GetFuture());
+  auto all = WhenAll(std::move(futures));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = t; i < kFutures; i += 4) promises[i].Set(i);
+    });
+  }
+  auto r = all.Wait();
+  for (auto& th : threads) th.join();
+  ASSERT_TRUE(r.ok());
+  for (int i = 0; i < kFutures; i++) EXPECT_EQ(*(*r)[i], i);
+}
+
+}  // namespace
+}  // namespace blobseer

@@ -199,5 +199,43 @@ TEST(ProviderServiceTest, EndToEndOverRpc) {
   EXPECT_TRUE(client.ReadPage("inproc://prov", id, 0, 0, &out).IsNotFound());
 }
 
+TEST(ProviderServiceTest, ExtendedStatsTravelTheRpc) {
+  // The log-structured backend's extension fields (segments, dead_bytes,
+  // syncs, compactions) and the delete counter must survive the Stats RPC
+  // round trip field-for-field.
+  std::string dir = ::testing::TempDir() + "/bs_stats_rpc";
+  std::filesystem::remove_all(dir);
+  rpc::InProcNetwork net;
+  auto svc =
+      std::make_shared<ProviderService>(pagelog::MakeLogPageStore(dir));
+  ASSERT_TRUE(net.Serve("inproc://prov", svc).ok());
+
+  ProviderClient client(&net);
+  ASSERT_TRUE(
+      client.WritePage("inproc://prov", PageId{1, 1}, Slice("abcd")).ok());
+  ASSERT_TRUE(
+      client.WritePage("inproc://prov", PageId{1, 2}, Slice("efgh")).ok());
+  ASSERT_TRUE(client.DeletePage("inproc://prov", PageId{1, 1}).ok());
+
+  auto stats = client.FetchStats("inproc://prov");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  PageStoreStats direct = svc->store().GetStats();
+  EXPECT_EQ(stats->pages, direct.pages);
+  EXPECT_EQ(stats->bytes, direct.bytes);
+  EXPECT_EQ(stats->writes, direct.writes);
+  EXPECT_EQ(stats->reads, direct.reads);
+  EXPECT_EQ(stats->deletes, direct.deletes);
+  EXPECT_EQ(stats->segments, direct.segments);
+  EXPECT_EQ(stats->dead_bytes, direct.dead_bytes);
+  EXPECT_EQ(stats->syncs, direct.syncs);
+  EXPECT_EQ(stats->compactions, direct.compactions);
+  // The log backend actually populates the extension fields.
+  EXPECT_EQ(stats->deletes, 1u);
+  EXPECT_GE(stats->segments, 1u);
+  EXPECT_GT(stats->dead_bytes, 0u);
+  EXPECT_GE(stats->syncs, 1u);
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 }  // namespace blobseer::provider

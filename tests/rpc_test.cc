@@ -3,7 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
+
+#include "common/executor.h"
+#include "common/future.h"
 
 #include "common/serde.h"
 #include "rpc/call.h"
@@ -141,6 +146,116 @@ TEST_P(TransportTest, StoppedServerBecomesUnavailable) {
   Status s = (*ch)->Call(Method::kDhtPut, Slice("y"), &out);
   EXPECT_FALSE(s.ok());
   EXPECT_TRUE(s.IsUnavailable() || s.IsIOError()) << s.ToString();
+}
+
+TEST_P(TransportTest, AsyncCallCompletes) {
+  auto svc = std::make_shared<EchoService>();
+  auto bound = transport_->Serve(serve_address_, svc);
+  ASSERT_TRUE(bound.ok());
+  auto ch = transport_->Connect(*bound);
+  ASSERT_TRUE(ch.ok());
+  auto done = std::make_shared<CondVarWaitEvent>();
+  Status st = Status::Internal("callback never ran");
+  std::string out;
+  (*ch)->CallAsync(Method::kDhtPut, Slice("hello"),
+                   [&, done](Status s, std::string payload) {
+                     st = std::move(s);
+                     out = std::move(payload);
+                     done->Signal();
+                   });
+  done->Await();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(out, "hello");
+  ASSERT_TRUE(transport_->StopServing(*bound).ok());
+}
+
+TEST_P(TransportTest, AsyncErrorCarriesCodeAndMessage) {
+  auto svc = std::make_shared<EchoService>();
+  auto bound = transport_->Serve(serve_address_, svc);
+  ASSERT_TRUE(bound.ok());
+  auto ch = transport_->Connect(*bound);
+  ASSERT_TRUE(ch.ok());
+  auto done = std::make_shared<CondVarWaitEvent>();
+  Status st;
+  (*ch)->CallAsync(Method::kDhtGet, Slice("k"),
+                   [&, done](Status s, std::string) {
+                     st = std::move(s);
+                     done->Signal();
+                   });
+  done->Await();
+  EXPECT_TRUE(st.IsNotFound()) << st.ToString();
+  EXPECT_EQ(st.message(), "echo: no such key");
+  ASSERT_TRUE(transport_->StopServing(*bound).ok());
+}
+
+TEST_P(TransportTest, ManyInFlightAsyncCallsOnOneChannel) {
+  // The pipelined path: N requests issued before any response is consumed;
+  // every callback must fire exactly once with its own payload.
+  auto svc = std::make_shared<EchoService>();
+  auto bound = transport_->Serve(serve_address_, svc);
+  ASSERT_TRUE(bound.ok());
+  auto ch = transport_->Connect(*bound);
+  ASSERT_TRUE(ch.ok());
+  constexpr int kCalls = 64;
+  std::mutex mu;
+  std::condition_variable cv;
+  int remaining = kCalls;
+  std::atomic<int> mismatches{0};
+  for (int i = 0; i < kCalls; i++) {
+    std::string payload = "pipelined-" + std::to_string(i);
+    (*ch)->CallAsync(Method::kDhtPut, Slice(payload),
+                     [&, expect = payload](Status s, std::string out) {
+                       if (!s.ok() || out != expect) mismatches++;
+                       std::lock_guard<std::mutex> lock(mu);
+                       if (--remaining == 0) cv.notify_all();
+                     });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return remaining == 0; });
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(svc->calls(), kCalls);
+  ASSERT_TRUE(transport_->StopServing(*bound).ok());
+}
+
+TEST_P(TransportTest, AsyncCallAfterServerStopFails) {
+  auto svc = std::make_shared<EchoService>();
+  auto bound = transport_->Serve(serve_address_, svc);
+  ASSERT_TRUE(bound.ok());
+  auto ch = transport_->Connect(*bound);
+  ASSERT_TRUE(ch.ok());
+  std::string out;
+  ASSERT_TRUE((*ch)->Call(Method::kDhtPut, Slice("x"), &out).ok());
+  ASSERT_TRUE(transport_->StopServing(*bound).ok());
+  auto done = std::make_shared<CondVarWaitEvent>();
+  Status st;
+  (*ch)->CallAsync(Method::kDhtPut, Slice("y"),
+                   [&, done](Status s, std::string) {
+                     st = std::move(s);
+                     done->Signal();
+                   });
+  done->Await();
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsUnavailable() || st.IsIOError()) << st.ToString();
+}
+
+TEST_P(TransportTest, TypedAsyncCallThroughFuture) {
+  auto svc = std::make_shared<EchoService>();
+  auto bound = transport_->Serve(serve_address_, svc);
+  ASSERT_TRUE(bound.ok());
+  ChannelPool pool(transport_, 2);
+  auto ch = pool.Get(*bound);
+  ASSERT_TRUE(ch.ok());
+  struct Echo {
+    std::string text;
+    void EncodeTo(BinaryWriter* w) const { w->PutString(text); }
+    Status DecodeFrom(BinaryReader* r) { return r->GetString(&text); }
+  };
+  auto f = CallMethodAsync<Echo, Echo>(ch->get(), Method::kDhtPut,
+                                       Echo{"typed-async"});
+  auto result = f.Wait();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->text, "typed-async");
+  ASSERT_TRUE(transport_->StopServing(*bound).ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(Transports, TransportTest,
