@@ -1,0 +1,125 @@
+// A6 — ablation: page replication factor sweep (r = 1/2/3) over the fig-2a
+// append workload plus a sequential read-back, and a degraded read pass
+// with one provider killed (r >= 2 must keep serving via failover).
+//
+// The paper's evaluation ran unreplicated RAM providers; production keeps
+// data available under churn by storing each page on r distinct providers
+// (section 3.1). Writes pay r transfers per page (write quorum = all), so
+// the interesting question is how much of the fan-out the async pipeline
+// hides. The exit code enforces the headline: r=2 append throughput must
+// stay within 2.5x of r=1.
+#include <cinttypes>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/clock.h"
+#include "common/string_util.h"
+#include "core/cluster.h"
+
+using namespace blobseer;
+
+namespace {
+
+struct SweepResult {
+  double append_mbps = 0;
+  double read_mbps = 0;
+  double degraded_read_mbps = 0;  // one provider killed (r >= 2 only)
+  uint64_t failover_reads = 0;
+};
+
+SweepResult RunSweep(uint32_t replication, uint64_t psize, uint64_t total,
+                     uint64_t append_bytes) {
+  SweepResult res;
+  core::ClusterOptions opts;
+  opts.num_providers = 6;
+  opts.num_meta = 4;
+  opts.replication = replication;
+  auto cluster = core::EmbeddedCluster::Start(opts);
+  if (!cluster.ok()) return res;
+  auto client = (*cluster)->NewClient();
+  if (!client.ok()) return res;
+  auto id = (*client)->Create(psize);
+  if (!id.ok()) return res;
+
+  std::string chunk(append_bytes, 'r');
+  Stopwatch timer;
+  Version last = 0;
+  for (uint64_t appended = 0; appended < total; appended += append_bytes) {
+    auto v = (*client)->Append(*id, Slice(chunk));
+    if (!v.ok()) {
+      fprintf(stderr, "append failed (r=%u): %s\n", replication,
+              v.status().ToString().c_str());
+      return res;
+    }
+    last = *v;
+  }
+  res.append_mbps =
+      static_cast<double>(total) / (1 << 20) / timer.ElapsedSeconds();
+  if (!(*client)->Sync(*id, last).ok()) return res;
+
+  auto read_pass = [&]() -> double {
+    Stopwatch read_timer;
+    std::string out;
+    for (uint64_t off = 0; off < total; off += append_bytes) {
+      if (!(*client)->Read(*id, last, off, append_bytes, &out).ok()) return -1;
+    }
+    return static_cast<double>(total) / (1 << 20) /
+           read_timer.ElapsedSeconds();
+  };
+  res.read_mbps = read_pass();
+
+  if (replication >= 2) {
+    // Degraded mode: any single provider death must be absorbed by
+    // failover to the surviving replicas.
+    if (!(*cluster)->StopProvider(0).ok()) return res;
+    res.degraded_read_mbps = read_pass();
+    res.failover_reads = (*client)->GetStats().failover_reads;
+  }
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool quick = bench::QuickMode(argc, argv);
+  const uint64_t psize = bench::FlagU64(argc, argv, "psize_kb", 64) * 1024;
+  const uint64_t total_mb =
+      bench::FlagU64(argc, argv, "total_mb", quick ? 4 : 32);
+  const uint64_t append_kb = bench::FlagU64(argc, argv, "append_kb", 512);
+
+  printf("== Ablation A6: replication factor sweep ==\n");
+  printf("   (6 providers, in-process transport; 1 client appends %" PRIu64
+         " MB in %" PRIu64 " KB chunks, %" PRIu64
+         " KB pages; degraded pass kills provider 0)\n\n",
+         total_mb, append_kb, psize >> 10);
+
+  bench::Table table({"r", "append MB/s", "read MB/s", "degraded read MB/s",
+                      "failover reads"});
+  double r1_append = 0, r2_append = 0;
+  bool degraded_ok = true;
+  for (uint32_t r = 1; r <= 3; r++) {
+    SweepResult res =
+        RunSweep(r, psize, total_mb << 20, append_kb << 10);
+    if (r == 1) r1_append = res.append_mbps;
+    if (r == 2) r2_append = res.append_mbps;
+    if (r >= 2 && res.degraded_read_mbps <= 0) degraded_ok = false;
+    table.AddRow({std::to_string(r), StrFormat("%.1f", res.append_mbps),
+                  StrFormat("%.1f", res.read_mbps),
+                  r >= 2 ? StrFormat("%.1f", res.degraded_read_mbps) : "-",
+                  r >= 2 ? std::to_string(res.failover_reads) : "-"});
+  }
+  table.Print();
+
+  const bool write_cost_ok =
+      r1_append > 0 && r2_append > 0 && r2_append * 2.5 >= r1_append;
+  printf("\nshape checks:\n");
+  printf("  r=2 append within 2.5x of r=1: %.2fx slower %s\n",
+         r2_append > 0 ? r1_append / r2_append : 0.0,
+         write_cost_ok ? "[ok]" : "[REGRESSION]");
+  printf("  degraded reads (one provider down) succeed at r>=2: %s\n",
+         degraded_ok ? "[ok]" : "[REGRESSION]");
+  return write_cost_ok && degraded_ok ? 0 : 1;
+}

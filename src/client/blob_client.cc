@@ -163,7 +163,29 @@ BlobClient::BlobClient(rpc::Transport* transport, std::string vmanager_address,
   } while (client_id_ == 0);
 }
 
-BlobClient::~BlobClient() = default;
+BlobClient::~BlobClient() { DrainDetachedOps(); }
+
+void BlobClient::EndDetachedOp() {
+  std::shared_ptr<WaitEvent> waiter;
+  {
+    std::lock_guard<std::mutex> lock(detached_mu_);
+    if (--detached_ops_ == 0) waiter = std::move(detached_waiter_);
+  }
+  if (waiter) waiter->Signal();
+}
+
+void BlobClient::DrainDetachedOps() {
+  for (;;) {
+    std::shared_ptr<WaitEvent> event;
+    {
+      std::lock_guard<std::mutex> lock(detached_mu_);
+      if (detached_ops_ == 0) return;
+      event = executor_->MakeWaitEvent();
+      detached_waiter_ = event;
+    }
+    event->Await();
+  }
+}
 
 PageId BlobClient::NewPageId() {
   return PageId{client_id_, page_seq_.fetch_add(1, std::memory_order_relaxed)};
@@ -222,43 +244,129 @@ std::vector<BlobClient::PageWrite> BlobClient::SplitIntoPages(
   return out;
 }
 
+Future<Unit> BlobClient::RunWindowed(
+    std::vector<std::function<Future<Unit>()>> tasks, size_t window) {
+  if (tasks.empty()) return MakeReadyFuture(Status::OK());
+  if (window == 0 || window >= tasks.size()) {
+    // Unbounded: one parallel wave, no scheduling overhead.
+    std::vector<Future<Unit>> all;
+    all.reserve(tasks.size());
+    for (auto& t : tasks) all.push_back(t());
+    return WhenAll(std::move(all))
+        .Then([](Result<std::vector<Result<Unit>>> rs) -> Status {
+          if (!rs.ok()) return rs.status();
+          return FirstError(*rs);
+        });
+  }
+  struct WindowOp {
+    BlobClient* c = nullptr;
+    std::vector<std::function<Future<Unit>()>> tasks;
+    std::mutex mu;
+    size_t next = 0;
+    size_t outstanding = 0;
+    Status first_error;
+    Promise<Unit> promise;
+
+    void Launch(const std::shared_ptr<WindowOp>& self) {
+      size_t i;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        // A failed task stops the refill: a doomed operation (cleanup will
+        // discard everything anyway) should not keep transferring pages.
+        if (next >= tasks.size() || !first_error.ok()) return;
+        i = next++;
+        outstanding++;
+      }
+      tasks[i]().OnReady(nullptr, [self](Result<Unit> r) {
+        bool done;
+        bool refill;
+        Status err;
+        {
+          std::lock_guard<std::mutex> lock(self->mu);
+          self->outstanding--;
+          if (!r.ok() && self->first_error.ok())
+            self->first_error = r.status();
+          refill = self->first_error.ok() && self->next < self->tasks.size();
+          done = self->outstanding == 0 && !refill;
+          err = self->first_error;
+        }
+        if (done) {
+          self->promise.Set(err.ok() ? Result<Unit>(Unit{})
+                                     : Result<Unit>(std::move(err)));
+          return;
+        }
+        // Refill through the executor: on an inline-completing transport
+        // a direct Launch here would recurse one frame per task.
+        if (refill)
+          self->c->executor_->Schedule([self] { self->Launch(self); });
+      });
+    }
+  };
+  auto op = std::make_shared<WindowOp>();
+  op->c = this;
+  op->tasks = std::move(tasks);
+  Future<Unit> f = op->promise.GetFuture();
+  for (size_t i = 0; i < window; i++) op->Launch(op);
+  return f;
+}
+
+Future<Unit> BlobClient::StorePageReplicasAsync(
+    std::shared_ptr<std::vector<PageWrite>> writes, size_t index) {
+  const PageWrite& w = (*writes)[index];
+  std::vector<Future<std::string>> addresses;
+  addresses.reserve(w.frag.providers.size());
+  for (ProviderId p : w.frag.providers)
+    addresses.push_back(pm_.ResolveAddressAsync(p));
+  return WhenAll(std::move(addresses))
+      .Then([this, writes, index](Result<std::vector<Result<std::string>>>
+                                      addrs) -> Future<Unit> {
+        if (!addrs.ok()) return MakeReadyFuture(addrs.status());
+        Status first = FirstError(*addrs);
+        if (!first.ok()) return MakeReadyFuture(std::move(first));
+        const PageWrite& w = (*writes)[index];
+        // Write quorum = all replicas for now (pluggable later): the
+        // metadata leaf lists every replica, so a reader must be able to
+        // trust any entry.
+        std::vector<Future<Unit>> puts;
+        puts.reserve(addrs->size());
+        for (size_t j = 0; j < addrs->size(); j++) {
+          puts.push_back(
+              providers_.WritePageAsync(*(*addrs)[j], w.frag.pid, w.bytes));
+        }
+        return WhenAll(std::move(puts))
+            .Then([writes](Result<std::vector<Result<Unit>>> all) -> Status {
+              if (!all.ok()) return all.status();
+              return FirstError(*all);
+            });
+      });
+}
+
 Future<Unit> BlobClient::StorePagesAsync(
     std::shared_ptr<std::vector<PageWrite>> writes) {
-  // Paper Algorithm 2: allocate providers, then store every page fully in
-  // parallel with no synchronization between transfers.
-  return pm_.AllocateAsync(static_cast<uint32_t>(writes->size()))
-      .Then([this, writes](
-                Result<std::vector<ProviderId>> providers) -> Future<Unit> {
-        if (!providers.ok()) return MakeReadyFuture(providers.status());
-        std::vector<Future<std::string>> addresses;
-        addresses.reserve(writes->size());
+  // Paper Algorithm 2 with replication: allocate a replica set per page,
+  // then store every page on all of its replicas with no synchronization
+  // between pages. max_inflight_pages caps concurrent page transfers so a
+  // huge replicated update does not buffer update x r at once.
+  return pm_
+      .AllocateReplicatedAsync(static_cast<uint32_t>(writes->size()),
+                               options_.replication)
+      .Then([this, writes](Result<std::vector<std::vector<ProviderId>>> sets)
+                -> Future<Unit> {
+        if (!sets.ok()) return MakeReadyFuture(sets.status());
+        std::vector<std::function<Future<Unit>()>> tasks;
+        tasks.reserve(writes->size());
         for (size_t i = 0; i < writes->size(); i++) {
           (*writes)[i].frag.pid = NewPageId();
-          (*writes)[i].frag.provider = (*providers)[i];
-          addresses.push_back(pm_.ResolveAddressAsync((*providers)[i]));
+          (*writes)[i].frag.providers = std::move((*sets)[i]);
+          tasks.push_back(
+              [this, writes, i] { return StorePageReplicasAsync(writes, i); });
         }
-        return WhenAll(std::move(addresses))
-            .Then([this, writes](Result<std::vector<Result<std::string>>>
-                                     addrs) -> Future<Unit> {
-              if (!addrs.ok()) return MakeReadyFuture(addrs.status());
-              Status first = FirstError(*addrs);
-              if (!first.ok()) return MakeReadyFuture(std::move(first));
-              std::vector<Future<Unit>> puts;
-              puts.reserve(writes->size());
-              for (size_t i = 0; i < writes->size(); i++) {
-                const PageWrite& w = (*writes)[i];
-                puts.push_back(providers_.WritePageAsync(*(*addrs)[i],
-                                                         w.frag.pid, w.bytes));
-              }
-              return WhenAll(std::move(puts))
-                  .Then([this, writes](
-                            Result<std::vector<Result<Unit>>> all) -> Status {
-                    if (!all.ok()) return all.status();
-                    BS_RETURN_NOT_OK(FirstError(*all));
-                    std::lock_guard<std::mutex> lock(stats_mu_);
-                    stats_.pages_stored += writes->size();
-                    return Status::OK();
-                  });
+        return RunWindowed(std::move(tasks), options_.max_inflight_pages)
+            .Then([this, writes](Result<Unit> all) -> Status {
+              if (!all.ok()) return all.status();
+              std::lock_guard<std::mutex> lock(stats_mu_);
+              stats_.pages_stored += writes->size();
+              return Status::OK();
             });
       });
 }
@@ -268,14 +376,17 @@ Future<Unit> BlobClient::DeletePagesAsync(
   std::vector<Future<Unit>> deletions;
   for (const PageWrite& w : *writes) {
     if (!w.frag.pid.valid()) continue;
-    deletions.push_back(
-        pm_.ResolveAddressAsync(w.frag.provider)
-            .Then([this, pid = w.frag.pid](
-                      Result<std::string> addr) -> Future<Unit> {
-              if (!addr.ok()) return MakeReadyFuture(Status::OK());
-              return providers_.DeletePageAsync(*addr, pid)
-                  .Then([](Result<Unit>) { return Status::OK(); });
-            }));
+    // Every incarnation: each replica stored its own copy of the page.
+    for (ProviderId provider : w.frag.providers) {
+      deletions.push_back(
+          pm_.ResolveAddressAsync(provider)
+              .Then([this, pid = w.frag.pid](
+                        Result<std::string> addr) -> Future<Unit> {
+                if (!addr.ok()) return MakeReadyFuture(Status::OK());
+                return providers_.DeletePageAsync(*addr, pid)
+                    .Then([](Result<Unit>) { return Status::OK(); });
+              }));
+    }
   }
   return WhenAll(std::move(deletions))
       .Then([writes](Result<std::vector<Result<Unit>>>) {
@@ -633,7 +744,7 @@ Future<std::vector<BlobClient::FetchPiece>> BlobClient::ResolveLeafPiecesAsync(
             rest.push_back(iv);
             continue;
           }
-          out.push_back(FetchPiece{frag.pid, frag.provider,
+          out.push_back(FetchPiece{frag.pid, frag.providers,
                                    frag.data_off + (ob - fb), oe - ob, ob});
           if (iv.begin < ob) rest.push_back(Interval{iv.begin, ob});
           if (oe < iv.end) rest.push_back(Interval{oe, iv.end});
@@ -674,50 +785,120 @@ Future<std::vector<BlobClient::FetchPiece>> BlobClient::ResolveLeafPiecesAsync(
   return f;
 }
 
+void BlobClient::RepairReplicasAsync(FetchPiece piece, size_t good) {
+  // Detached best-effort chain: fetch the complete page object from the
+  // replica that served the read, then re-store it on each replica that
+  // failed. The guard keeps the client alive bookkeeping honest — the
+  // destructor drains detached chains so they never touch a dead client.
+  {
+    std::lock_guard<std::mutex> lock(detached_mu_);
+    // Best-effort means droppable: a degraded bulk read would otherwise
+    // spawn one full-page repair per failed-over piece, ballooning memory
+    // and competing with the foreground read. Pieces skipped here stay
+    // repair candidates for the next read that touches them.
+    if (detached_ops_ >= kMaxDetachedRepairs) return;
+    detached_ops_++;
+  }
+  auto guard = std::shared_ptr<void>(
+      nullptr, [this](void*) { EndDetachedOp(); });
+  auto shared = std::make_shared<FetchPiece>(std::move(piece));
+  pm_.ResolveAddressAsync(shared->providers[good])
+      .Then([this, shared, guard](Result<std::string> addr)
+                -> Future<std::string> {
+        if (!addr.ok()) return MakeReadyFuture<std::string>(addr.status());
+        // len == 0 reads through the end: the whole stored object.
+        return providers_.ReadPageAsync(*addr, shared->pid, 0, 0);
+      })
+      .OnReady(nullptr, [this, shared, good, guard](Result<std::string> obj) {
+        if (!obj.ok()) return;
+        auto data = std::make_shared<std::string>(std::move(obj).ValueUnsafe());
+        for (size_t j = 0; j < good; j++) {
+          pm_.ResolveAddressAsync(shared->providers[j])
+              .Then([this, shared, data, guard](
+                        Result<std::string> addr) -> Future<Unit> {
+                if (!addr.ok()) return MakeReadyFuture(addr.status());
+                return providers_.WritePageAsync(*addr, shared->pid,
+                                                 Slice(*data));
+              })
+              .OnReady(nullptr, [this, guard](Result<Unit> stored) {
+                if (!stored.ok()) return;  // replica still down: stay degraded
+                std::lock_guard<std::mutex> lock(stats_mu_);
+                stats_.read_repairs++;
+              });
+        }
+      });
+}
+
 Future<Unit> BlobClient::FetchPiecesIntoAsync(std::vector<FetchPiece> pieces,
                                               std::vector<uint64_t> bases,
                                               uint64_t range_offset,
                                               char* dst) {
-  auto shared_pieces =
-      std::make_shared<std::vector<FetchPiece>>(std::move(pieces));
-  auto shared_bases = std::make_shared<std::vector<uint64_t>>(std::move(bases));
-  std::vector<Future<std::string>> addresses;
-  addresses.reserve(shared_pieces->size());
-  for (const FetchPiece& p : *shared_pieces)
-    addresses.push_back(pm_.ResolveAddressAsync(p.provider));
-  return WhenAll(std::move(addresses))
-      .Then([this, shared_pieces, shared_bases, range_offset,
-             dst](Result<std::vector<Result<std::string>>> addrs)
-                -> Future<Unit> {
-        if (!addrs.ok()) return MakeReadyFuture(addrs.status());
-        Status first = FirstError(*addrs);
-        if (!first.ok()) return MakeReadyFuture(std::move(first));
-        std::vector<Future<Unit>> fetches;
-        fetches.reserve(shared_pieces->size());
-        for (size_t i = 0; i < shared_pieces->size(); i++) {
-          const FetchPiece& p = (*shared_pieces)[i];
-          uint64_t base = (*shared_bases)[i];
-          // Pieces cover disjoint output ranges, so the copies are safe to
-          // run concurrently on completion threads.
-          fetches.push_back(
-              providers_.ReadPageAsync(*(*addrs)[i], p.pid, p.src_off, p.len)
-                  .Then([p, base, range_offset,
-                         dst](Result<std::string> chunk) -> Status {
-                    if (!chunk.ok()) return chunk.status();
-                    if (chunk->size() != p.len)
-                      return Status::Corruption("short page read");
-                    std::memcpy(dst + (base + p.page_local_off - range_offset),
-                                chunk->data(), chunk->size());
-                    return Status::OK();
-                  }));
-        }
-        return WhenAll(std::move(fetches))
-            .Then([shared_pieces](
-                      Result<std::vector<Result<Unit>>> all) -> Status {
-              if (!all.ok()) return all.status();
-              return FirstError(*all);
-            });
-      });
+  // Per-piece failover chain: replicas are tried in metadata order; any
+  // error (dead endpoint, missing object, short read) advances to the next
+  // replica, and a success after a miss triggers detached read repair.
+  struct PieceOp {
+    BlobClient* c = nullptr;
+    FetchPiece piece;
+    char* out = nullptr;  // absolute destination for this piece's bytes
+    size_t attempt = 0;
+    Status last_error;
+    Promise<Unit> promise;
+
+    void Step(const std::shared_ptr<PieceOp>& self) {
+      if (attempt >= piece.providers.size()) {
+        promise.Set(last_error.ok()
+                        ? Status::Unavailable("no replicas for page " +
+                                              piece.pid.ToString())
+                        : last_error);
+        return;
+      }
+      c->pm_.ResolveAddressAsync(piece.providers[attempt])
+          .Then([self](Result<std::string> addr) -> Future<std::string> {
+            if (!addr.ok()) return MakeReadyFuture<std::string>(addr.status());
+            return self->c->providers_.ReadPageAsync(
+                *addr, self->piece.pid, self->piece.src_off, self->piece.len);
+          })
+          .OnReady(nullptr, [self](Result<std::string> chunk) {
+            bool ok = chunk.ok() && chunk->size() == self->piece.len;
+            if (!ok) {
+              self->last_error = chunk.ok()
+                                     ? Status::Corruption("short page read")
+                                     : chunk.status();
+              // Failover depth is bounded by the replica count, so the
+              // inline recursion here stays shallow.
+              self->attempt++;
+              self->Step(self);
+              return;
+            }
+            std::memcpy(self->out, chunk->data(), chunk->size());
+            if (self->attempt > 0) {
+              {
+                std::lock_guard<std::mutex> lock(self->c->stats_mu_);
+                self->c->stats_.failover_reads++;
+              }
+              self->c->RepairReplicasAsync(self->piece, self->attempt);
+            }
+            self->promise.Set(Unit{});
+          });
+    }
+  };
+
+  std::vector<std::function<Future<Unit>()>> tasks;
+  tasks.reserve(pieces.size());
+  for (size_t i = 0; i < pieces.size(); i++) {
+    auto op = std::make_shared<PieceOp>();
+    op->c = this;
+    op->piece = std::move(pieces[i]);
+    // Pieces cover disjoint output ranges, so the copies are safe to run
+    // concurrently on completion threads.
+    op->out = dst + (bases[i] + op->piece.page_local_off - range_offset);
+    tasks.push_back([op] {
+      Future<Unit> f = op->promise.GetFuture();
+      op->Step(op);
+      return f;
+    });
+  }
+  return RunWindowed(std::move(tasks), options_.max_inflight_pages);
 }
 
 Future<std::string> BlobClient::ReadAsync(BlobId id, Version version,

@@ -40,6 +40,14 @@ struct ClientOptions {
   /// Maximum parallel page transfers per operation (sync helpers; the
   /// async pipeline is bounded by channels_per_endpoint pipelining).
   size_t data_fanout = 8;
+  /// Distinct providers storing each page (1 = no replication). WRITE fans
+  /// every page out to all replicas (write quorum = all); READ tries
+  /// replicas in order with failover and best-effort read repair.
+  uint32_t replication = 1;
+  /// Bounds the pages a single operation keeps in flight (and hence the
+  /// page buffers a replicated write materializes at once); 0 = unlimited,
+  /// i.e. the transport's channel pipelining is the only bound.
+  size_t max_inflight_pages = 0;
   /// Maximum parallel metadata (DHT) operations per batch/level.
   size_t meta_fanout = 16;
   /// Leaf fragment-chain length that triggers page compaction on the next
@@ -67,6 +75,10 @@ struct ClientStats {
   uint64_t meta_nodes_written = 0;
   uint64_t compactions = 0;
   uint64_t repairs = 0;
+  /// Reads served by a non-primary replica after a failed attempt.
+  uint64_t failover_reads = 0;
+  /// Page objects re-stored on a replica that failed a read (read repair).
+  uint64_t read_repairs = 0;
 };
 
 /// One BlobSeer client process. Thread-safe: concurrent operations on the
@@ -166,7 +178,7 @@ class BlobClient {
   };
   struct FetchPiece {
     PageId pid;
-    ProviderId provider = kInvalidProvider;
+    std::vector<ProviderId> providers;  // replica set, tried in order
     uint64_t src_off = 0;
     uint64_t len = 0;
     uint64_t page_local_off = 0;
@@ -191,12 +203,38 @@ class BlobClient {
   std::vector<PageWrite> SplitIntoPages(Slice data, uint64_t offset,
                                         uint64_t psize) const;
 
-  /// Allocates providers and stores all page objects as one async wave.
+  /// Allocates a replica set per page and stores every page object on all
+  /// of its replicas (write quorum = all), windowed by max_inflight_pages.
   Future<Unit> StorePagesAsync(std::shared_ptr<std::vector<PageWrite>> writes);
-  /// Best-effort deletion of already-stored pages (failure cleanup);
-  /// always resolves OK.
+  /// One page's replica fan-out: resolve every replica address, then write
+  /// the page object to all of them.
+  Future<Unit> StorePageReplicasAsync(
+      std::shared_ptr<std::vector<PageWrite>> writes, size_t index);
+  /// Best-effort deletion of already-stored pages — every replica of every
+  /// page (failure cleanup); always resolves OK.
   Future<Unit> DeletePagesAsync(
       std::shared_ptr<std::vector<PageWrite>> writes);
+
+  /// Runs `tasks`, keeping at most `window` outstanding (0 = all at once).
+  /// A failure stops the windowed refill (already-launched tasks drain
+  /// first; the unbounded form launches everything up front); resolves
+  /// with the first error.
+  Future<Unit> RunWindowed(
+      std::vector<std::function<Future<Unit>()>> tasks, size_t window);
+
+  /// Detached best-effort read repair: copies the full page object from
+  /// `providers[good]` back onto the replicas that failed the read
+  /// (providers[0..good)).
+  void RepairReplicasAsync(FetchPiece piece, size_t good);
+
+  /// Detached chains (read repair) are not awaited by any caller; the
+  /// destructor drains them so they never outlive the client. The drain
+  /// parks on an executor-provided event, so it is sim-safe. At most
+  /// kMaxDetachedRepairs run at once — beyond that, repairs are dropped
+  /// (they re-trigger on the next degraded read).
+  static constexpr size_t kMaxDetachedRepairs = 32;
+  void EndDetachedOp();
+  void DrainDetachedOps();
 
   /// Stage 2 of an update: version assigned, pages stored (WRITE) or about
   /// to be stored (APPEND) — runs the remaining chain through metadata
@@ -245,6 +283,10 @@ class BlobClient {
 
   mutable std::mutex stats_mu_;
   ClientStats stats_;
+
+  std::mutex detached_mu_;
+  size_t detached_ops_ = 0;
+  std::shared_ptr<WaitEvent> detached_waiter_;
 };
 
 }  // namespace blobseer::client

@@ -1,5 +1,7 @@
 #include "core/cluster.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 #include "pagelog/log_page_store.h"
 #include "pmanager/client.h"
@@ -96,6 +98,7 @@ EmbeddedCluster::~EmbeddedCluster() {
 
 Result<std::unique_ptr<client::BlobClient>> EmbeddedCluster::NewClient(
     client::ClientOptions options) {
+  options.replication = std::max(options.replication, options_.replication);
   return std::make_unique<client::BlobClient>(
       transport_, vm_address_, pm_address_, dht_addresses_, options);
 }

@@ -32,6 +32,9 @@ struct ClusterOptions {
   std::string page_store = "memory";
   /// Allocation strategy name (see pmanager/strategy.h).
   std::string allocation = "round_robin";
+  /// Page replica count applied to clients built via NewClient (clients may
+  /// still override upward through their own options).
+  uint32_t replication = 1;
   uint64_t provider_capacity_pages = 0;  // 0 = unbounded
   size_t dht_shards = 16;
 };

@@ -1,5 +1,7 @@
 #include "core/sim_cluster.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "pmanager/client.h"
@@ -52,6 +54,7 @@ SimCluster::SimCluster(simnet::SimScheduler* sched,
     transport_->SetServiceProfile(prov_addr, provider_profile);
     BS_CHECK(transport_->Serve(prov_addr, prov_svc).ok());
     provider_services_.push_back(std::move(prov_svc));
+    provider_addresses_.push_back(prov_addr);
     auto id = pm_client.Register(prov_addr, 0);
     BS_CHECK(id.ok()) << id.status().ToString();
   }
@@ -60,9 +63,16 @@ SimCluster::SimCluster(simnet::SimScheduler* sched,
 std::unique_ptr<client::BlobClient> SimCluster::NewClient(
     client::ClientOptions base) {
   base.blocking_sync = false;  // handlers must not block in virtual time
+  base.replication = std::max(base.replication, options_.replication);
   return std::make_unique<client::BlobClient>(
       transport_.get(), vm_address_, pm_address_, dht_addresses_, base,
       clock_.get(), executor_.get());
+}
+
+Status SimCluster::StopProvider(size_t index) {
+  if (index >= provider_addresses_.size())
+    return Status::InvalidArgument("provider index");
+  return transport_->StopServing(provider_addresses_[index]);
 }
 
 }  // namespace blobseer::core

@@ -36,6 +36,8 @@ struct SimClusterOptions {
   double manager_cpu_us = 20.0;
   std::string page_store = "null";
   std::string allocation = "round_robin";
+  /// Page replica count applied to clients built via NewClient.
+  uint32_t replication = 1;
 };
 
 /// Must be constructed from inside SimScheduler::Run (provider registration
@@ -70,6 +72,13 @@ class SimCluster {
   const std::vector<std::string>& dht_addresses() const {
     return dht_addresses_;
   }
+  const std::vector<std::string>& provider_addresses() const {
+    return provider_addresses_;
+  }
+
+  /// Kills one data provider endpoint (failure-injection tests): calls on
+  /// it observe Unavailable from then on.
+  Status StopProvider(size_t index);
 
  private:
   simnet::SimScheduler* sched_;
@@ -87,6 +96,7 @@ class SimCluster {
   std::string vm_address_;
   std::string pm_address_;
   std::vector<std::string> dht_addresses_;
+  std::vector<std::string> provider_addresses_;
 };
 
 }  // namespace blobseer::core

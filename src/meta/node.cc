@@ -1,5 +1,6 @@
 #include "meta/node.h"
 
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace blobseer::meta {
@@ -23,7 +24,13 @@ std::string NodeKey::ToString() const {
 
 void PageFragment::EncodeTo(BinaryWriter* w) const {
   w->PutPageId(pid);
-  w->PutU32(provider);
+  // Replica sets are small (the allocation factor); a byte count keeps the
+  // leaf encoding compact. The provider manager rejects factors over 255,
+  // so a larger set here is a caller bug — fail loudly rather than encode
+  // an undetectably corrupt leaf.
+  BS_CHECK(providers.size() <= 255) << "replica set exceeds wire format";
+  w->PutU8(static_cast<uint8_t>(providers.size()));
+  for (ProviderId p : providers) w->PutU32(p);
   w->PutU32(page_off);
   w->PutU32(len);
   w->PutU32(data_off);
@@ -31,13 +38,30 @@ void PageFragment::EncodeTo(BinaryWriter* w) const {
 
 Status PageFragment::DecodeFrom(BinaryReader* r) {
   BS_RETURN_NOT_OK(r->GetPageId(&pid));
-  BS_RETURN_NOT_OK(r->GetU32(&provider));
+  uint8_t n;
+  BS_RETURN_NOT_OK(r->GetU8(&n));
+  if (n == 0) return Status::Corruption("fragment with empty replica set");
+  if (static_cast<uint64_t>(n) * 4 > r->remaining())
+    return Status::Corruption("replica count exceeds payload");
+  providers.resize(n);
+  for (auto& p : providers) BS_RETURN_NOT_OK(r->GetU32(&p));
+  BS_RETURN_NOT_OK(r->GetU32(&page_off));
+  BS_RETURN_NOT_OK(r->GetU32(&len));
+  return r->GetU32(&data_off);
+}
+
+Status PageFragment::DecodeLegacyFrom(BinaryReader* r) {
+  BS_RETURN_NOT_OK(r->GetPageId(&pid));
+  ProviderId p = kInvalidProvider;
+  BS_RETURN_NOT_OK(r->GetU32(&p));
+  providers.assign(1, p);
   BS_RETURN_NOT_OK(r->GetU32(&page_off));
   BS_RETURN_NOT_OK(r->GetU32(&len));
   return r->GetU32(&data_off);
 }
 
 void MetaNode::EncodeTo(BinaryWriter* w) const {
+  w->PutU8(kNodeFormatV2);
   w->PutU8(static_cast<uint8_t>(type));
   if (type == Type::kInner) {
     w->PutU64(left_version);
@@ -52,7 +76,14 @@ void MetaNode::EncodeTo(BinaryWriter* w) const {
 Status MetaNode::DecodeFrom(BinaryReader* r) {
   uint8_t t;
   BS_RETURN_NOT_OK(r->GetU8(&t));
-  if (t > 1) return Status::Corruption("bad node type");
+  // Format v1 carried no version marker: byte 0 was the node type. The v2
+  // marker value (2) was invalid there, so the first byte disambiguates.
+  const bool legacy = t <= 1;
+  if (!legacy) {
+    if (t != kNodeFormatV2) return Status::Corruption("bad node format");
+    BS_RETURN_NOT_OK(r->GetU8(&t));
+    if (t > 1) return Status::Corruption("bad node type");
+  }
   type = static_cast<Type>(t);
   if (type == Type::kInner) {
     BS_RETURN_NOT_OK(r->GetU64(&left_version));
@@ -60,7 +91,19 @@ Status MetaNode::DecodeFrom(BinaryReader* r) {
   }
   BS_RETURN_NOT_OK(r->GetU64(&prev_version));
   BS_RETURN_NOT_OK(r->GetU32(&chain_len));
-  return GetVector(r, &fragments);
+  if (!legacy) return GetVector(r, &fragments);
+  uint32_t n = 0;
+  BS_RETURN_NOT_OK(r->GetU32(&n));
+  if (n > r->remaining())
+    return Status::Corruption("vector count exceeds payload");
+  fragments.clear();
+  fragments.reserve(n);
+  for (uint32_t i = 0; i < n; i++) {
+    PageFragment f;
+    BS_RETURN_NOT_OK(f.DecodeLegacyFrom(r));
+    fragments.push_back(std::move(f));
+  }
+  return Status::OK();
 }
 
 std::string MetaNode::ToString() const {

@@ -33,25 +33,40 @@ Status ProviderManagerClient::Heartbeat(ProviderId id, uint64_t pages,
 
 Result<std::vector<ProviderId>> ProviderManagerClient::Allocate(
     uint32_t num_pages) {
+  auto sets = AllocateReplicated(num_pages, 1);
+  if (!sets.ok()) return sets.status();
+  std::vector<ProviderId> out;
+  out.reserve(sets->size());
+  for (const auto& set : *sets)
+    out.push_back(set.empty() ? kInvalidProvider : set[0]);
+  return out;
+}
+
+Result<std::vector<std::vector<ProviderId>>>
+ProviderManagerClient::AllocateReplicated(uint32_t num_pages,
+                                          uint32_t replication) {
   auto ch = pool_.Get(address_);
   if (!ch.ok()) return ch.status();
-  AllocateRequest req{num_pages};
+  AllocateRequest req{num_pages, replication};
   AllocateResponse rsp;
   BS_RETURN_NOT_OK(
       rpc::CallMethod(ch->get(), rpc::Method::kPmAllocate, req, &rsp));
-  return std::move(rsp.providers);
+  return std::move(rsp.replicas);
 }
 
-Future<std::vector<ProviderId>> ProviderManagerClient::AllocateAsync(
-    uint32_t num_pages) {
+Future<std::vector<std::vector<ProviderId>>>
+ProviderManagerClient::AllocateReplicatedAsync(uint32_t num_pages,
+                                               uint32_t replication) {
   auto ch = pool_.Get(address_);
-  if (!ch.ok()) return MakeReadyFuture<std::vector<ProviderId>>(ch.status());
+  if (!ch.ok())
+    return MakeReadyFuture<std::vector<std::vector<ProviderId>>>(ch.status());
   return rpc::CallMethodAsync<AllocateRequest, AllocateResponse>(
-             ch->get(), rpc::Method::kPmAllocate, AllocateRequest{num_pages})
+             ch->get(), rpc::Method::kPmAllocate,
+             AllocateRequest{num_pages, replication})
       .Then([](Result<AllocateResponse> rsp)
-                -> Result<std::vector<ProviderId>> {
+                -> Result<std::vector<std::vector<ProviderId>>> {
         if (!rsp.ok()) return rsp.status();
-        return std::move(rsp->providers);
+        return std::move(rsp->replicas);
       });
 }
 

@@ -27,6 +27,12 @@ class ProviderManagerClient {
   /// addresses via ResolveAddress (cached directory).
   Result<std::vector<ProviderId>> Allocate(uint32_t num_pages);
 
+  /// Asks for a replica set of `replication` distinct providers per page
+  /// (primary first). Fails with Unavailable when fewer live providers than
+  /// `replication` are registered.
+  Result<std::vector<std::vector<ProviderId>>> AllocateReplicated(
+      uint32_t num_pages, uint32_t replication);
+
   /// Resolves a provider id to its endpoint address, refreshing the cached
   /// directory on miss.
   Result<std::string> ResolveAddress(ProviderId id);
@@ -36,7 +42,8 @@ class ProviderManagerClient {
 
   /// Async variants used by the client pipeline; a directory cache hit
   /// resolves the address future immediately.
-  Future<std::vector<ProviderId>> AllocateAsync(uint32_t num_pages);
+  Future<std::vector<std::vector<ProviderId>>> AllocateReplicatedAsync(
+      uint32_t num_pages, uint32_t replication);
   Future<std::string> ResolveAddressAsync(ProviderId id);
 
  private:

@@ -51,23 +51,43 @@ struct HeartbeatResponse {
 
 struct AllocateRequest {
   uint32_t num_pages = 0;
-  void EncodeTo(BinaryWriter* w) const { w->PutU32(num_pages); }
-  Status DecodeFrom(BinaryReader* r) { return r->GetU32(&num_pages); }
+  /// Distinct providers requested per page (the page's replica set).
+  uint32_t replication = 1;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU32(num_pages);
+    w->PutU32(replication);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetU32(&num_pages));
+    return r->GetU32(&replication);
+  }
 };
 
 struct AllocateResponse {
-  std::vector<ProviderId> providers;
+  /// One replica set per requested page; each set lists `replication`
+  /// distinct providers, primary first.
+  std::vector<std::vector<ProviderId>> replicas;
   void EncodeTo(BinaryWriter* w) const {
-    w->PutU32(static_cast<uint32_t>(providers.size()));
-    for (ProviderId p : providers) w->PutU32(p);
+    w->PutU32(static_cast<uint32_t>(replicas.size()));
+    for (const auto& set : replicas) {
+      w->PutU32(static_cast<uint32_t>(set.size()));
+      for (ProviderId p : set) w->PutU32(p);
+    }
   }
   Status DecodeFrom(BinaryReader* r) {
     uint32_t n;
     BS_RETURN_NOT_OK(r->GetU32(&n));
     if (static_cast<uint64_t>(n) * 4 > r->remaining())
-      return Status::Corruption("provider count exceeds payload");
-    providers.resize(n);
-    for (auto& p : providers) BS_RETURN_NOT_OK(r->GetU32(&p));
+      return Status::Corruption("page count exceeds payload");
+    replicas.resize(n);
+    for (auto& set : replicas) {
+      uint32_t cnt;
+      BS_RETURN_NOT_OK(r->GetU32(&cnt));
+      if (static_cast<uint64_t>(cnt) * 4 > r->remaining())
+        return Status::Corruption("replica count exceeds payload");
+      set.resize(cnt);
+      for (auto& p : set) BS_RETURN_NOT_OK(r->GetU32(&p));
+    }
     return Status::OK();
   }
 };

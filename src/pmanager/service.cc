@@ -63,13 +63,29 @@ Status ProviderManagerService::Handle(rpc::Method method, Slice payload,
           [this](const AllocateRequest& req, AllocateResponse* rsp) {
             if (req.num_pages == 0)
               return Status::InvalidArgument("allocate zero pages");
+            // The leaf wire format stores the replica count as one byte.
+            if (req.replication == 0 || req.replication > 255)
+              return Status::InvalidArgument("replication factor out of range");
             std::lock_guard<std::mutex> lock(mu_);
             if (records_.empty())
               return Status::Unavailable("no providers registered");
-            rsp->providers = strategy_->Allocate(&records_, req.num_pages);
-            if (rsp->providers.size() != req.num_pages)
+            // Strategies charge allocated_pages (and retire full providers)
+            // as they pick; run them on a scratch copy and commit only a
+            // fully-satisfied allocation, so failed requests leave no
+            // phantom load behind.
+            std::vector<ProviderRecord> scratch = records_;
+            rsp->replicas =
+                strategy_->Allocate(&scratch, req.num_pages, req.replication);
+            if (rsp->replicas.size() != req.num_pages)
               return Status::Unavailable("insufficient provider capacity");
-            allocations_ += req.num_pages;
+            for (const auto& set : rsp->replicas) {
+              if (set.size() != req.replication)
+                return Status::Unavailable(
+                    "fewer live providers than replication factor");
+            }
+            records_ = std::move(scratch);
+            allocations_ +=
+                static_cast<uint64_t>(req.num_pages) * req.replication;
             return Status::OK();
           });
     case rpc::Method::kPmDirectory:

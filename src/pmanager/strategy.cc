@@ -21,32 +21,51 @@ std::vector<size_t> EligibleIndices(const std::vector<ProviderRecord>& recs) {
   return out;
 }
 
-/// Charges one page to records[idx]; removes it from `elig` (position
-/// `pos`) if that filled it to capacity. Returns whether it was removed.
-bool ChargeAndMaybeRetire(std::vector<ProviderRecord>* records, size_t idx,
-                          std::vector<size_t>* elig, size_t pos) {
+/// Charges one page replica to records[idx]; removes it from `elig` (by
+/// value) if that filled it to capacity.
+void ChargeAndMaybeRetire(std::vector<ProviderRecord>* records, size_t idx,
+                          std::vector<size_t>* elig) {
   ProviderRecord& r = (*records)[idx];
   r.allocated_pages++;
   if (r.capacity_pages != 0 && r.allocated_pages >= r.capacity_pages) {
-    elig->erase(elig->begin() + static_cast<ptrdiff_t>(pos));
-    return true;
+    auto it = std::find(elig->begin(), elig->end(), idx);
+    if (it != elig->end()) elig->erase(it);
   }
-  return false;
+}
+
+/// Emits one page's replica set from the record indices selected into
+/// `picked`, charging each replica.
+ReplicaSet CommitSet(std::vector<ProviderRecord>* records,
+                     const std::vector<size_t>& picked,
+                     std::vector<size_t>* elig) {
+  ReplicaSet set;
+  set.reserve(picked.size());
+  for (size_t idx : picked) {
+    set.push_back((*records)[idx].id);
+    ChargeAndMaybeRetire(records, idx, elig);
+  }
+  return set;
 }
 
 class RoundRobinStrategy : public AllocationStrategy {
  public:
-  std::vector<ProviderId> Allocate(std::vector<ProviderRecord>* records,
-                                   size_t n) override {
-    std::vector<ProviderId> out;
+  std::vector<ReplicaSet> Allocate(std::vector<ProviderRecord>* records,
+                                   size_t n, size_t r) override {
+    std::vector<ReplicaSet> out;
     out.reserve(n);
     std::vector<size_t> elig = EligibleIndices(*records);
+    std::vector<size_t> picked;
     for (size_t k = 0; k < n; k++) {
       if (elig.empty()) break;
-      size_t pos = cursor_ % elig.size();
-      size_t idx = elig[pos];
-      out.push_back((*records)[idx].id);
-      if (!ChargeAndMaybeRetire(records, idx, &elig, pos)) cursor_++;
+      // Replicas are the next r distinct providers in registration-cycle
+      // order (chained-declustering spread); the cursor advances one slot
+      // per page so consecutive pages land on consecutive primaries.
+      size_t take = std::min(r, elig.size());
+      picked.clear();
+      for (size_t j = 0; j < take; j++)
+        picked.push_back(elig[(cursor_ + j) % elig.size()]);
+      cursor_++;
+      out.push_back(CommitSet(records, picked, &elig));
     }
     return out;
   }
@@ -59,17 +78,24 @@ class RoundRobinStrategy : public AllocationStrategy {
 class RandomStrategy : public AllocationStrategy {
  public:
   explicit RandomStrategy(uint64_t seed) : rng_(seed) {}
-  std::vector<ProviderId> Allocate(std::vector<ProviderRecord>* records,
-                                   size_t n) override {
-    std::vector<ProviderId> out;
+  std::vector<ReplicaSet> Allocate(std::vector<ProviderRecord>* records,
+                                   size_t n, size_t r) override {
+    std::vector<ReplicaSet> out;
     out.reserve(n);
     std::vector<size_t> elig = EligibleIndices(*records);
+    std::vector<size_t> scratch, picked;
     for (size_t k = 0; k < n; k++) {
       if (elig.empty()) break;
-      size_t pos = rng_.Uniform(elig.size());
-      size_t idx = elig[pos];
-      out.push_back((*records)[idx].id);
-      ChargeAndMaybeRetire(records, idx, &elig, pos);
+      // Sample without replacement: partial Fisher-Yates over the eligible
+      // set gives r distinct uniform picks at O(r) swaps.
+      size_t take = std::min(r, elig.size());
+      scratch = elig;
+      picked.clear();
+      for (size_t j = 0; j < take; j++) {
+        std::swap(scratch[j], scratch[j + rng_.Uniform(scratch.size() - j)]);
+        picked.push_back(scratch[j]);
+      }
+      out.push_back(CommitSet(records, picked, &elig));
     }
     return out;
   }
@@ -81,23 +107,30 @@ class RandomStrategy : public AllocationStrategy {
 
 class LeastLoadedStrategy : public AllocationStrategy {
  public:
-  std::vector<ProviderId> Allocate(std::vector<ProviderRecord>* records,
-                                   size_t n) override {
-    std::vector<ProviderId> out;
+  std::vector<ReplicaSet> Allocate(std::vector<ProviderRecord>* records,
+                                   size_t n, size_t r) override {
+    std::vector<ReplicaSet> out;
     out.reserve(n);
     std::vector<size_t> elig = EligibleIndices(*records);
+    std::vector<size_t> scratch, picked;
     for (size_t k = 0; k < n; k++) {
       if (elig.empty()) break;
-      size_t best_pos = 0;
-      for (size_t p = 1; p < elig.size(); p++) {
-        if ((*records)[elig[p]].allocated_pages <
-            (*records)[elig[best_pos]].allocated_pages) {
-          best_pos = p;
+      // Selection sort of the r least-loaded providers into the prefix.
+      size_t take = std::min(r, elig.size());
+      scratch = elig;
+      picked.clear();
+      for (size_t j = 0; j < take; j++) {
+        size_t best = j;
+        for (size_t p = j + 1; p < scratch.size(); p++) {
+          if ((*records)[scratch[p]].allocated_pages <
+              (*records)[scratch[best]].allocated_pages) {
+            best = p;
+          }
         }
+        std::swap(scratch[j], scratch[best]);
+        picked.push_back(scratch[j]);
       }
-      size_t idx = elig[best_pos];
-      out.push_back((*records)[idx].id);
-      ChargeAndMaybeRetire(records, idx, &elig, best_pos);
+      out.push_back(CommitSet(records, picked, &elig));
     }
     return out;
   }
@@ -107,22 +140,30 @@ class LeastLoadedStrategy : public AllocationStrategy {
 class PowerOfTwoStrategy : public AllocationStrategy {
  public:
   explicit PowerOfTwoStrategy(uint64_t seed) : rng_(seed) {}
-  std::vector<ProviderId> Allocate(std::vector<ProviderRecord>* records,
-                                   size_t n) override {
-    std::vector<ProviderId> out;
+  std::vector<ReplicaSet> Allocate(std::vector<ProviderRecord>* records,
+                                   size_t n, size_t r) override {
+    std::vector<ReplicaSet> out;
     out.reserve(n);
     std::vector<size_t> elig = EligibleIndices(*records);
+    std::vector<size_t> scratch, picked;
     for (size_t k = 0; k < n; k++) {
       if (elig.empty()) break;
-      size_t pa = rng_.Uniform(elig.size());
-      size_t pb = rng_.Uniform(elig.size());
-      size_t pos = (*records)[elig[pa]].allocated_pages <=
-                           (*records)[elig[pb]].allocated_pages
-                       ? pa
-                       : pb;
-      size_t idx = elig[pos];
-      out.push_back((*records)[idx].id);
-      ChargeAndMaybeRetire(records, idx, &elig, pos);
+      // Two choices among the not-yet-picked suffix per replica, keeping
+      // the set distinct by swapping winners into the prefix.
+      size_t take = std::min(r, elig.size());
+      scratch = elig;
+      picked.clear();
+      for (size_t j = 0; j < take; j++) {
+        size_t pa = j + rng_.Uniform(scratch.size() - j);
+        size_t pb = j + rng_.Uniform(scratch.size() - j);
+        size_t pos = (*records)[scratch[pa]].allocated_pages <=
+                             (*records)[scratch[pb]].allocated_pages
+                         ? pa
+                         : pb;
+        std::swap(scratch[j], scratch[pos]);
+        picked.push_back(scratch[j]);
+      }
+      out.push_back(CommitSet(records, picked, &elig));
     }
     return out;
   }
@@ -133,6 +174,17 @@ class PowerOfTwoStrategy : public AllocationStrategy {
 };
 
 }  // namespace
+
+std::vector<ProviderId> AllocationStrategy::Allocate(
+    std::vector<ProviderRecord>* records, size_t n) {
+  std::vector<ReplicaSet> sets = Allocate(records, n, 1);
+  std::vector<ProviderId> out;
+  out.reserve(sets.size());
+  for (const ReplicaSet& s : sets) {
+    if (!s.empty()) out.push_back(s[0]);
+  }
+  return out;
+}
 
 std::unique_ptr<AllocationStrategy> MakeRoundRobinStrategy() {
   return std::make_unique<RoundRobinStrategy>();

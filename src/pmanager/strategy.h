@@ -2,7 +2,10 @@
 // manager's distribution strategy "plays a central role in minimizing
 // conflicts that lead to serialization" (section 4.3); we implement the
 // even-distribution scheme it describes plus common alternatives for the
-// ablation benches.
+// ablation benches. Every strategy allocates *replica sets*: `r` distinct
+// providers per page (section 3.1 keeps data available under churn by
+// replicating each page), spread in registration order for round-robin and
+// by load for the load-aware schemes.
 #ifndef BLOBSEER_PMANAGER_STRATEGY_H_
 #define BLOBSEER_PMANAGER_STRATEGY_H_
 
@@ -25,31 +28,41 @@ struct ProviderRecord {
   bool alive = true;
 };
 
-/// Chooses `n` providers (repeats allowed when n exceeds the number of
-/// providers) for the pages of one update. Implementations may assume the
-/// records vector is non-empty and must update `allocated_pages` for the
-/// providers they pick.
+/// Distinct providers holding one page's replicas; [0] is the primary
+/// (writers store to all, readers try in order).
+using ReplicaSet = std::vector<ProviderId>;
+
+/// Chooses a replica set of `r` distinct providers for each of `n` pages.
+/// Implementations may assume the records vector is non-empty, must update
+/// `allocated_pages` once per replica they place, and return sets of
+/// min(r, eligible providers) members — callers requiring exactly `r`
+/// check set sizes. Fewer than `n` sets are returned only when no eligible
+/// provider remains at all.
 class AllocationStrategy {
  public:
   virtual ~AllocationStrategy() = default;
-  virtual std::vector<ProviderId> Allocate(std::vector<ProviderRecord>* records,
-                                           size_t n) = 0;
+  virtual std::vector<ReplicaSet> Allocate(std::vector<ProviderRecord>* records,
+                                           size_t n, size_t r) = 0;
+  /// Unreplicated convenience: one provider per page, flattened.
+  std::vector<ProviderId> Allocate(std::vector<ProviderRecord>* records,
+                                   size_t n);
   virtual const char* name() const = 0;
 };
 
 /// Cycles through providers in registration order: the paper's
-/// even-distribution scheme. Deterministic and perfectly balanced for
-/// equal-size pages.
+/// even-distribution scheme. Replicas are the next r distinct providers in
+/// the cycle (chained-declustering spread). Deterministic and perfectly
+/// balanced for equal-size pages.
 std::unique_ptr<AllocationStrategy> MakeRoundRobinStrategy();
 
-/// Uniform random choice.
+/// Uniform random choice (sets sampled without replacement).
 std::unique_ptr<AllocationStrategy> MakeRandomStrategy(uint64_t seed = 42);
 
 /// Always picks the providers with the fewest allocated pages.
 std::unique_ptr<AllocationStrategy> MakeLeastLoadedStrategy();
 
-/// Power-of-two-choices: samples two providers per page and keeps the less
-/// loaded one; near-optimal balance at O(1) cost.
+/// Power-of-two-choices: samples two providers per replica and keeps the
+/// less loaded one; near-optimal balance at O(1) cost.
 std::unique_ptr<AllocationStrategy> MakePowerOfTwoStrategy(uint64_t seed = 42);
 
 /// Factory by name: "round_robin", "random", "least_loaded", "power_of_two".

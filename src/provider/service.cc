@@ -1,5 +1,7 @@
 #include "provider/service.h"
 
+#include <chrono>
+
 #include "provider/messages.h"
 #include "rpc/call.h"
 
@@ -7,6 +9,47 @@ namespace blobseer::provider {
 
 ProviderService::ProviderService(std::unique_ptr<PageStore> store)
     : store_(std::move(store)) {}
+
+ProviderService::~ProviderService() { StopPeriodicCompaction(); }
+
+void ProviderService::StartPeriodicCompaction(Executor* executor,
+                                              uint64_t interval_us) {
+  if (loop_ || interval_us == 0) return;
+  loop_ = std::make_shared<CompactionLoop>();
+  // The raw store pointer is safe: the destructor stops the loop (and
+  // waits for `done`) before `store_` is destroyed.
+  executor->Schedule([loop = loop_, store = store_.get(), interval_us] {
+    std::unique_lock<std::mutex> lock(loop->mu);
+    while (!loop->stop) {
+      if (loop->cv.wait_for(lock, std::chrono::microseconds(interval_us),
+                            [&] { return loop->stop; })) {
+        break;
+      }
+      lock.unlock();
+      // Compact() is safe against concurrent reads/writes by contract;
+      // errors are reported by the store's own stats, not fatal here.
+      (void)store->Compact();
+      loop->passes.fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+    }
+    loop->done = true;
+    loop->cv.notify_all();
+  });
+}
+
+void ProviderService::StopPeriodicCompaction() {
+  if (!loop_) return;
+  std::unique_lock<std::mutex> lock(loop_->mu);
+  loop_->stop = true;
+  loop_->cv.notify_all();
+  // The loop record stays (compaction_passes remains readable); only the
+  // running task is torn down.
+  loop_->cv.wait(lock, [&] { return loop_->done; });
+}
+
+uint64_t ProviderService::compaction_passes() const {
+  return loop_ ? loop_->passes.load(std::memory_order_relaxed) : 0;
+}
 
 Status ProviderService::Handle(rpc::Method method, Slice payload,
                                std::string* response) {

@@ -10,12 +10,16 @@
 // --store selects the provider page engine: "memory" (default), "null",
 // "file:<dir>" (one fsynced file per page), or "log:<dir>" (log-structured
 // segment store with group-commit durability; see docs/pagelog_format.md).
+// --compact-interval=SECONDS (0 = off, the default) runs a background
+// PageStore::Compact() pass on that period so deleted pages are reclaimed
+// without an operator in the loop.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 
+#include "common/executor.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "dht/service.h"
@@ -54,7 +58,12 @@ int main(int argc, char** argv) {
   std::string allocation = FlagValue(argc, argv, "allocation", "round_robin");
   uint64_t capacity =
       strtoull(FlagValue(argc, argv, "capacity", "0").c_str(), nullptr, 10);
+  uint64_t compact_interval_sec = strtoull(
+      FlagValue(argc, argv, "compact-interval", "0").c_str(), nullptr, 10);
 
+  // Declared before the services so it outlives the compaction loop they
+  // stop in their destructors.
+  std::unique_ptr<ThreadPoolExecutor> compaction_executor;
   rpc::TcpTransport transport;
   auto composite = std::make_shared<rpc::CompositeHandler>();
   bool has_provider = false;
@@ -83,6 +92,13 @@ int main(int argc, char** argv) {
       }
       provider_service =
           std::make_shared<provider::ProviderService>(std::move(store));
+      if (compact_interval_sec > 0) {
+        compaction_executor = std::make_unique<ThreadPoolExecutor>(1);
+        provider_service->StartPeriodicCompaction(
+            compaction_executor.get(), compact_interval_sec * 1000 * 1000);
+        printf("background compaction every %llu s\n",
+               static_cast<unsigned long long>(compact_interval_sec));
+      }
       composite->Register(200, provider_service);
       has_provider = true;
     } else if (!role.empty()) {

@@ -56,9 +56,15 @@ class VersionManagerClient {
 
  private:
   Result<rpc::Channel*> Chan();
+  /// Channel reserved for blocking AwaitPublished holds: the server parks
+  /// such calls for up to 250 ms per slice, and TCP channels serve
+  /// responses FIFO, so routing them over the shared pool would queue
+  /// pipelined async ops behind the hold.
+  Result<rpc::Channel*> SyncChan();
 
   std::string address_;
   rpc::ChannelPool pool_;
+  rpc::ChannelPool sync_pool_;
 };
 
 }  // namespace blobseer::vmanager

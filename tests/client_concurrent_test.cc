@@ -183,6 +183,13 @@ TEST_F(ConcurrentTest, ReadersRunAgainstActiveWriters) {
     }
   }
   ASSERT_TRUE(writer->Sync(*id, ref.latest()).ok());
+  // On a loaded machine the reader threads (each constructing its own
+  // client) may not have completed a single loop by the time the scripted
+  // writes finish; give them a bounded window before stopping.
+  Stopwatch warmup;
+  while (reads_done.load() == 0 && warmup.ElapsedSeconds() < 10.0) {
+    RealClock::Default()->SleepForMicros(1000);
+  }
   stop.store(true);
   for (auto& t : readers) t.join();
 

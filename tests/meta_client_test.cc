@@ -39,7 +39,7 @@ class MetaClientTest : public ::testing::Test {
     for (uint64_t p = 0; p < 4; p++) {
       ASSERT_TRUE(
           mc->PutNode(NodeKey{1, 1, {p, 1}},
-                      MetaNode::Leaf({PageFragment{PageId{1, p + 1}, 0, 0, 1, 0}},
+                      MetaNode::Leaf({PageFragment{PageId{1, p + 1}, {0}, 0, 1, 0}},
                                      kNoVersion, 1))
               .ok());
     }
@@ -204,7 +204,7 @@ TEST_F(MetaClientTest, WriteNodesBatchIsAtomicPerNode) {
   std::vector<std::pair<NodeKey, MetaNode>> nodes;
   for (uint64_t i = 0; i < 50; i++) {
     nodes.emplace_back(NodeKey{9, 1, Extent{i, 1}},
-                       MetaNode::Leaf({PageFragment{PageId{9, i}, 0, 0, 1, 0}},
+                       MetaNode::Leaf({PageFragment{PageId{9, i}, {0}, 0, 1, 0}},
                                       kNoVersion, 1));
   }
   ASSERT_TRUE(mc.WriteNodes(nodes).ok());
