@@ -31,7 +31,7 @@ struct BlobClient::UpdateOp {
 
   BlobDescriptor desc;
   AssignTicket ticket;
-  std::shared_ptr<std::vector<PageWrite>> writes;
+  std::shared_ptr<PageWriteBatch> batch;
 
   // Metadata-build state (initialized by BuildAndWriteMetaAsync).
   BranchAncestry ancestry;
@@ -164,6 +164,32 @@ BlobClient::BlobClient(rpc::Transport* transport, std::string vmanager_address,
 }
 
 BlobClient::~BlobClient() { DrainDetachedOps(); }
+
+void BlobClient::PageWriteBatch::PutsStarted() {
+  std::lock_guard<std::mutex> lock(mu);
+  inflight_puts++;
+}
+
+void BlobClient::PageWriteBatch::PutsSettled() {
+  std::vector<Promise<Unit>> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--inflight_puts == 0) ready.swap(idle_waiters);
+  }
+  for (Promise<Unit>& p : ready) p.Set(Unit{});
+}
+
+Future<Unit> BlobClient::PageWriteBatch::WhenPutsSettled() {
+  std::lock_guard<std::mutex> lock(mu);
+  if (inflight_puts == 0) return MakeReadyFuture(Status::OK());
+  idle_waiters.emplace_back();
+  return idle_waiters.back().GetFuture();
+}
+
+void BlobClient::BeginDetachedOp() {
+  std::lock_guard<std::mutex> lock(detached_mu_);
+  detached_ops_++;
+}
 
 void BlobClient::EndDetachedOp() {
   std::shared_ptr<WaitEvent> waiter;
@@ -311,87 +337,160 @@ Future<Unit> BlobClient::RunWindowed(
 }
 
 Future<Unit> BlobClient::StorePageReplicasAsync(
-    std::shared_ptr<std::vector<PageWrite>> writes, size_t index) {
-  const PageWrite& w = (*writes)[index];
+    std::shared_ptr<PageWriteBatch> batch, size_t index) {
+  const PageWrite& w = batch->pages[index];
   std::vector<Future<std::string>> addresses;
   addresses.reserve(w.frag.providers.size());
   for (ProviderId p : w.frag.providers)
     addresses.push_back(pm_.ResolveAddressAsync(p));
+  // Address resolution is a control-plane (directory) step: it fails only
+  // when the provider manager is unreachable, so it is not absorbed by the
+  // write quorum — an error here fails the page before any put is issued.
   return WhenAll(std::move(addresses))
-      .Then([this, writes, index](Result<std::vector<Result<std::string>>>
-                                      addrs) -> Future<Unit> {
+      .Then([this, batch, index](Result<std::vector<Result<std::string>>>
+                                     addrs) -> Future<Unit> {
         if (!addrs.ok()) return MakeReadyFuture(addrs.status());
         Status first = FirstError(*addrs);
         if (!first.ok()) return MakeReadyFuture(std::move(first));
-        const PageWrite& w = (*writes)[index];
-        // Write quorum = all replicas for now (pluggable later): the
-        // metadata leaf lists every replica, so a reader must be able to
-        // trust any entry.
-        std::vector<Future<Unit>> puts;
-        puts.reserve(addrs->size());
-        for (size_t j = 0; j < addrs->size(); j++) {
-          puts.push_back(
-              providers_.WritePageAsync(*(*addrs)[j], w.frag.pid, w.bytes));
+        const PageWrite& w = batch->pages[index];
+        const size_t total = addrs->size();
+        // w of r: the page (and hence the update) acks once `needed`
+        // replicas accepted. The metadata leaf still lists every replica —
+        // a reader failing over past a replica that missed its put heals
+        // it via read repair, so no wire change is needed.
+        size_t needed = options_.write_quorum == 0
+                            ? total
+                            : std::min<size_t>(options_.write_quorum, total);
+        if (needed == 0) needed = total;
+
+        struct Quorum {
+          BlobClient* c = nullptr;
+          std::shared_ptr<PageWriteBatch> batch;
+          size_t needed = 0;
+          size_t total = 0;
+          std::mutex mu;
+          size_t oks = 0;
+          size_t fails = 0;
+          bool acked = false;
+          Status first_error;
+          Promise<Unit> promise;
+        };
+        auto q = std::make_shared<Quorum>();
+        q->c = this;
+        q->batch = batch;
+        q->needed = needed;
+        q->total = total;
+        Future<Unit> f = q->promise.GetFuture();
+        // Stragglers past the quorum ack keep running detached; the
+        // barrier (and the client-level detached counter) hold cleanup and
+        // destruction until every put settled. Registered before the puts
+        // launch so an inline-completing transport cannot settle first.
+        batch->PutsStarted();
+        BeginDetachedOp();
+        // All r puts launch now — each serializes `w.bytes` into its
+        // request before returning, so the caller's payload is not
+        // referenced after this loop (stragglers outlive the op future).
+        for (size_t j = 0; j < total; j++) {
+          providers_.WritePageAsync(*(*addrs)[j], w.frag.pid, w.bytes)
+              .OnReady(nullptr, [q](Result<Unit> put) {
+                bool ack = false;
+                bool done = false;
+                Status outcome;  // OK unless this ack reports failure
+                {
+                  std::lock_guard<std::mutex> lock(q->mu);
+                  if (put.ok()) {
+                    q->oks++;
+                  } else {
+                    q->fails++;
+                    if (q->first_error.ok()) q->first_error = put.status();
+                  }
+                  done = q->oks + q->fails == q->total;
+                  if (!q->acked && q->oks >= q->needed) {
+                    q->acked = true;
+                    ack = true;
+                  } else if (!q->acked && done) {
+                    // Every replica settled short of the quorum. Failing
+                    // only now (not at the first fatal miss) keeps the
+                    // failure path free of put-vs-delete races.
+                    q->acked = true;
+                    ack = true;
+                    outcome = q->first_error;
+                  }
+                }
+                if (done) {
+                  if (q->fails > 0 && outcome.ok()) {
+                    std::lock_guard<std::mutex> lock(q->c->stats_mu_);
+                    q->c->stats_.degraded_writes++;
+                  }
+                  q->batch->PutsSettled();
+                  q->c->EndDetachedOp();
+                }
+                if (ack) {
+                  q->promise.Set(outcome.ok() ? Result<Unit>(Unit{})
+                                              : Result<Unit>(outcome));
+                }
+              });
         }
-        return WhenAll(std::move(puts))
-            .Then([writes](Result<std::vector<Result<Unit>>> all) -> Status {
-              if (!all.ok()) return all.status();
-              return FirstError(*all);
-            });
+        return f;
       });
 }
 
 Future<Unit> BlobClient::StorePagesAsync(
-    std::shared_ptr<std::vector<PageWrite>> writes) {
+    std::shared_ptr<PageWriteBatch> batch) {
   // Paper Algorithm 2 with replication: allocate a replica set per page,
-  // then store every page on all of its replicas with no synchronization
-  // between pages. max_inflight_pages caps concurrent page transfers so a
-  // huge replicated update does not buffer update x r at once.
+  // then store every page on its replicas with no synchronization between
+  // pages. max_inflight_pages caps concurrent page transfers so a huge
+  // replicated update does not buffer update x r at once.
   return pm_
-      .AllocateReplicatedAsync(static_cast<uint32_t>(writes->size()),
+      .AllocateReplicatedAsync(static_cast<uint32_t>(batch->pages.size()),
                                options_.replication)
-      .Then([this, writes](Result<std::vector<std::vector<ProviderId>>> sets)
+      .Then([this, batch](Result<std::vector<std::vector<ProviderId>>> sets)
                 -> Future<Unit> {
         if (!sets.ok()) return MakeReadyFuture(sets.status());
         std::vector<std::function<Future<Unit>()>> tasks;
-        tasks.reserve(writes->size());
-        for (size_t i = 0; i < writes->size(); i++) {
-          (*writes)[i].frag.pid = NewPageId();
-          (*writes)[i].frag.providers = std::move((*sets)[i]);
+        tasks.reserve(batch->pages.size());
+        for (size_t i = 0; i < batch->pages.size(); i++) {
+          batch->pages[i].frag.pid = NewPageId();
+          batch->pages[i].frag.providers = std::move((*sets)[i]);
           tasks.push_back(
-              [this, writes, i] { return StorePageReplicasAsync(writes, i); });
+              [this, batch, i] { return StorePageReplicasAsync(batch, i); });
         }
         return RunWindowed(std::move(tasks), options_.max_inflight_pages)
-            .Then([this, writes](Result<Unit> all) -> Status {
+            .Then([this, batch](Result<Unit> all) -> Status {
               if (!all.ok()) return all.status();
               std::lock_guard<std::mutex> lock(stats_mu_);
-              stats_.pages_stored += writes->size();
+              stats_.pages_stored += batch->pages.size();
               return Status::OK();
             });
       });
 }
 
 Future<Unit> BlobClient::DeletePagesAsync(
-    std::shared_ptr<std::vector<PageWrite>> writes) {
-  std::vector<Future<Unit>> deletions;
-  for (const PageWrite& w : *writes) {
-    if (!w.frag.pid.valid()) continue;
-    // Every incarnation: each replica stored its own copy of the page.
-    for (ProviderId provider : w.frag.providers) {
-      deletions.push_back(
-          pm_.ResolveAddressAsync(provider)
-              .Then([this, pid = w.frag.pid](
-                        Result<std::string> addr) -> Future<Unit> {
-                if (!addr.ok()) return MakeReadyFuture(Status::OK());
-                return providers_.DeletePageAsync(*addr, pid)
-                    .Then([](Result<Unit>) { return Status::OK(); });
-              }));
+    std::shared_ptr<PageWriteBatch> batch) {
+  // Wait for the straggler barrier first: a put still in flight when the
+  // cleanup starts could land after the delete and resurrect the page.
+  return batch->WhenPutsSettled().Then([this, batch](
+                                           Result<Unit>) -> Future<Unit> {
+    std::vector<Future<Unit>> deletions;
+    for (const PageWrite& w : batch->pages) {
+      if (!w.frag.pid.valid()) continue;
+      // Every incarnation: each replica stored its own copy of the page.
+      for (ProviderId provider : w.frag.providers) {
+        deletions.push_back(
+            pm_.ResolveAddressAsync(provider)
+                .Then([this, pid = w.frag.pid](
+                          Result<std::string> addr) -> Future<Unit> {
+                  if (!addr.ok()) return MakeReadyFuture(Status::OK());
+                  return providers_.DeletePageAsync(*addr, pid)
+                      .Then([](Result<Unit>) { return Status::OK(); });
+                }));
+      }
     }
-  }
-  return WhenAll(std::move(deletions))
-      .Then([writes](Result<std::vector<Result<Unit>>>) {
-        return Status::OK();  // best-effort by design
-      });
+    return WhenAll(std::move(deletions))
+        .Then([batch](Result<std::vector<Result<Unit>>>) {
+          return Status::OK();  // best-effort by design
+        });
+  });
 }
 
 Future<Version> BlobClient::ResolveBorderAsync(std::shared_ptr<UpdateOp> op,
@@ -482,16 +581,16 @@ Future<Unit> BlobClient::BuildLeafAsync(std::shared_ptr<UpdateOp> op,
                 if (!r.ok()) return MakeReadyFuture(r.status());
                 std::memcpy(buffer->data() + w->frag.page_off,
                             w->bytes.data(), w->bytes.size());
-                auto one = std::make_shared<std::vector<PageWrite>>(1);
-                (*one)[0].page_index = w->page_index;
-                (*one)[0].frag.page_off = 0;
-                (*one)[0].frag.len = static_cast<uint32_t>(buffer->size());
-                (*one)[0].frag.data_off = 0;
-                (*one)[0].bytes = Slice(*buffer);
+                auto one = std::make_shared<PageWriteBatch>(1);
+                one->pages[0].page_index = w->page_index;
+                one->pages[0].frag.page_off = 0;
+                one->pages[0].frag.len = static_cast<uint32_t>(buffer->size());
+                one->pages[0].frag.data_off = 0;
+                one->pages[0].bytes = Slice(*buffer);
                 return StorePagesAsync(one).Then(
                     [this, op, one, block](Result<Unit> stored) -> Status {
                       if (!stored.ok()) return stored.status();
-                      op->AddNode(block, MetaNode::Leaf({(*one)[0].frag},
+                      op->AddNode(block, MetaNode::Leaf({one->pages[0].frag},
                                                         kNoVersion, 1));
                       std::lock_guard<std::mutex> lock(stats_mu_);
                       stats_.compactions++;
@@ -513,8 +612,9 @@ Future<Unit> BlobClient::BuildAndWriteMetaAsync(std::shared_ptr<UpdateOp> op) {
 
   // --- Leaves (paper Algorithm 4, first loop), all in parallel. ---
   std::vector<Future<Unit>> leaves;
-  leaves.reserve(op->writes->size());
-  for (PageWrite& w : *op->writes) leaves.push_back(BuildLeafAsync(op, &w));
+  leaves.reserve(op->batch->pages.size());
+  for (PageWrite& w : op->batch->pages)
+    leaves.push_back(BuildLeafAsync(op, &w));
 
   return WhenAll(std::move(leaves))
       .Then([this,
@@ -640,12 +740,12 @@ Future<Version> BlobClient::WriteAsync(BlobId id, Slice data,
     op->desc = std::move(d).ValueUnsafe();
     // Paper Algorithm 2: store the new pages first, fully in parallel,
     // with no synchronization; only then register the update.
-    op->writes = std::make_shared<std::vector<PageWrite>>(
+    op->batch = std::make_shared<PageWriteBatch>(
         SplitIntoPages(op->data, op->offset, op->desc.psize));
-    StorePagesAsync(op->writes).OnReady(nullptr, [this, op](Result<Unit> s) {
+    StorePagesAsync(op->batch).OnReady(nullptr, [this, op](Result<Unit> s) {
       if (!s.ok()) {
         Status cause = s.status();
-        DeletePagesAsync(op->writes).OnReady(
+        DeletePagesAsync(op->batch).OnReady(
             nullptr, [op, cause](Result<Unit>) { op->promise.Set(cause); });
         return;
       }
@@ -654,7 +754,7 @@ Future<Version> BlobClient::WriteAsync(BlobId id, Slice data,
           .OnReady(nullptr, [this, op](Result<AssignTicket> t) {
             if (!t.ok()) {
               Status cause = t.status();
-              DeletePagesAsync(op->writes)
+              DeletePagesAsync(op->batch)
                   .OnReady(nullptr, [op, cause](Result<Unit>) {
                     op->promise.Set(cause);
                   });
@@ -697,9 +797,9 @@ Future<Version> BlobClient::AppendAsync(BlobId id, Slice data) {
           }
           op->ticket = std::move(t).ValueUnsafe();
           op->offset = op->ticket.offset;
-          op->writes = std::make_shared<std::vector<PageWrite>>(
+          op->batch = std::make_shared<PageWriteBatch>(
               SplitIntoPages(op->data, op->offset, op->desc.psize));
-          StorePagesAsync(op->writes)
+          StorePagesAsync(op->batch)
               .OnReady(nullptr, [this, op](Result<Unit> s) {
                 if (!s.ok()) {
                   Status cause = s.status();
@@ -1045,9 +1145,9 @@ Future<Unit> BlobClient::AbortAsync(BlobId id, Version version) {
               op->zeros.assign(op->ticket.size, '\0');
               op->data = Slice(op->zeros);
               op->offset = op->ticket.offset;
-              op->writes = std::make_shared<std::vector<PageWrite>>(
+              op->batch = std::make_shared<PageWriteBatch>(
                   SplitIntoPages(op->data, op->offset, d.psize));
-              return StorePagesAsync(op->writes)
+              return StorePagesAsync(op->batch)
                   .Then([this, op](Result<Unit> stored) -> Future<Unit> {
                     if (!stored.ok())
                       return MakeReadyFuture(stored.status());

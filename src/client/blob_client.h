@@ -41,9 +41,18 @@ struct ClientOptions {
   /// async pipeline is bounded by channels_per_endpoint pipelining).
   size_t data_fanout = 8;
   /// Distinct providers storing each page (1 = no replication). WRITE fans
-  /// every page out to all replicas (write quorum = all); READ tries
-  /// replicas in order with failover and best-effort read repair.
+  /// every page out to all replicas; READ tries replicas in order with
+  /// failover and best-effort read repair.
   uint32_t replication = 1;
+  /// Replica acks required before a page store (and hence the update)
+  /// proceeds: `w` of `r`. 0 (the default) or any value >= replication
+  /// means all replicas. With w < r a page write survives up to r - w
+  /// failed replicas; the straggler puts complete detached (mirroring the
+  /// capped read-repair pattern) and a replica that missed its put is
+  /// healed by failover + read repair on the first degraded read. The
+  /// store fails — after every replica settled, so failure cleanup never
+  /// races an in-flight put — only when fewer than w replicas accepted.
+  uint32_t write_quorum = 0;
   /// Bounds the pages a single operation keeps in flight (and hence the
   /// page buffers a replicated write materializes at once); 0 = unlimited,
   /// i.e. the transport's channel pipelining is the only bound.
@@ -79,6 +88,9 @@ struct ClientStats {
   uint64_t failover_reads = 0;
   /// Page objects re-stored on a replica that failed a read (read repair).
   uint64_t read_repairs = 0;
+  /// Pages acked at the write quorum although at least one replica put
+  /// failed (w < r absorbed a replica failure).
+  uint64_t degraded_writes = 0;
 };
 
 /// One BlobSeer client process. Thread-safe: concurrent operations on the
@@ -176,6 +188,23 @@ class BlobClient {
     meta::PageFragment frag;
     Slice bytes;  // fragment payload (borrowed from caller / owned buffer)
   };
+  /// One update's page split plus the straggler barrier: with a write
+  /// quorum below r, a page future can resolve while replica puts are
+  /// still in flight. DeletePagesAsync waits for the barrier so a cleanup
+  /// delete can never race a late put and resurrect a page object.
+  struct PageWriteBatch {
+    explicit PageWriteBatch(std::vector<PageWrite> p) : pages(std::move(p)) {}
+    explicit PageWriteBatch(size_t n) : pages(n) {}
+    std::vector<PageWrite> pages;
+
+    std::mutex mu;
+    size_t inflight_puts = 0;  // pages with replica puts not yet settled
+    std::vector<Promise<Unit>> idle_waiters;
+    void PutsStarted();
+    void PutsSettled();
+    /// Resolves once no replica put of this batch is in flight.
+    Future<Unit> WhenPutsSettled();
+  };
   struct FetchPiece {
     PageId pid;
     std::vector<ProviderId> providers;  // replica set, tried in order
@@ -203,17 +232,20 @@ class BlobClient {
   std::vector<PageWrite> SplitIntoPages(Slice data, uint64_t offset,
                                         uint64_t psize) const;
 
-  /// Allocates a replica set per page and stores every page object on all
-  /// of its replicas (write quorum = all), windowed by max_inflight_pages.
-  Future<Unit> StorePagesAsync(std::shared_ptr<std::vector<PageWrite>> writes);
-  /// One page's replica fan-out: resolve every replica address, then write
-  /// the page object to all of them.
-  Future<Unit> StorePageReplicasAsync(
-      std::shared_ptr<std::vector<PageWrite>> writes, size_t index);
+  /// Allocates a replica set per page and stores every page object on its
+  /// replicas, windowed by max_inflight_pages; each page resolves at the
+  /// configured write quorum.
+  Future<Unit> StorePagesAsync(std::shared_ptr<PageWriteBatch> batch);
+  /// One page's replica fan-out: resolve every replica address, write the
+  /// page object to all of them, resolve at `write_quorum` acks (stragglers
+  /// complete detached and are drained by the destructor / the batch
+  /// barrier).
+  Future<Unit> StorePageReplicasAsync(std::shared_ptr<PageWriteBatch> batch,
+                                      size_t index);
   /// Best-effort deletion of already-stored pages — every replica of every
-  /// page (failure cleanup); always resolves OK.
-  Future<Unit> DeletePagesAsync(
-      std::shared_ptr<std::vector<PageWrite>> writes);
+  /// page (failure cleanup); waits for the batch's straggler barrier first;
+  /// always resolves OK.
+  Future<Unit> DeletePagesAsync(std::shared_ptr<PageWriteBatch> batch);
 
   /// Runs `tasks`, keeping at most `window` outstanding (0 = all at once).
   /// A failure stops the windowed refill (already-launched tasks drain
@@ -227,12 +259,15 @@ class BlobClient {
   /// (providers[0..good)).
   void RepairReplicasAsync(FetchPiece piece, size_t good);
 
-  /// Detached chains (read repair) are not awaited by any caller; the
-  /// destructor drains them so they never outlive the client. The drain
-  /// parks on an executor-provided event, so it is sim-safe. At most
-  /// kMaxDetachedRepairs run at once — beyond that, repairs are dropped
-  /// (they re-trigger on the next degraded read).
+  /// Detached chains (read repair, straggler replica puts) are not awaited
+  /// by any caller; the destructor drains them so they never outlive the
+  /// client. The drain parks on an executor-provided event, so it is
+  /// sim-safe. At most kMaxDetachedRepairs *repair* chains run at once —
+  /// beyond that, repairs are dropped (they re-trigger on the next
+  /// degraded read); straggler puts are never dropped (their RPCs are
+  /// already in flight) and register unconditionally via BeginDetachedOp.
   static constexpr size_t kMaxDetachedRepairs = 32;
+  void BeginDetachedOp();
   void EndDetachedOp();
   void DrainDetachedOps();
 

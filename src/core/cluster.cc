@@ -56,7 +56,9 @@ Result<std::unique_ptr<EmbeddedCluster>> EmbeddedCluster::Start(
     c->vm_address_ = std::move(addr).ValueUnsafe();
   }
   c->pm_service_ = std::make_shared<pmanager::ProviderManagerService>(
-      pmanager::MakeStrategy(options.allocation));
+      pmanager::MakeStrategy(options.allocation), RealClock::Default(),
+      pmanager::LivenessOptions{options.suspect_after_us,
+                                options.dead_after_us});
   {
     auto addr = c->transport_->Serve(bind_addr("pmanager"), c->pm_service_);
     if (!addr.ok()) return addr.status();
@@ -72,7 +74,14 @@ Result<std::unique_ptr<EmbeddedCluster>> EmbeddedCluster::Start(
     c->dht_addresses_.push_back(std::move(addr).ValueUnsafe());
   }
 
-  pmanager::ProviderManagerClient pm_client(c->transport_, c->pm_address_);
+  c->pm_client_ = std::make_unique<pmanager::ProviderManagerClient>(
+      c->transport_, c->pm_address_);
+  if (options.heartbeat_interval_us > 0) {
+    // One worker per provider: each sender loop parks its thread between
+    // beats.
+    c->hb_executor_ =
+        std::make_unique<ThreadPoolExecutor>(options.num_providers);
+  }
   for (size_t i = 0; i < options.num_providers; i++) {
     auto svc = std::make_shared<provider::ProviderService>(
         MakeStore(options.page_store, i));
@@ -81,11 +90,27 @@ Result<std::unique_ptr<EmbeddedCluster>> EmbeddedCluster::Start(
     if (!addr.ok()) return addr.status();
     c->provider_services_.push_back(std::move(svc));
     c->provider_addresses_.push_back(std::move(addr).ValueUnsafe());
-    auto id = pm_client.Register(c->provider_addresses_.back(),
-                                 options.provider_capacity_pages);
+    auto id = c->pm_client_->Register(c->provider_addresses_.back(),
+                                      options.provider_capacity_pages);
     if (!id.ok()) return id.status();
+    c->provider_ids_.push_back(*id);
+    BS_RETURN_NOT_OK(c->StartProviderHeartbeat(i));
   }
   return c;
+}
+
+Status EmbeddedCluster::StartProviderHeartbeat(size_t index) {
+  if (options_.heartbeat_interval_us == 0) return Status::OK();
+  provider::HeartbeatConfig config;
+  config.transport = transport_;
+  config.pmanager_address = pm_address_;
+  config.self_address = provider_addresses_[index];
+  config.capacity_pages = options_.provider_capacity_pages;
+  config.id = provider_ids_[index];
+  config.interval_us = options_.heartbeat_interval_us;
+  provider_services_[index]->StartHeartbeat(
+      hb_executor_.get(), RealClock::Default(), std::move(config));
+  return Status::OK();
 }
 
 EmbeddedCluster::~EmbeddedCluster() {
@@ -99,6 +124,7 @@ EmbeddedCluster::~EmbeddedCluster() {
 Result<std::unique_ptr<client::BlobClient>> EmbeddedCluster::NewClient(
     client::ClientOptions options) {
   options.replication = std::max(options.replication, options_.replication);
+  if (options.write_quorum == 0) options.write_quorum = options_.write_quorum;
   return std::make_unique<client::BlobClient>(
       transport_, vm_address_, pm_address_, dht_addresses_, options);
 }
@@ -130,7 +156,25 @@ Status EmbeddedCluster::TotalMetadataUsage(uint64_t* keys,
 Status EmbeddedCluster::StopProvider(size_t index) {
   if (index >= provider_addresses_.size())
     return Status::InvalidArgument("provider index");
+  // Process-death semantics: the endpoint dies and so does its heartbeat,
+  // so the failure detector can notice.
+  provider_services_[index]->StopHeartbeat();
   return transport_->StopServing(provider_addresses_[index]);
+}
+
+Status EmbeddedCluster::RestartProvider(size_t index) {
+  if (index >= provider_addresses_.size())
+    return Status::InvalidArgument("provider index");
+  auto addr = transport_->Serve(provider_addresses_[index],
+                                provider_services_[index]);
+  if (!addr.ok()) return addr.status();
+  // Same address -> the provider manager hands back the same id and marks
+  // the record alive again.
+  auto id = pm_client_->Register(provider_addresses_[index],
+                                 options_.provider_capacity_pages);
+  if (!id.ok()) return id.status();
+  provider_ids_[index] = *id;
+  return StartProviderHeartbeat(index);
 }
 
 }  // namespace blobseer::core

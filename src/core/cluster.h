@@ -12,8 +12,10 @@
 
 #include "client/blob_client.h"
 #include "client/blob_handle.h"
+#include "common/executor.h"
 #include "common/result.h"
 #include "dht/service.h"
+#include "pmanager/client.h"
 #include "pmanager/service.h"
 #include "provider/service.h"
 #include "rpc/inproc.h"
@@ -35,6 +37,17 @@ struct ClusterOptions {
   /// Page replica count applied to clients built via NewClient (clients may
   /// still override upward through their own options).
   uint32_t replication = 1;
+  /// Write quorum applied to clients built via NewClient (0 = all
+  /// replicas; see ClientOptions::write_quorum).
+  uint32_t write_quorum = 0;
+  /// Heartbeat-driven liveness (all three 0 = disabled, the default).
+  /// Every provider sends a pmanager Heartbeat each `heartbeat_interval_us`
+  /// (real-clock pacing on a cluster-owned executor); the provider manager
+  /// marks providers suspect/dead after `suspect_after_us`/`dead_after_us`
+  /// without one and excludes them from allocation (docs/liveness.md).
+  uint64_t heartbeat_interval_us = 0;
+  uint64_t suspect_after_us = 0;
+  uint64_t dead_after_us = 0;
   uint64_t provider_capacity_pages = 0;  // 0 = unbounded
   size_t dht_shards = 16;
 };
@@ -75,16 +88,28 @@ class EmbeddedCluster {
   /// Aggregate metadata usage across DHT nodes.
   Status TotalMetadataUsage(uint64_t* keys, uint64_t* bytes) const;
 
-  /// Kills one data provider endpoint (failure-injection tests).
+  /// Kills one data provider endpoint (failure-injection tests); also
+  /// silences its heartbeat sender, like a process death would.
   Status StopProvider(size_t index);
+
+  /// Restarts a stopped provider on its original address: serves the
+  /// endpoint again, re-registers with the provider manager (same id, same
+  /// address) and re-arms the heartbeat sender when heartbeats are on.
+  Status RestartProvider(size_t index);
 
  private:
   EmbeddedCluster() = default;
+
+  Status StartProviderHeartbeat(size_t index);
 
   ClusterOptions options_;
   std::unique_ptr<rpc::InProcNetwork> inproc_;
   std::unique_ptr<rpc::TcpTransport> tcp_;
   rpc::Transport* transport_ = nullptr;
+  // Declared before the services: heartbeat loops run on this executor and
+  // are stopped by the service destructors, so it must outlive them.
+  std::unique_ptr<ThreadPoolExecutor> hb_executor_;
+  std::unique_ptr<pmanager::ProviderManagerClient> pm_client_;
 
   std::shared_ptr<vmanager::VersionManagerService> vm_service_;
   std::shared_ptr<pmanager::ProviderManagerService> pm_service_;
@@ -95,6 +120,7 @@ class EmbeddedCluster {
   std::string pm_address_;
   std::vector<std::string> dht_addresses_;
   std::vector<std::string> provider_addresses_;
+  std::vector<ProviderId> provider_ids_;
 };
 
 }  // namespace blobseer::core

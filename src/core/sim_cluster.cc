@@ -30,12 +30,16 @@ SimCluster::SimCluster(simnet::SimScheduler* sched,
   BS_CHECK(transport_->Serve(vm_address_, vm_service_).ok());
 
   pm_service_ = std::make_shared<pmanager::ProviderManagerService>(
-      pmanager::MakeStrategy(options.allocation));
+      pmanager::MakeStrategy(options.allocation), clock_.get(),
+      pmanager::LivenessOptions{options.suspect_after_us,
+                                options.dead_after_us});
   pm_address_ = simnet::SimTransport::MakeAddress(pm_node(), "pmanager");
   transport_->SetServiceProfile(pm_address_, manager_profile);
   BS_CHECK(transport_->Serve(pm_address_, pm_service_).ok());
 
-  pmanager::ProviderManagerClient pm_client(transport_.get(), pm_address_);
+  provider_profile_ = provider_profile;
+  pm_client_ = std::make_unique<pmanager::ProviderManagerClient>(
+      transport_.get(), pm_address_);
   for (size_t i = 0; i < options.num_provider_nodes; i++) {
     uint32_t node = provider_node(i);
 
@@ -55,15 +59,44 @@ SimCluster::SimCluster(simnet::SimScheduler* sched,
     BS_CHECK(transport_->Serve(prov_addr, prov_svc).ok());
     provider_services_.push_back(std::move(prov_svc));
     provider_addresses_.push_back(prov_addr);
-    auto id = pm_client.Register(prov_addr, 0);
+    auto id = pm_client_->Register(prov_addr, 0);
     BS_CHECK(id.ok()) << id.status().ToString();
+    provider_ids_.push_back(*id);
+    StartProviderHeartbeat(i);
   }
+}
+
+SimCluster::~SimCluster() { StopHeartbeats(); }
+
+void SimCluster::StartProviderHeartbeat(size_t index) {
+  if (options_.heartbeat_interval_us == 0) return;
+  provider::HeartbeatConfig config;
+  config.transport = transport_.get();
+  config.pmanager_address = pm_address_;
+  config.self_address = provider_addresses_[index];
+  config.capacity_pages = 0;
+  config.id = provider_ids_[index];
+  config.interval_us = options_.heartbeat_interval_us;
+  // The sender loop is a sim task spawned via the executor; tasks inherit
+  // the spawner's node, so place the caller on the provider's node for the
+  // duration of the call — its beats then originate from that node in the
+  // network model.
+  uint32_t caller_node = sched_->CurrentNode();
+  sched_->SetCurrentNode(provider_node(index));
+  provider_services_[index]->StartHeartbeat(executor_.get(), clock_.get(),
+                                            std::move(config));
+  sched_->SetCurrentNode(caller_node);
+}
+
+void SimCluster::StopHeartbeats() {
+  for (auto& svc : provider_services_) svc->StopHeartbeat();
 }
 
 std::unique_ptr<client::BlobClient> SimCluster::NewClient(
     client::ClientOptions base) {
   base.blocking_sync = false;  // handlers must not block in virtual time
   base.replication = std::max(base.replication, options_.replication);
+  if (base.write_quorum == 0) base.write_quorum = options_.write_quorum;
   return std::make_unique<client::BlobClient>(
       transport_.get(), vm_address_, pm_address_, dht_addresses_, base,
       clock_.get(), executor_.get());
@@ -72,7 +105,29 @@ std::unique_ptr<client::BlobClient> SimCluster::NewClient(
 Status SimCluster::StopProvider(size_t index) {
   if (index >= provider_addresses_.size())
     return Status::InvalidArgument("provider index");
+  // Process-death semantics: the heartbeat dies with the endpoint (this
+  // blocks the calling sim task for up to one beat interval).
+  provider_services_[index]->StopHeartbeat();
   return transport_->StopServing(provider_addresses_[index]);
+}
+
+Status SimCluster::RestartProvider(size_t index) {
+  if (index >= provider_addresses_.size())
+    return Status::InvalidArgument("provider index");
+  const std::string& addr = provider_addresses_[index];
+  transport_->SetServiceProfile(addr, provider_profile_);
+  auto served = transport_->Serve(addr, provider_services_[index]);
+  if (!served.ok()) return served.status();
+  // Same address -> same id; registration also flips the record alive.
+  auto id = pm_client_->Register(addr, 0);
+  if (!id.ok()) return id.status();
+  provider_ids_[index] = *id;
+  StartProviderHeartbeat(index);
+  return Status::OK();
+}
+
+void SimCluster::SetHeartbeatLoss(size_t index, bool lost) {
+  transport_->SetDropCallsFrom(provider_node(index), pm_address_, lost);
 }
 
 }  // namespace blobseer::core

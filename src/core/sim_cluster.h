@@ -12,6 +12,7 @@
 
 #include "client/blob_client.h"
 #include "dht/service.h"
+#include "pmanager/client.h"
 #include "pmanager/service.h"
 #include "provider/service.h"
 #include "simnet/network.h"
@@ -38,6 +39,17 @@ struct SimClusterOptions {
   std::string allocation = "round_robin";
   /// Page replica count applied to clients built via NewClient.
   uint32_t replication = 1;
+  /// Write quorum applied to clients built via NewClient (0 = all
+  /// replicas; see ClientOptions::write_quorum).
+  uint32_t write_quorum = 0;
+  /// Heartbeat-driven liveness in virtual time (all 0 = disabled). Each
+  /// provider node runs a sender sim task beating every
+  /// `heartbeat_interval_us`; the provider manager (on the sim clock)
+  /// marks providers suspect/dead after `suspect_after_us`/`dead_after_us`
+  /// without a beat and excludes them from allocation (docs/liveness.md).
+  uint64_t heartbeat_interval_us = 0;
+  uint64_t suspect_after_us = 0;
+  uint64_t dead_after_us = 0;
 };
 
 /// Must be constructed from inside SimScheduler::Run (provider registration
@@ -67,6 +79,13 @@ class SimCluster {
   simnet::SimClock& clock() { return *clock_; }
   simnet::SimExecutor& executor() { return *executor_; }
 
+  /// Direct service access for tests/inspection (mirrors EmbeddedCluster).
+  vmanager::VersionManagerService& vmanager() { return *vm_service_; }
+  pmanager::ProviderManagerService& pmanager() { return *pm_service_; }
+  provider::ProviderService& provider(size_t i) {
+    return *provider_services_[i];
+  }
+
   const std::string& vm_address() const { return vm_address_; }
   const std::string& pm_address() const { return pm_address_; }
   const std::vector<std::string>& dht_addresses() const {
@@ -77,10 +96,32 @@ class SimCluster {
   }
 
   /// Kills one data provider endpoint (failure-injection tests): calls on
-  /// it observe Unavailable from then on.
+  /// it observe Unavailable from then on. The node's heartbeat sender dies
+  /// with it (process-death semantics).
   Status StopProvider(size_t index);
 
+  /// Restarts a stopped provider on its original address (same service
+  /// instance, so an in-memory store survives like a durable disk would):
+  /// serves the endpoint again, re-registers with the provider manager
+  /// (same id) and re-arms the heartbeat sender when heartbeats are on.
+  Status RestartProvider(size_t index);
+
+  /// Scripted heartbeat loss without process death: while `lost`, the
+  /// provider's RPCs to the provider manager (heartbeats, re-registrations)
+  /// are dropped in the network; data-path RPCs to the provider are
+  /// unaffected. Drives the suspect state deterministically.
+  void SetHeartbeatLoss(size_t index, bool lost);
+
+  /// Stops every provider's heartbeat sender. Called by the destructor so
+  /// a simulation with heartbeats enabled terminates (the scheduler runs
+  /// until no task remains).
+  void StopHeartbeats();
+
+  ~SimCluster();
+
  private:
+  void StartProviderHeartbeat(size_t index);
+
   simnet::SimScheduler* sched_;
   SimClusterOptions options_;
   std::unique_ptr<simnet::SimNetwork> net_;
@@ -93,10 +134,14 @@ class SimCluster {
   std::vector<std::shared_ptr<dht::DhtService>> dht_services_;
   std::vector<std::shared_ptr<provider::ProviderService>> provider_services_;
 
+  std::unique_ptr<pmanager::ProviderManagerClient> pm_client_;
+
   std::string vm_address_;
   std::string pm_address_;
   std::vector<std::string> dht_addresses_;
   std::vector<std::string> provider_addresses_;
+  std::vector<ProviderId> provider_ids_;
+  simnet::SimServiceProfile provider_profile_;
 };
 
 }  // namespace blobseer::core

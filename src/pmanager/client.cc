@@ -103,6 +103,16 @@ Future<std::string> ProviderManagerClient::ResolveAddressAsync(ProviderId id) {
       });
 }
 
+Result<PmStatsResponse> ProviderManagerClient::FetchStats() {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return ch.status();
+  PmStatsRequest req;
+  PmStatsResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(ch->get(), rpc::Method::kPmStats, req, &rsp));
+  return rsp;
+}
+
 Result<std::vector<DirectoryEntry>> ProviderManagerClient::FetchDirectory() {
   auto ch = pool_.Get(address_);
   if (!ch.ok()) return ch.status();

@@ -40,6 +40,10 @@ class ProviderManagerClient {
   /// Forces a directory refresh and returns it.
   Result<std::vector<DirectoryEntry>> FetchDirectory();
 
+  /// Registry statistics, including the failure detector's current
+  /// alive/suspect/dead counts (tools and tests).
+  Result<PmStatsResponse> FetchStats();
+
   /// Async variants used by the client pipeline; a directory cache hit
   /// resolves the address future immediately.
   Future<std::vector<std::vector<ProviderId>>> AllocateReplicatedAsync(

@@ -126,17 +126,28 @@ struct PmStatsResponse {
   uint64_t allocations = 0;
   uint64_t min_allocated = 0;
   uint64_t max_allocated = 0;
+  /// Failure-detector verdicts at the time of the call (alive + suspect +
+  /// dead == providers). With the detector disabled everyone is alive.
+  uint64_t alive = 0;
+  uint64_t suspect = 0;
+  uint64_t dead = 0;
   void EncodeTo(BinaryWriter* w) const {
     w->PutU64(providers);
     w->PutU64(allocations);
     w->PutU64(min_allocated);
     w->PutU64(max_allocated);
+    w->PutU64(alive);
+    w->PutU64(suspect);
+    w->PutU64(dead);
   }
   Status DecodeFrom(BinaryReader* r) {
     BS_RETURN_NOT_OK(r->GetU64(&providers));
     BS_RETURN_NOT_OK(r->GetU64(&allocations));
     BS_RETURN_NOT_OK(r->GetU64(&min_allocated));
-    return r->GetU64(&max_allocated);
+    BS_RETURN_NOT_OK(r->GetU64(&max_allocated));
+    BS_RETURN_NOT_OK(r->GetU64(&alive));
+    BS_RETURN_NOT_OK(r->GetU64(&suspect));
+    return r->GetU64(&dead);
   }
 };
 

@@ -8,11 +8,37 @@
 namespace blobseer::pmanager {
 
 ProviderManagerService::ProviderManagerService(
-    std::unique_ptr<AllocationStrategy> strategy)
-    : strategy_(std::move(strategy)) {}
+    std::unique_ptr<AllocationStrategy> strategy, Clock* clock,
+    LivenessOptions liveness)
+    : strategy_(std::move(strategy)),
+      clock_(clock ? clock : RealClock::Default()),
+      liveness_(liveness) {
+  // A dead threshold at or below the suspect threshold would skip the
+  // suspect state entirely; keep the state machine three-phased.
+  if (liveness_.suspect_after_us != 0 &&
+      liveness_.dead_after_us <= liveness_.suspect_after_us) {
+    liveness_.dead_after_us = 3 * liveness_.suspect_after_us;
+  }
+}
+
+void ProviderManagerService::RefreshLivenessLocked() const {
+  if (liveness_.suspect_after_us == 0) return;  // detector disabled
+  const uint64_t now = clock_->NowMicros();
+  for (ProviderRecord& r : records_) {
+    const uint64_t age = now - r.last_heartbeat_us;
+    if (age >= liveness_.dead_after_us) {
+      r.liveness = Liveness::kDead;
+    } else if (age >= liveness_.suspect_after_us) {
+      r.liveness = Liveness::kSuspect;
+    } else {
+      r.liveness = Liveness::kAlive;
+    }
+  }
+}
 
 std::vector<ProviderRecord> ProviderManagerService::Records() const {
   std::lock_guard<std::mutex> lock(mu_);
+  RefreshLivenessLocked();
   return records_;
 }
 
@@ -27,11 +53,13 @@ Status ProviderManagerService::Handle(rpc::Method method, Slice payload,
             if (req.address.empty())
               return Status::InvalidArgument("empty provider address");
             std::lock_guard<std::mutex> lock(mu_);
+            const uint64_t now = clock_->NowMicros();
             // Re-registration of the same address refreshes liveness and
             // keeps the id stable (provider restart).
             for (auto& r : records_) {
               if (r.address == req.address) {
-                r.alive = true;
+                r.liveness = Liveness::kAlive;
+                r.last_heartbeat_us = now;
                 r.capacity_pages = req.capacity_pages;
                 rsp->id = r.id;
                 return Status::OK();
@@ -41,6 +69,7 @@ Status ProviderManagerService::Handle(rpc::Method method, Slice payload,
             rec.id = static_cast<ProviderId>(records_.size());
             rec.address = req.address;
             rec.capacity_pages = req.capacity_pages;
+            rec.last_heartbeat_us = now;
             records_.push_back(rec);
             rsp->id = rec.id;
             return Status::OK();
@@ -50,9 +79,12 @@ Status ProviderManagerService::Handle(rpc::Method method, Slice payload,
           payload, response,
           [this](const HeartbeatRequest& req, HeartbeatResponse*) {
             std::lock_guard<std::mutex> lock(mu_);
+            // NotFound tells the sender to re-register (a restarted
+            // provider manager has an empty registry).
             if (req.id >= records_.size())
               return Status::NotFound("provider id");
-            records_[req.id].alive = true;
+            records_[req.id].liveness = Liveness::kAlive;
+            records_[req.id].last_heartbeat_us = clock_->NowMicros();
             // Trust the provider's own count over our optimistic estimate.
             records_[req.id].allocated_pages = req.stored_pages;
             return Status::OK();
@@ -69,6 +101,10 @@ Status ProviderManagerService::Handle(rpc::Method method, Slice payload,
             std::lock_guard<std::mutex> lock(mu_);
             if (records_.empty())
               return Status::Unavailable("no providers registered");
+            // Allocation-time exclusion: every strategy sees the current
+            // failure-detector verdicts, so expired providers drop out of
+            // the rotation here, not at write time.
+            RefreshLivenessLocked();
             // Strategies charge allocated_pages (and retire full providers)
             // as they pick; run them on a scratch copy and commit only a
             // fully-satisfied allocation, so failed requests leave no
@@ -93,6 +129,8 @@ Status ProviderManagerService::Handle(rpc::Method method, Slice payload,
           payload, response,
           [this](const DirectoryRequest&, DirectoryResponse* rsp) {
             std::lock_guard<std::mutex> lock(mu_);
+            // The directory stays complete — readers need the addresses of
+            // suspect/dead providers for failover attempts and repair.
             rsp->entries.reserve(records_.size());
             for (const auto& r : records_) {
               rsp->entries.push_back(DirectoryEntry{r.id, r.address});
@@ -104,8 +142,16 @@ Status ProviderManagerService::Handle(rpc::Method method, Slice payload,
           payload, response,
           [this](const PmStatsRequest&, PmStatsResponse* rsp) {
             std::lock_guard<std::mutex> lock(mu_);
+            RefreshLivenessLocked();
             rsp->providers = records_.size();
             rsp->allocations = allocations_;
+            for (const auto& r : records_) {
+              switch (r.liveness) {
+                case Liveness::kAlive: rsp->alive++; break;
+                case Liveness::kSuspect: rsp->suspect++; break;
+                case Liveness::kDead: rsp->dead++; break;
+              }
+            }
             if (!records_.empty()) {
               auto [mn, mx] = std::minmax_element(
                   records_.begin(), records_.end(),

@@ -1,5 +1,5 @@
-// Provider manager service: provider registration and page allocation
-// (paper section 3.1).
+// Provider manager service: provider registration, heartbeat-driven
+// liveness and page allocation (paper section 3.1).
 #ifndef BLOBSEER_PMANAGER_SERVICE_H_
 #define BLOBSEER_PMANAGER_SERVICE_H_
 
@@ -7,26 +7,49 @@
 #include <mutex>
 #include <vector>
 
+#include "common/clock.h"
 #include "pmanager/strategy.h"
 #include "rpc/transport.h"
 
 namespace blobseer::pmanager {
 
+/// Failure-detector thresholds. A provider that has not heartbeated for
+/// `suspect_after_us` becomes kSuspect (excluded from allocation while at
+/// least r alive providers remain); after `dead_after_us` it becomes kDead
+/// (never allocated). `suspect_after_us == 0` disables the detector — every
+/// registered provider stays kAlive forever, the pre-heartbeat behaviour —
+/// so clusters that run no heartbeat senders keep working unchanged.
+struct LivenessOptions {
+  uint64_t suspect_after_us = 0;
+  uint64_t dead_after_us = 0;
+};
+
 class ProviderManagerService : public rpc::ServiceHandler {
  public:
+  /// `clock` defaults to the real clock; the simulator injects its
+  /// virtual-time clock so liveness expiry is deterministic.
   explicit ProviderManagerService(
-      std::unique_ptr<AllocationStrategy> strategy = MakeRoundRobinStrategy());
+      std::unique_ptr<AllocationStrategy> strategy = MakeRoundRobinStrategy(),
+      Clock* clock = nullptr, LivenessOptions liveness = {});
 
   Status Handle(rpc::Method method, Slice payload,
                 std::string* response) override;
 
-  /// Snapshot of the registry (for tests and tools).
+  /// Snapshot of the registry with liveness freshly derived from heartbeat
+  /// ages (for tests and tools).
   std::vector<ProviderRecord> Records() const;
 
  private:
+  /// Re-derives every record's liveness from its heartbeat age. Idempotent
+  /// and monotonic in the clock: a provider that resumes beating flips back
+  /// to kAlive on its next heartbeat without re-registration.
+  void RefreshLivenessLocked() const;
+
   mutable std::mutex mu_;
-  std::vector<ProviderRecord> records_;
+  mutable std::vector<ProviderRecord> records_;
   std::unique_ptr<AllocationStrategy> strategy_;
+  Clock* clock_;
+  LivenessOptions liveness_;
   uint64_t allocations_ = 0;
 };
 

@@ -7,18 +7,41 @@ namespace blobseer::pmanager {
 
 namespace {
 
-/// Indices of records that are alive and under capacity.
-std::vector<size_t> EligibleIndices(const std::vector<ProviderRecord>& recs) {
-  std::vector<size_t> out;
-  out.reserve(recs.size());
-  for (size_t i = 0; i < recs.size(); i++) {
-    const ProviderRecord& r = recs[i];
-    if (!r.alive) continue;
-    if (r.capacity_pages != 0 && r.allocated_pages >= r.capacity_pages)
-      continue;
-    out.push_back(i);
+/// Candidate pool for one Allocate call: `elig` holds the indices a
+/// strategy may pick from (alive and under capacity), `reserve` holds the
+/// suspects (missed heartbeats, not yet declared dead) withheld while at
+/// least `r` alive providers remain. TopUp admits the reserve the moment
+/// live capacity drops below `r` — including mid-allocation, when alive
+/// providers retire at capacity — so replica sets can still reach `r`
+/// members during a partial outage (Dynamo-style sloppy membership). Dead
+/// providers are never eligible.
+struct EligiblePool {
+  std::vector<size_t> elig;
+  std::vector<size_t> reserve;
+  void TopUp(size_t r) {
+    if (elig.size() >= r || reserve.empty()) return;
+    elig.insert(elig.end(), reserve.begin(), reserve.end());
+    reserve.clear();
   }
-  return out;
+};
+
+EligiblePool MakeEligiblePool(const std::vector<ProviderRecord>& recs,
+                              size_t r) {
+  EligiblePool pool;
+  pool.elig.reserve(recs.size());
+  for (size_t i = 0; i < recs.size(); i++) {
+    const ProviderRecord& rec = recs[i];
+    if (rec.liveness == Liveness::kDead) continue;
+    if (rec.capacity_pages != 0 && rec.allocated_pages >= rec.capacity_pages)
+      continue;
+    if (rec.liveness == Liveness::kSuspect) {
+      pool.reserve.push_back(i);
+    } else {
+      pool.elig.push_back(i);
+    }
+  }
+  pool.TopUp(r);
+  return pool;
 }
 
 /// Charges one page replica to records[idx]; removes it from `elig` (by
@@ -53,9 +76,11 @@ class RoundRobinStrategy : public AllocationStrategy {
                                    size_t n, size_t r) override {
     std::vector<ReplicaSet> out;
     out.reserve(n);
-    std::vector<size_t> elig = EligibleIndices(*records);
+    EligiblePool pool = MakeEligiblePool(*records, r);
+    std::vector<size_t>& elig = pool.elig;
     std::vector<size_t> picked;
     for (size_t k = 0; k < n; k++) {
+      pool.TopUp(r);
       if (elig.empty()) break;
       // Replicas are the next r distinct providers in registration-cycle
       // order (chained-declustering spread); the cursor advances one slot
@@ -82,9 +107,11 @@ class RandomStrategy : public AllocationStrategy {
                                    size_t n, size_t r) override {
     std::vector<ReplicaSet> out;
     out.reserve(n);
-    std::vector<size_t> elig = EligibleIndices(*records);
+    EligiblePool pool = MakeEligiblePool(*records, r);
+    std::vector<size_t>& elig = pool.elig;
     std::vector<size_t> scratch, picked;
     for (size_t k = 0; k < n; k++) {
+      pool.TopUp(r);
       if (elig.empty()) break;
       // Sample without replacement: partial Fisher-Yates over the eligible
       // set gives r distinct uniform picks at O(r) swaps.
@@ -111,9 +138,11 @@ class LeastLoadedStrategy : public AllocationStrategy {
                                    size_t n, size_t r) override {
     std::vector<ReplicaSet> out;
     out.reserve(n);
-    std::vector<size_t> elig = EligibleIndices(*records);
+    EligiblePool pool = MakeEligiblePool(*records, r);
+    std::vector<size_t>& elig = pool.elig;
     std::vector<size_t> scratch, picked;
     for (size_t k = 0; k < n; k++) {
+      pool.TopUp(r);
       if (elig.empty()) break;
       // Selection sort of the r least-loaded providers into the prefix.
       size_t take = std::min(r, elig.size());
@@ -144,9 +173,11 @@ class PowerOfTwoStrategy : public AllocationStrategy {
                                    size_t n, size_t r) override {
     std::vector<ReplicaSet> out;
     out.reserve(n);
-    std::vector<size_t> elig = EligibleIndices(*records);
+    EligiblePool pool = MakeEligiblePool(*records, r);
+    std::vector<size_t>& elig = pool.elig;
     std::vector<size_t> scratch, picked;
     for (size_t k = 0; k < n; k++) {
+      pool.TopUp(r);
       if (elig.empty()) break;
       // Two choices among the not-yet-picked suffix per replica, keeping
       // the set distinct by swapping winners into the prefix.

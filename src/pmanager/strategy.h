@@ -19,13 +19,22 @@
 
 namespace blobseer::pmanager {
 
+/// Failure-detector verdict for one provider (GFS-style chunkserver
+/// heartbeats): `kAlive` while beats arrive on time, `kSuspect` after
+/// `suspect_after` without one, `kDead` after `dead_after`. Derived from
+/// `last_heartbeat_us` by the provider manager, so a provider that resumes
+/// beating flaps back to alive without re-registration.
+enum class Liveness : uint8_t { kAlive = 0, kSuspect = 1, kDead = 2 };
+
 /// Provider manager's view of one registered data provider.
 struct ProviderRecord {
   ProviderId id = kInvalidProvider;
   std::string address;
   uint64_t capacity_pages = 0;  // 0 = unbounded
   uint64_t allocated_pages = 0;
-  bool alive = true;
+  Liveness liveness = Liveness::kAlive;
+  /// Clock reading of the last Register/Heartbeat (provider-manager clock).
+  uint64_t last_heartbeat_us = 0;
 };
 
 /// Distinct providers holding one page's replicas; [0] is the primary
@@ -38,6 +47,12 @@ using ReplicaSet = std::vector<ProviderId>;
 /// min(r, eligible providers) members — callers requiring exactly `r`
 /// check set sizes. Fewer than `n` sets are returned only when no eligible
 /// provider remains at all.
+///
+/// Liveness contract (shared by every strategy): `kDead` providers are
+/// never selected; `kSuspect` providers are excluded while at least `r`
+/// alive providers are eligible and only join the candidate pool when live
+/// capacity drops below `r` (Dynamo-style sloppy membership — better to
+/// write to a suspect than to fail the update).
 class AllocationStrategy {
  public:
   virtual ~AllocationStrategy() = default;

@@ -1,16 +1,92 @@
 #include "provider/service.h"
 
 #include <chrono>
+#include <utility>
 
+#include "pmanager/client.h"
 #include "provider/messages.h"
 #include "rpc/call.h"
 
 namespace blobseer::provider {
 
+// Shared state of the heartbeat sender loop. The loop task owns this via
+// shared_ptr, so Stop/destruction never races a beat in flight; `done` is
+// an executor-provided event (real condvar or sim condition), making the
+// stop handshake correct on OS threads and under virtual time alike.
+struct ProviderService::HeartbeatLoop {
+  std::atomic<bool> stop{false};
+  std::shared_ptr<WaitEvent> done;
+  std::atomic<uint64_t> sent{0};
+  std::atomic<uint64_t> failures{0};
+  HeartbeatConfig config;
+  std::unique_ptr<pmanager::ProviderManagerClient> pm;
+};
+
 ProviderService::ProviderService(std::unique_ptr<PageStore> store)
     : store_(std::move(store)) {}
 
-ProviderService::~ProviderService() { StopPeriodicCompaction(); }
+ProviderService::~ProviderService() {
+  StopHeartbeat();
+  StopPeriodicCompaction();
+}
+
+void ProviderService::StartHeartbeat(Executor* executor, Clock* clock,
+                                     HeartbeatConfig config) {
+  if (config.interval_us == 0 || config.transport == nullptr) return;
+  StopHeartbeat();  // restart harnesses re-arm the sender
+  auto loop = std::make_shared<HeartbeatLoop>();
+  loop->done = executor->MakeWaitEvent();
+  loop->config = std::move(config);
+  loop->pm = std::make_unique<pmanager::ProviderManagerClient>(
+      loop->config.transport, loop->config.pmanager_address,
+      /*channels=*/1);
+  hb_ = loop;
+  // The raw store pointer is safe: the destructor stops the loop (and
+  // waits on `done`) before `store_` is destroyed.
+  executor->Schedule([loop, clock, store = store_.get()] {
+    while (!loop->stop.load(std::memory_order_acquire)) {
+      clock->SleepForMicros(loop->config.interval_us);
+      if (loop->stop.load(std::memory_order_acquire)) break;
+      PageStoreStats st = store->GetStats();
+      Status s = loop->pm->Heartbeat(loop->config.id, st.pages, st.bytes);
+      if (s.IsNotFound()) {
+        // The provider manager does not know us (it restarted with an
+        // empty registry): re-register under the same address, which
+        // also refreshes liveness.
+        auto id = loop->pm->Register(loop->config.self_address,
+                                     loop->config.capacity_pages);
+        if (id.ok()) {
+          loop->config.id = *id;
+          s = Status::OK();
+        }
+      }
+      if (s.ok()) {
+        loop->sent.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        loop->failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    loop->done->Signal();
+  });
+}
+
+void ProviderService::StopHeartbeat() {
+  if (!hb_) return;
+  hb_->stop.store(true, std::memory_order_release);
+  // At most one beat interval away: the loop re-checks stop right after
+  // its clock sleep. Await is signal-before-await safe, so a second Stop
+  // (destructor after an explicit Stop) returns immediately. The loop
+  // record stays so the beat counters remain readable after Stop.
+  hb_->done->Await();
+}
+
+uint64_t ProviderService::heartbeats_sent() const {
+  return hb_ ? hb_->sent.load(std::memory_order_relaxed) : 0;
+}
+
+uint64_t ProviderService::heartbeat_failures() const {
+  return hb_ ? hb_->failures.load(std::memory_order_relaxed) : 0;
+}
 
 void ProviderService::StartPeriodicCompaction(Executor* executor,
                                               uint64_t interval_us) {

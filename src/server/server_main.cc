@@ -13,6 +13,11 @@
 // --compact-interval=SECONDS (0 = off, the default) runs a background
 // PageStore::Compact() pass on that period so deleted pages are reclaimed
 // without an operator in the loop.
+//
+// Liveness (docs/liveness.md): --heartbeat-interval=SECONDS (0 = off) makes
+// a provider beat to its --pmanager on that period; on the pmanager role,
+// --suspect-after=SECONDS / --dead-after=SECONDS (0 = detector off) arm the
+// failure detector that excludes silent providers from page allocation.
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -60,10 +65,26 @@ int main(int argc, char** argv) {
       strtoull(FlagValue(argc, argv, "capacity", "0").c_str(), nullptr, 10);
   uint64_t compact_interval_sec = strtoull(
       FlagValue(argc, argv, "compact-interval", "0").c_str(), nullptr, 10);
+  uint64_t heartbeat_interval_sec = strtoull(
+      FlagValue(argc, argv, "heartbeat-interval", "0").c_str(), nullptr, 10);
+  uint64_t suspect_after_sec = strtoull(
+      FlagValue(argc, argv, "suspect-after", "0").c_str(), nullptr, 10);
+  uint64_t dead_after_sec = strtoull(
+      FlagValue(argc, argv, "dead-after", "0").c_str(), nullptr, 10);
+  // --dead-after alone still arms the detector (suspect_after == 0 would
+  // silently disable it otherwise); the service treats dead <= suspect as
+  // suspect x3, resolved here too so the banner states effective values.
+  if (suspect_after_sec == 0 && dead_after_sec > 0) {
+    suspect_after_sec = dead_after_sec / 3 > 0 ? dead_after_sec / 3 : 1;
+  }
+  if (suspect_after_sec > 0 && dead_after_sec <= suspect_after_sec) {
+    dead_after_sec = 3 * suspect_after_sec;
+  }
 
-  // Declared before the services so it outlives the compaction loop they
-  // stop in their destructors.
+  // Declared before the services so they outlive the compaction/heartbeat
+  // loops the services stop in their destructors.
   std::unique_ptr<ThreadPoolExecutor> compaction_executor;
+  std::unique_ptr<ThreadPoolExecutor> heartbeat_executor;
   rpc::TcpTransport transport;
   auto composite = std::make_shared<rpc::CompositeHandler>();
   bool has_provider = false;
@@ -74,9 +95,18 @@ int main(int argc, char** argv) {
       composite->Register(400,
                           std::make_shared<vmanager::VersionManagerService>());
     } else if (role == "pmanager") {
-      composite->Register(300,
-                          std::make_shared<pmanager::ProviderManagerService>(
-                              pmanager::MakeStrategy(allocation)));
+      composite->Register(
+          300, std::make_shared<pmanager::ProviderManagerService>(
+                   pmanager::MakeStrategy(allocation), RealClock::Default(),
+                   pmanager::LivenessOptions{
+                       suspect_after_sec * 1000 * 1000,
+                       dead_after_sec * 1000 * 1000}));
+      if (suspect_after_sec > 0) {
+        printf("failure detector armed: suspect after %llu s, dead after "
+               "%llu s\n",
+               static_cast<unsigned long long>(suspect_after_sec),
+               static_cast<unsigned long long>(dead_after_sec));
+      }
     } else if (role == "meta") {
       composite->Register(100, std::make_shared<dht::DhtService>());
     } else if (role == "provider") {
@@ -129,6 +159,20 @@ int main(int argc, char** argv) {
       return 1;
     }
     printf("registered as provider %u with %s\n", *id, pm_addr.c_str());
+    if (heartbeat_interval_sec > 0) {
+      heartbeat_executor = std::make_unique<ThreadPoolExecutor>(1);
+      provider::HeartbeatConfig hb;
+      hb.transport = &transport;
+      hb.pmanager_address = pm_addr;
+      hb.self_address = *bound;
+      hb.capacity_pages = capacity;
+      hb.id = *id;
+      hb.interval_us = heartbeat_interval_sec * 1000 * 1000;
+      provider_service->StartHeartbeat(heartbeat_executor.get(),
+                                       RealClock::Default(), std::move(hb));
+      printf("heartbeating every %llu s\n",
+             static_cast<unsigned long long>(heartbeat_interval_sec));
+    }
     fflush(stdout);
   }
 

@@ -11,21 +11,27 @@ namespace {
 class SimChannel : public rpc::Channel {
  public:
   SimChannel(SimScheduler* sched, SimNetwork* net,
-             std::weak_ptr<SimTransport::Endpoint> endpoint,
-             std::string address)
+             const SimTransport* transport, std::string address)
       : sched_(sched),
         net_(net),
-        endpoint_(std::move(endpoint)),
+        transport_(transport),
         address_(std::move(address)) {}
 
   Status Call(rpc::Method method, Slice request,
               std::string* response) override {
-    auto ep = endpoint_.lock();
+    // Endpoint resolved per call: a restarted endpoint (StopServing +
+    // Serve) serves cached channels again, a stopped one fails them.
+    auto ep = transport_->LookupEndpoint(address_);
     if (!ep) return Status::Unavailable("sim endpoint gone: " + address_);
     uint32_t src = sched_->CurrentNode();
 
     net_->Transfer(src, ep->node,
                    request.size() + rpc::kWireOverheadBytes);
+    if (transport_->ShouldDrop(address_, src)) {
+      // Scripted loss: the request left the NIC but never reaches the
+      // service (and no response ever comes back).
+      return Status::Unavailable("sim rpc dropped: " + address_);
+    }
     ep->queue->Acquire();
     if (ep->profile.request_cpu_us > 0)
       sched_->SleepFor(ep->profile.request_cpu_us);
@@ -56,7 +62,7 @@ class SimChannel : public rpc::Channel {
  private:
   SimScheduler* sched_;
   SimNetwork* net_;
-  std::weak_ptr<SimTransport::Endpoint> endpoint_;
+  const SimTransport* transport_;
   std::string address_;
 };
 
@@ -112,11 +118,35 @@ Status SimTransport::StopServing(const std::string& address) {
 
 Result<std::shared_ptr<rpc::Channel>> SimTransport::Connect(
     const std::string& address) {
-  auto it = endpoints_.find(address);
-  if (it == endpoints_.end())
+  if (!endpoints_.count(address))
     return Status::Unavailable("no sim endpoint: " + address);
-  return std::shared_ptr<rpc::Channel>(std::make_shared<SimChannel>(
-      sched_, net_, std::weak_ptr<Endpoint>(it->second), address));
+  return std::shared_ptr<rpc::Channel>(
+      std::make_shared<SimChannel>(sched_, net_, this, address));
+}
+
+std::shared_ptr<SimTransport::Endpoint> SimTransport::LookupEndpoint(
+    const std::string& address) const {
+  auto it = endpoints_.find(address);
+  return it == endpoints_.end() ? nullptr : it->second;
+}
+
+bool SimTransport::ShouldDrop(const std::string& address,
+                              uint32_t src_node) const {
+  auto it = drop_from_.find(address);
+  return it != drop_from_.end() && it->second.count(src_node) != 0;
+}
+
+void SimTransport::SetDropCallsFrom(uint32_t src_node,
+                                    const std::string& address, bool drop) {
+  if (drop) {
+    drop_from_[address].insert(src_node);
+  } else {
+    auto it = drop_from_.find(address);
+    if (it != drop_from_.end()) {
+      it->second.erase(src_node);
+      if (it->second.empty()) drop_from_.erase(it);
+    }
+  }
 }
 
 void SimTransport::SetServiceProfile(const std::string& address,

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 
 #include "rpc/transport.h"
@@ -38,6 +39,13 @@ class SimTransport : public rpc::Transport {
   void SetServiceProfile(const std::string& address,
                          const SimServiceProfile& profile);
 
+  /// Fault injection: while set, every RPC from `src_node` to `address` is
+  /// charged its request transfer and then lost (the caller observes
+  /// Unavailable, the handler never runs). Models scripted message loss —
+  /// e.g. heartbeat loss without process death — deterministically.
+  void SetDropCallsFrom(uint32_t src_node, const std::string& address,
+                        bool drop);
+
   static std::string MakeAddress(uint32_t node, const std::string& name);
   static Status ParseAddress(const std::string& address, uint32_t* node,
                              std::string* name);
@@ -51,11 +59,18 @@ class SimTransport : public rpc::Transport {
     std::unique_ptr<SimSemaphore> queue;
   };
 
+  /// Channels resolve their endpoint per call (not at Connect), so a
+  /// StopServing + Serve restart becomes visible to already-connected
+  /// clients — exactly like reconnecting to a restarted process.
+  std::shared_ptr<Endpoint> LookupEndpoint(const std::string& address) const;
+  bool ShouldDrop(const std::string& address, uint32_t src_node) const;
+
  private:
   SimScheduler* sched_;
   SimNetwork* net_;
   std::map<std::string, std::shared_ptr<Endpoint>> endpoints_;
   std::map<std::string, SimServiceProfile> pending_profiles_;
+  std::map<std::string, std::set<uint32_t>> drop_from_;
 };
 
 }  // namespace blobseer::simnet

@@ -85,9 +85,57 @@ TEST(StrategyTest, CapacityLimitsRespected) {
 
 TEST(StrategyTest, DeadProvidersSkipped) {
   auto recs = MakeRecords(3);
-  recs[1].alive = false;
+  recs[1].liveness = Liveness::kDead;
   auto got = MakeRoundRobinStrategy()->Allocate(&recs, 10);
   for (ProviderId id : got) EXPECT_NE(id, 1u);
+}
+
+TEST(StrategyTest, SuspectFallbackKicksInMidAllocationWhenAliveRetire) {
+  for (auto name : {"round_robin", "random", "least_loaded", "power_of_two"}) {
+    // 3 alive providers with one page of headroom each, 2 roomy suspects,
+    // r=2. Eligibility starts alive-only (3 >= r), but the alive providers
+    // retire at capacity during the same Allocate call — the suspects must
+    // then join the pool mid-allocation instead of the later pages failing
+    // with short sets.
+    auto recs = MakeRecords(5);
+    for (size_t i = 0; i < 3; i++) {
+      recs[i].capacity_pages = 1;
+    }
+    recs[3].liveness = Liveness::kSuspect;
+    recs[4].liveness = Liveness::kSuspect;
+    auto sets = MakeStrategy(name)->Allocate(&recs, 6, 2);
+    ASSERT_EQ(sets.size(), 6u) << name;
+    for (const auto& set : sets) {
+      ASSERT_EQ(set.size(), 2u) << name;
+      std::set<ProviderId> distinct(set.begin(), set.end());
+      EXPECT_EQ(distinct.size(), 2u) << name;
+    }
+  }
+}
+
+TEST(StrategyTest, SuspectsExcludedUntilLiveCapacityBelowR) {
+  for (auto name : {"round_robin", "random", "least_loaded", "power_of_two"}) {
+    // 4 alive + 1 suspect at r=2: the suspect must not receive replicas.
+    auto recs = MakeRecords(5);
+    recs[3].liveness = Liveness::kSuspect;
+    auto sets = MakeStrategy(name)->Allocate(&recs, 40, 2);
+    ASSERT_EQ(sets.size(), 40u) << name;
+    for (const auto& set : sets) {
+      for (ProviderId id : set) EXPECT_NE(id, 3u) << name;
+    }
+    // 1 alive + 2 suspects + 1 dead at r=2: live capacity < r, so suspects
+    // join the pool (sloppy membership) but the dead provider never does.
+    auto few = MakeRecords(4);
+    few[1].liveness = Liveness::kSuspect;
+    few[2].liveness = Liveness::kSuspect;
+    few[3].liveness = Liveness::kDead;
+    auto fallback = MakeStrategy(name)->Allocate(&few, 10, 2);
+    ASSERT_EQ(fallback.size(), 10u) << name;
+    for (const auto& set : fallback) {
+      ASSERT_EQ(set.size(), 2u) << name;
+      for (ProviderId id : set) EXPECT_NE(id, 3u) << name;
+    }
+  }
 }
 
 class PmServiceTest : public ::testing::Test {

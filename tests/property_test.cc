@@ -1,13 +1,18 @@
 // Randomized property testing: arbitrary interleavings of WRITE / APPEND /
 // BRANCH / READ across several blobs, replayed against the serial
-// reference model. Seeds are part of the test name for reproducibility.
+// reference model, plus random heartbeat/clock-advance interleavings
+// against a reference liveness model. Seeds are part of the test name for
+// reproducibility.
 #include <gtest/gtest.h>
 
 #include <map>
 
 #include "common/random.h"
 #include "core/cluster.h"
+#include "pmanager/client.h"
+#include "pmanager/service.h"
 #include "reference_blob.h"
+#include "rpc/inproc.h"
 
 namespace blobseer {
 namespace {
@@ -120,6 +125,110 @@ TEST_P(PropertyTest, RandomOpsMatchReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- Liveness state machine ------------------------------------------------
+
+/// Deterministic test clock: time moves only when the test says so.
+class ManualClock : public Clock {
+ public:
+  uint64_t NowMicros() override { return now_; }
+  void SleepForMicros(uint64_t micros) override { now_ += micros; }
+  void Advance(uint64_t micros) { now_ += micros; }
+
+ private:
+  uint64_t now_ = 1;
+};
+
+class LivenessPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Random interleavings of heartbeats, clock advances and allocations must
+// never allocate a dead provider, never mark a provider dead while its
+// beats are on time, and must agree with the reference liveness model
+// derived purely from heartbeat ages.
+TEST_P(LivenessPropertyTest, RandomBeatsAndClockAdvancesMatchReference) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  constexpr uint64_t kSuspectAfter = 500;
+  constexpr uint64_t kDeadAfter = 1500;
+  constexpr size_t kProviders = 6;
+
+  ManualClock clock;
+  auto svc = std::make_shared<pmanager::ProviderManagerService>(
+      pmanager::MakeStrategy(seed % 2 == 0 ? "round_robin" : "least_loaded"),
+      &clock, pmanager::LivenessOptions{kSuspectAfter, kDeadAfter});
+  rpc::InProcNetwork net;
+  ASSERT_TRUE(net.Serve("inproc://pm", svc).ok());
+  pmanager::ProviderManagerClient client(&net, "inproc://pm");
+
+  std::vector<uint64_t> last_beat(kProviders);
+  for (size_t i = 0; i < kProviders; i++) {
+    auto id = client.Register("inproc://prov-" + std::to_string(i), 0);
+    ASSERT_TRUE(id.ok());
+    ASSERT_EQ(*id, i);
+    last_beat[i] = clock.NowMicros();
+  }
+
+  auto expected = [&](size_t i) {
+    uint64_t age = clock.NowMicros() - last_beat[i];
+    if (age >= kDeadAfter) return pmanager::Liveness::kDead;
+    if (age >= kSuspectAfter) return pmanager::Liveness::kSuspect;
+    return pmanager::Liveness::kAlive;
+  };
+
+  for (int op = 0; op < 400; op++) {
+    switch (rng.Uniform(3)) {
+      case 0:
+        clock.Advance(rng.Range(1, 400));
+        break;
+      case 1: {  // one provider beats (possibly one already presumed dead)
+        size_t i = rng.Uniform(kProviders);
+        ASSERT_TRUE(client.Heartbeat(static_cast<ProviderId>(i), 0, 0).ok());
+        last_beat[i] = clock.NowMicros();
+        break;
+      }
+      case 2: {  // allocate and audit the replica sets
+        uint32_t r = 1 + static_cast<uint32_t>(rng.Uniform(4));
+        size_t alive = 0, nondead = 0;
+        for (size_t i = 0; i < kProviders; i++) {
+          if (expected(i) == pmanager::Liveness::kAlive) alive++;
+          if (expected(i) != pmanager::Liveness::kDead) nondead++;
+        }
+        auto sets =
+            client.AllocateReplicated(1 + rng.Uniform(4), r);
+        if (nondead < r) {
+          // Not even the suspect fallback can reach r distinct providers.
+          EXPECT_TRUE(sets.status().IsUnavailable()) << "op " << op;
+          break;
+        }
+        ASSERT_TRUE(sets.ok()) << "op " << op << ": "
+                               << sets.status().ToString();
+        for (const auto& set : *sets) {
+          for (ProviderId p : set) {
+            // A dead provider must never be allocated...
+            EXPECT_NE(expected(p), pmanager::Liveness::kDead)
+                << "op " << op;
+            // ...and suspects only enter when live capacity < r.
+            if (expected(p) == pmanager::Liveness::kSuspect) {
+              EXPECT_LT(alive, r) << "op " << op;
+            }
+          }
+        }
+        break;
+      }
+    }
+    // The service's verdicts must match the reference model exactly; in
+    // particular a provider whose beats are on time is never dead.
+    auto records = svc->Records();
+    ASSERT_EQ(records.size(), kProviders);
+    for (const auto& rec : records) {
+      EXPECT_EQ(rec.liveness, expected(rec.id)) << "op " << op << " provider "
+                                                << rec.id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LivenessPropertyTest,
+                         ::testing::Values(7, 11, 23, 41, 59, 97));
 
 }  // namespace
 }  // namespace blobseer

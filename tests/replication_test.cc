@@ -102,7 +102,7 @@ TEST(ReplicaStrategyTest, ShortSetsWhenFewerProvidersThanReplicas) {
 TEST(ReplicaStrategyTest, DeadProvidersExcludedFromAllReplicas) {
   for (auto name : {"round_robin", "random", "least_loaded", "power_of_two"}) {
     auto recs = MakeRecords(5);
-    recs[2].alive = false;
+    recs[2].liveness = pmanager::Liveness::kDead;
     auto sets = MakeStrategy(name)->Allocate(&recs, 50, 2);
     for (const auto& set : sets) {
       for (ProviderId p : set) EXPECT_NE(p, 2u) << name;

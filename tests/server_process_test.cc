@@ -8,6 +8,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,7 @@
 #include "client/blob_handle.h"
 #include "common/clock.h"
 #include "common/string_util.h"
+#include "pmanager/client.h"
 #include "reference_blob.h"
 #include "rpc/tcp.h"
 
@@ -25,9 +27,15 @@ using testing::ReferenceBlob;
 using testing::TestPayload;
 
 std::string ServerBinary() {
+  // ctest points here via the BLOBSEER_SERVER_BIN environment property
+  // (tests/CMakeLists.txt); the relative candidates cover running the test
+  // binary by hand from the build tree.
+  if (const char* env = getenv("BLOBSEER_SERVER_BIN")) {
+    if (access(env, X_OK) == 0) return env;
+  }
   for (const char* candidate :
-       {"../src/blobseer_server", "src/blobseer_server",
-        "./blobseer_server", "build/src/blobseer_server"}) {
+       {"../src/server/blobseer_server", "src/server/blobseer_server",
+        "./blobseer_server", "build/src/server/blobseer_server"}) {
     if (access(candidate, X_OK) == 0) return candidate;
   }
   return "";
@@ -35,21 +43,38 @@ std::string ServerBinary() {
 
 class ServerProcessTest : public ::testing::Test {
  protected:
+  /// Extra flags for the manager daemon / every provider daemon.
+  virtual std::vector<std::string> ManagerFlags() { return {}; }
+  virtual std::vector<std::string> ProviderFlags() { return {}; }
+
   void SetUp() override {
     binary_ = ServerBinary();
     if (binary_.empty()) GTEST_SKIP() << "blobseer_server binary not found";
-    // Ports derived from the pid to avoid collisions across test runs.
-    int base = 20000 + (getpid() % 20000);
+    // Ports derived from the pid (collisions across concurrent test runs)
+    // plus a per-process sequence (each test in this binary gets fresh
+    // ports, so a stale socket from the previous test can never satisfy a
+    // probe), kept strictly below the ephemeral range (32768+): an
+    // ephemeral listener of a concurrently-running TCP test must not be
+    // able to squat our daemon's port.
+    static int sequence = 0;
+    int base = 10000 + ((getpid() * 13 + 1009 * sequence++) % 22000);
     manager_addr_ = StrFormat("127.0.0.1:%d", base);
     provider_addrs_ = {StrFormat("127.0.0.1:%d", base + 1),
                        StrFormat("127.0.0.1:%d", base + 2)};
 
-    Spawn({"--listen=" + manager_addr_, "--roles=vmanager,pmanager"});
+    std::vector<std::string> manager_args = {"--listen=" + manager_addr_,
+                                             "--roles=vmanager,pmanager"};
+    for (const auto& f : ManagerFlags()) manager_args.push_back(f);
+    Spawn(manager_args);
     ASSERT_TRUE(WaitReachable(manager_addr_)) << "managers did not start";
     for (const auto& addr : provider_addrs_) {
-      Spawn({"--listen=" + addr, "--roles=provider,meta",
-             "--pmanager=" + manager_addr_});
-      ASSERT_TRUE(WaitReachable(addr)) << "provider did not start";
+      std::vector<std::string> provider_args = {
+          "--listen=" + addr, "--roles=provider,meta",
+          "--pmanager=" + manager_addr_};
+      for (const auto& f : ProviderFlags()) provider_args.push_back(f);
+      Spawn(provider_args);
+      ASSERT_TRUE(WaitReachable(addr, children_.back()))
+          << "provider did not start";
     }
   }
 
@@ -77,9 +102,23 @@ class ServerProcessTest : public ::testing::Test {
     children_.push_back(pid);
   }
 
-  bool WaitReachable(const std::string& addr) {
+  bool WaitReachable(const std::string& addr, pid_t pid = -1) {
     rpc::TcpTransport probe;
-    for (int i = 0; i < 100; i++) {
+    for (int i = 0; i < 200; i++) {
+      if (pid > 0) {
+        // A daemon that died at startup (port squatted, exec failure)
+        // would otherwise read as "never came up" 10 s later; surface the
+        // exit immediately instead.
+        int status = 0;
+        if (waitpid(pid, &status, WNOHANG) == pid) {
+          ADD_FAILURE() << "daemon " << pid << " exited at startup, status "
+                        << status;
+          children_.erase(
+              std::remove(children_.begin(), children_.end(), pid),
+              children_.end());
+          return false;
+        }
+      }
       auto ch = probe.Connect(addr);
       if (ch.ok()) {
         std::string out;
@@ -156,6 +195,57 @@ TEST_F(ServerProcessTest, SurvivesProviderDaemonRestart) {
     wrote = blob.AppendSync(TestPayload(10 + i, 4096)).ok();
   }
   EXPECT_TRUE(wrote);
+}
+
+// Daemon-level liveness: providers started with --heartbeat-interval beat
+// to a pmanager armed with --suspect-after/--dead-after; killing one
+// daemon must surface as a dead provider in PmStats while the survivor
+// keeps itself alive (docs/liveness.md).
+class ServerHeartbeatTest : public ServerProcessTest {
+ protected:
+  std::vector<std::string> ManagerFlags() override {
+    return {"--suspect-after=1", "--dead-after=2"};
+  }
+  std::vector<std::string> ProviderFlags() override {
+    return {"--heartbeat-interval=1"};
+  }
+};
+
+TEST_F(ServerHeartbeatTest, KilledDaemonExpiresToDead) {
+  rpc::TcpTransport transport;
+  pmanager::ProviderManagerClient pm(&transport, manager_addr_);
+
+  // Both daemons registered and beating. Registration happens after the
+  // endpoint starts serving (what SetUp waited on), so poll briefly.
+  Stopwatch registering;
+  uint64_t providers = 0;
+  while (registering.ElapsedSeconds() < 10.0 && providers < 2) {
+    auto stats = pm.FetchStats();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    providers = stats->providers;
+    if (providers < 2) RealClock::Default()->SleepForMicros(50 * 1000);
+  }
+  ASSERT_EQ(providers, 2u) << "daemons never registered";
+
+  pid_t victim = children_.back();
+  kill(victim, SIGKILL);  // no graceful shutdown: beats just stop
+  int status;
+  waitpid(victim, &status, 0);
+  children_.pop_back();
+
+  Stopwatch deadline;
+  uint64_t dead = 0;
+  while (deadline.ElapsedSeconds() < 15.0 && dead == 0) {
+    RealClock::Default()->SleepForMicros(200 * 1000);
+    auto s = pm.FetchStats();
+    ASSERT_TRUE(s.ok());
+    dead = s->dead;
+    // The surviving daemon must never expire to dead while it beats. (It
+    // may dip into suspect transiently when the machine is loaded — a 1 s
+    // threshold against real scheduling — so that is not asserted.)
+    EXPECT_LE(s->dead, 1u);
+  }
+  EXPECT_EQ(dead, 1u) << "killed daemon never expired to dead";
 }
 
 }  // namespace
