@@ -9,10 +9,14 @@
 // how much of the fan-out the async pipeline hides; the other is write
 // availability: mid-sweep a provider is killed (and stays in the
 // allocation rotation — the failure detector is off here, the worst case)
-// and the sweep keeps appending. The exit code enforces the headlines:
+// and the sweep keeps appending. A separate churn pass runs the full
+// self-healing stack (heartbeats + rebuilder): kill mid-sweep, measure the
+// time until replication is restored on the survivors and the degraded-read
+// rate before/after the heal. The exit code enforces the headlines:
 // r=2/w=2 append throughput stays within budget of r=1, degraded reads
-// succeed at r >= 2, and degraded writes SUCCEED at w < r (they fail by
-// design at w = r — the chaos suite regression-gates that side).
+// succeed at r >= 2, degraded writes SUCCEED at w < r (they fail by design
+// at w = r — the chaos suite regression-gates that side), and the churn
+// pass restores r with zero failovers afterwards.
 #include <cinttypes>
 
 #include <memory>
@@ -23,6 +27,7 @@
 #include "common/clock.h"
 #include "common/string_util.h"
 #include "core/cluster.h"
+#include "pmanager/client.h"
 
 using namespace blobseer;
 
@@ -111,6 +116,107 @@ SweepResult RunSweep(uint32_t replication, uint32_t quorum, uint64_t psize,
   return res;
 }
 
+struct ChurnResult {
+  bool ran = false;
+  bool healed = false;        // r restored on the survivors within deadline
+  double restore_seconds = 0; // kill -> under_replicated == 0
+  uint64_t rebuilt_pages = 0;
+  double during_read_mbps = 0;  // read pass right after the kill
+  double after_read_mbps = 0;   // read pass after the heal, fresh client
+  uint64_t during_failovers = 0;
+  uint64_t after_failovers = 0;
+  double during_rate = 0;  // failovers per page fetched
+  double after_rate = 0;
+};
+
+// The sweeps above run with the detector off; this pass runs the full
+// self-healing stack (heartbeats + background rebuilder), kills a provider
+// mid-sweep and times how long until replication is back to r=3 on the
+// survivors. Reads right after the kill quantify the degraded window
+// (stale location entries fail over to survivors); a fresh client after
+// the heal must see zero failovers.
+ChurnResult RunChurnPass(uint64_t psize, uint64_t total,
+                         uint64_t append_bytes) {
+  ChurnResult res;
+  core::ClusterOptions opts;
+  opts.num_providers = 6;
+  opts.num_meta = 4;
+  opts.replication = 3;
+  opts.write_quorum = 2;
+  opts.heartbeat_interval_us = 10 * 1000;
+  opts.suspect_after_us = 80 * 1000;
+  opts.dead_after_us = 200 * 1000;
+  opts.rebuild_interval_us = 20 * 1000;
+  opts.rebuild_max_moves = 512;
+  auto cluster = core::EmbeddedCluster::Start(opts);
+  if (!cluster.ok()) return res;
+  auto client = (*cluster)->NewClient();
+  if (!client.ok()) return res;
+  auto id = (*client)->Create(psize);
+  if (!id.ok()) return res;
+
+  std::string chunk(append_bytes, 'c');
+  Version last = 0;
+  uint64_t appended = 0;
+  auto append_until = [&](uint64_t target) -> bool {
+    for (; appended < target; appended += append_bytes) {
+      auto v = (*client)->Append(*id, Slice(chunk));
+      if (!v.ok()) {
+        fprintf(stderr, "churn append failed: %s\n",
+                v.status().ToString().c_str());
+        return false;
+      }
+      last = *v;
+    }
+    return true;
+  };
+  if (!append_until(total / 2)) return res;
+  res.ran = true;
+
+  const ProviderId victim = (*cluster)->provider_id(0);
+  Stopwatch restore;
+  if (!(*cluster)->StopProvider(0).ok()) return res;
+  // Keep appending through the kill: the w=2-of-3 quorum absorbs the
+  // corpse until the detector drops it from the allocation rotation.
+  if (!append_until(total)) return res;
+  if (!(*client)->Sync(*id, last).ok()) return res;
+
+  auto read_pass = [&](double* mbps, uint64_t* failovers) -> bool {
+    auto reader = (*cluster)->NewClient();
+    if (!reader.ok()) return false;
+    Stopwatch t;
+    std::string out;
+    for (uint64_t off = 0; off < total; off += append_bytes) {
+      if (!(*reader)->Read(*id, last, off, append_bytes, &out).ok())
+        return false;
+    }
+    *mbps = static_cast<double>(total) / (1 << 20) / t.ElapsedSeconds();
+    *failovers = (*reader)->GetStats().failover_reads;
+    return true;
+  };
+  if (!read_pass(&res.during_read_mbps, &res.during_failovers)) return res;
+
+  pmanager::ProviderManagerClient pm((*cluster)->transport(),
+                                     (*cluster)->pmanager_address());
+  auto* table = (*cluster)->pmanager().location_table();
+  while (restore.ElapsedSeconds() < 60.0 && !res.healed) {
+    auto st = pm.FetchStats();
+    if (!st.ok()) return res;
+    res.rebuilt_pages = st->rebuilt_pages;
+    res.healed = st->dead >= 1 && st->under_replicated == 0 &&
+                 table->CountOn(victim) == 0;
+    if (!res.healed) RealClock::Default()->SleepForMicros(10 * 1000);
+  }
+  res.restore_seconds = restore.ElapsedSeconds();
+  if (!res.healed) return res;
+  if (!read_pass(&res.after_read_mbps, &res.after_failovers)) return res;
+
+  const double pieces = static_cast<double>(total) / psize;
+  res.during_rate = static_cast<double>(res.during_failovers) / pieces;
+  res.after_rate = static_cast<double>(res.after_failovers) / pieces;
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,6 +267,30 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
+  printf("\n== Churn pass: kill mid-sweep with self-healing on ==\n");
+  printf("   (r=3 w=2, heartbeats 10ms / dead 200ms / rebuild 20ms; kill "
+         "provider 0 at half-sweep, keep appending, read degraded, wait for "
+         "the rebuilder, read again)\n\n");
+  ChurnResult churn = RunChurnPass(psize, total_mb << 20, append_kb << 10);
+  const bool churn_ok =
+      churn.ran && churn.healed && churn.after_failovers == 0;
+  if (churn.ran) {
+    printf("  time-to-restore-r:    %s\n",
+           churn.healed ? StrFormat("%.2f s (%" PRIu64 " pages rebuilt)",
+                                    churn.restore_seconds,
+                                    churn.rebuilt_pages)
+                              .c_str()
+                        : "NOT RESTORED within 60 s");
+    printf("  degraded reads:       %.1f MB/s, %" PRIu64
+           " failovers (%.3f per page)\n",
+           churn.during_read_mbps, churn.during_failovers, churn.during_rate);
+    printf("  post-heal reads:      %.1f MB/s, %" PRIu64
+           " failovers (%.3f per page)\n",
+           churn.after_read_mbps, churn.after_failovers, churn.after_rate);
+  } else {
+    printf("  churn pass failed to run\n");
+  }
+
   // Under parallel ctest load (smoke mode) the fsync-free inproc numbers
   // get noisy; the quick gate carries headroom, the full run stays strict.
   const double budget = quick ? 3.5 : 2.5;
@@ -174,7 +304,11 @@ int main(int argc, char** argv) {
          degraded_reads_ok ? "[ok]" : "[REGRESSION]");
   printf("  degraded writes (kill mid-sweep) succeed at w<r: %s\n",
          degraded_writes_ok ? "[ok]" : "[REGRESSION]");
+  printf("  churn pass restores r=3, post-heal reads clean: %s\n",
+         churn_ok ? "[ok]" : "[REGRESSION]");
   printf("  (w=r degraded writes fail by design; chaos_test gates that "
          "side)\n");
-  return write_cost_ok && degraded_reads_ok && degraded_writes_ok ? 0 : 1;
+  return write_cost_ok && degraded_reads_ok && degraded_writes_ok && churn_ok
+             ? 0
+             : 1;
 }

@@ -150,6 +150,7 @@ BlobClient::BlobClient(rpc::Transport* transport, std::string vmanager_address,
              o.channels_per_endpoint = options.channels_per_endpoint;
              return o;
            }()),
+      locator_(&dht_, options.cache_capacity),
       meta_(&dht_, executor_,
             meta::MetaClientOptions{options.cache_metadata,
                                     options.cache_capacity,
@@ -340,8 +341,8 @@ Future<Unit> BlobClient::StorePageReplicasAsync(
     std::shared_ptr<PageWriteBatch> batch, size_t index) {
   const PageWrite& w = batch->pages[index];
   std::vector<Future<std::string>> addresses;
-  addresses.reserve(w.frag.providers.size());
-  for (ProviderId p : w.frag.providers)
+  addresses.reserve(w.replicas.size());
+  for (ProviderId p : w.replicas)
     addresses.push_back(pm_.ResolveAddressAsync(p));
   // Address resolution is a control-plane (directory) step: it fails only
   // when the provider manager is unreachable, so it is not absorbed by the
@@ -355,7 +356,7 @@ Future<Unit> BlobClient::StorePageReplicasAsync(
         const PageWrite& w = batch->pages[index];
         const size_t total = addrs->size();
         // w of r: the page (and hence the update) acks once `needed`
-        // replicas accepted. The metadata leaf still lists every replica —
+        // replicas accepted. The location entry still lists every replica —
         // a reader failing over past a replica that missed its put heals
         // it via read repair, so no wire change is needed.
         size_t needed = options_.write_quorum == 0
@@ -451,17 +452,52 @@ Future<Unit> BlobClient::StorePagesAsync(
         tasks.reserve(batch->pages.size());
         for (size_t i = 0; i < batch->pages.size(); i++) {
           batch->pages[i].frag.pid = NewPageId();
-          batch->pages[i].frag.providers = std::move((*sets)[i]);
+          batch->pages[i].replicas = std::move((*sets)[i]);
           tasks.push_back(
               [this, batch, i] { return StorePageReplicasAsync(batch, i); });
         }
         return RunWindowed(std::move(tasks), options_.max_inflight_pages)
-            .Then([this, batch](Result<Unit> all) -> Status {
-              if (!all.ok()) return all.status();
+            .Then([this, batch](Result<Unit> all) -> Future<Unit> {
+              if (!all.ok()) return MakeReadyFuture(all.status());
+              return PublishLocationsAsync(batch);
+            })
+            .Then([this, batch](Result<Unit> published) -> Status {
+              if (!published.ok()) return published.status();
               std::lock_guard<std::mutex> lock(stats_mu_);
               stats_.pages_stored += batch->pages.size();
+              stats_.locations_published += batch->pages.size();
               return Status::OK();
             });
+      });
+}
+
+Future<Unit> BlobClient::PublishLocationsAsync(
+    std::shared_ptr<PageWriteBatch> batch) {
+  // Page ids are client-unique, so the entries are plain puts (epoch 1) —
+  // no CAS needed on first publication. The wave must succeed: under v3
+  // metadata the location entry is the only map from PageId to providers,
+  // so a page whose entry is lost would be unreadable. A failure here fails
+  // the update and the caller's cleanup deletes the stored pages.
+  std::vector<Future<Unit>> puts;
+  puts.reserve(batch->pages.size());
+  for (const PageWrite& w : batch->pages)
+    puts.push_back(locator_.PublishAsync(w.frag.pid, w.replicas));
+  return WhenAll(std::move(puts))
+      .Then([this, batch](Result<std::vector<Result<Unit>>> rs)
+                -> Future<Unit> {
+        if (!rs.ok()) return MakeReadyFuture(rs.status());
+        Status first = FirstError(*rs);
+        if (!first.ok()) return MakeReadyFuture(std::move(first));
+        // Feed the provider manager's location table so the rebuilder can
+        // heal these pages. Required, not best-effort: a page the table
+        // never learns about would silently stay under-replicated after a
+        // provider loss.
+        pmanager::ReportLocationsRequest report;
+        report.added.reserve(batch->pages.size());
+        for (const PageWrite& w : batch->pages)
+          report.added.push_back(
+              pmanager::PageLocationInfo{w.frag.pid, 1, w.replicas});
+        return pm_.ReportLocationsAsync(std::move(report));
       });
 }
 
@@ -472,10 +508,18 @@ Future<Unit> BlobClient::DeletePagesAsync(
   return batch->WhenPutsSettled().Then([this, batch](
                                            Result<Unit>) -> Future<Unit> {
     std::vector<Future<Unit>> deletions;
+    pmanager::ReportLocationsRequest report;
     for (const PageWrite& w : batch->pages) {
       if (!w.frag.pid.valid()) continue;
+      // Retract the page's location entry (cache, DHT, pmanager table) so
+      // the rebuilder never tries to re-replicate a deleted page.
+      locator_.Invalidate(w.frag.pid);
+      report.removed.push_back(w.frag.pid);
+      deletions.push_back(
+          dht_.DeleteAsync(locator::LocationKey(w.frag.pid))
+              .Then([](Result<Unit>) { return Status::OK(); }));
       // Every incarnation: each replica stored its own copy of the page.
-      for (ProviderId provider : w.frag.providers) {
+      for (ProviderId provider : w.replicas) {
         deletions.push_back(
             pm_.ResolveAddressAsync(provider)
                 .Then([this, pid = w.frag.pid](
@@ -486,6 +530,10 @@ Future<Unit> BlobClient::DeletePagesAsync(
                 }));
       }
     }
+    if (!report.removed.empty())
+      deletions.push_back(
+          pm_.ReportLocationsAsync(std::move(report))
+              .Then([](Result<Unit>) { return Status::OK(); }));
     return WhenAll(std::move(deletions))
         .Then([batch](Result<std::vector<Result<Unit>>>) {
           return Status::OK();  // best-effort by design
@@ -844,7 +892,10 @@ Future<std::vector<BlobClient::FetchPiece>> BlobClient::ResolveLeafPiecesAsync(
             rest.push_back(iv);
             continue;
           }
-          out.push_back(FetchPiece{frag.pid, frag.providers,
+          // v3 fragments carry no providers: the fetch stage resolves the
+          // replica set through the location index. legacy_providers (only
+          // populated by pre-v3 leaves) rides along as the seed/fallback.
+          out.push_back(FetchPiece{frag.pid, frag.legacy_providers,
                                    frag.data_off + (ob - fb), oe - ob, ob});
           if (iv.begin < ob) rest.push_back(Interval{iv.begin, ob});
           if (oe < iv.end) rest.push_back(Interval{oe, iv.end});
@@ -929,30 +980,96 @@ void BlobClient::RepairReplicasAsync(FetchPiece piece, size_t good) {
       });
 }
 
+void BlobClient::ReportSeededLocation(const PageId& pid,
+                                      const locator::LocationEntry& entry) {
+  // Detached best-effort: the DHT entry is already authoritative; this only
+  // feeds the rebuilder's view. Registered like straggler puts so the
+  // destructor drains it.
+  BeginDetachedOp();
+  pmanager::ReportLocationsRequest req;
+  req.added.push_back(
+      pmanager::PageLocationInfo{pid, entry.epoch, entry.providers});
+  pm_.ReportLocationsAsync(std::move(req))
+      .OnReady(nullptr, [this](Result<Unit>) { EndDetachedOp(); });
+}
+
 Future<Unit> BlobClient::FetchPiecesIntoAsync(std::vector<FetchPiece> pieces,
                                               std::vector<uint64_t> bases,
                                               uint64_t range_offset,
                                               char* dst) {
-  // Per-piece failover chain: replicas are tried in metadata order; any
-  // error (dead endpoint, missing object, short read) advances to the next
-  // replica, and a success after a miss triggers detached read repair.
+  // Per-piece chain: resolve the page's current replica set through the
+  // location index (seeding the entry from pre-v3 metadata if absent), then
+  // try replicas in order; any error (dead endpoint, missing object, short
+  // read) advances to the next replica, and a success after a miss triggers
+  // detached read repair. Exhausting the whole set once drops the cached
+  // entry and re-resolves — the rebuilder may have moved the page while
+  // this read was failing over.
   struct PieceOp {
     BlobClient* c = nullptr;
-    FetchPiece piece;
+    FetchPiece piece;  // piece.providers = legacy seed (empty for v3 pages)
+    std::vector<ProviderId> replicas;  // resolved set being tried
     char* out = nullptr;  // absolute destination for this piece's bytes
     size_t attempt = 0;
+    bool refreshed = false;
     Status last_error;
     Promise<Unit> promise;
 
+    void Start(const std::shared_ptr<PieceOp>& self) {
+      c->locator_.ResolveAsync(piece.pid).OnReady(
+          nullptr, [self](Result<locator::LocationEntry> e) {
+            if (e.ok()) {
+              self->replicas = std::move(e->providers);
+              self->Step(self);
+              return;
+            }
+            if (e.status().IsNotFound() && !self->piece.providers.empty()) {
+              self->SeedFromLegacy(self);
+              return;
+            }
+            if (!self->piece.providers.empty()) {
+              // Location store unreachable: the legacy replica set is stale
+              // at worst — still the best shot at serving the read.
+              self->replicas = self->piece.providers;
+              self->Step(self);
+              return;
+            }
+            self->promise.Set(e.status());
+          });
+    }
+
+    // Pre-v3 page: install a location entry from the replica set embedded
+    // in the old metadata, so rebuilds cover legacy pages too. A concurrent
+    // seeder winning the CAS is fine — Seed returns the stored entry.
+    void SeedFromLegacy(const std::shared_ptr<PieceOp>& self) {
+      c->locator_.SeedAsync(piece.pid, piece.providers)
+          .OnReady(nullptr, [self](Result<locator::LocationEntry> seeded) {
+            if (seeded.ok()) {
+              {
+                std::lock_guard<std::mutex> lock(self->c->stats_mu_);
+                self->c->stats_.location_seeds++;
+              }
+              self->c->ReportSeededLocation(self->piece.pid, *seeded);
+              self->replicas = std::move(seeded->providers);
+            } else {
+              self->replicas = self->piece.providers;
+            }
+            self->Step(self);
+          });
+    }
+
     void Step(const std::shared_ptr<PieceOp>& self) {
-      if (attempt >= piece.providers.size()) {
+      if (attempt >= replicas.size()) {
+        if (!refreshed) {
+          Refresh(self);
+          return;
+        }
         promise.Set(last_error.ok()
                         ? Status::Unavailable("no replicas for page " +
                                               piece.pid.ToString())
                         : last_error);
         return;
       }
-      c->pm_.ResolveAddressAsync(piece.providers[attempt])
+      c->pm_.ResolveAddressAsync(replicas[attempt])
           .Then([self](Result<std::string> addr) -> Future<std::string> {
             if (!addr.ok()) return MakeReadyFuture<std::string>(addr.status());
             return self->c->providers_.ReadPageAsync(
@@ -976,9 +1093,37 @@ Future<Unit> BlobClient::FetchPiecesIntoAsync(std::vector<FetchPiece> pieces,
                 std::lock_guard<std::mutex> lock(self->c->stats_mu_);
                 self->c->stats_.failover_reads++;
               }
-              self->c->RepairReplicasAsync(self->piece, self->attempt);
+              FetchPiece repair = self->piece;
+              repair.providers = self->replicas;
+              self->c->RepairReplicasAsync(std::move(repair), self->attempt);
             }
             self->promise.Set(Unit{});
+          });
+    }
+
+    // Every replica failed: drop the cached entry and re-resolve once. A
+    // changed set means the rebuilder relocated the page mid-read — retry
+    // from the top against the fresh replicas.
+    void Refresh(const std::shared_ptr<PieceOp>& self) {
+      refreshed = true;
+      c->locator_.Invalidate(piece.pid);
+      c->locator_.ResolveAsync(piece.pid).OnReady(
+          nullptr, [self](Result<locator::LocationEntry> e) {
+            if (e.ok() && e->providers != self->replicas) {
+              {
+                std::lock_guard<std::mutex> lock(self->c->stats_mu_);
+                self->c->stats_.location_refreshes++;
+              }
+              self->replicas = std::move(e->providers);
+              self->attempt = 0;
+              self->Step(self);
+              return;
+            }
+            self->promise.Set(self->last_error.ok()
+                                  ? Status::Unavailable(
+                                        "no replicas for page " +
+                                        self->piece.pid.ToString())
+                                  : self->last_error);
           });
     }
   };
@@ -994,7 +1139,7 @@ Future<Unit> BlobClient::FetchPiecesIntoAsync(std::vector<FetchPiece> pieces,
     op->out = dst + (bases[i] + op->piece.page_local_off - range_offset);
     tasks.push_back([op] {
       Future<Unit> f = op->promise.GetFuture();
-      op->Step(op);
+      op->Start(op);
       return f;
     });
   }

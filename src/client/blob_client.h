@@ -26,6 +26,7 @@
 #include "common/future.h"
 #include "common/result.h"
 #include "dht/client.h"
+#include "locator/location.h"
 #include "meta/meta_client.h"
 #include "pmanager/client.h"
 #include "provider/client.h"
@@ -91,6 +92,13 @@ struct ClientStats {
   /// Pages acked at the write quorum although at least one replica put
   /// failed (w < r absorbed a replica failure).
   uint64_t degraded_writes = 0;
+  /// Location entries installed for freshly written pages.
+  uint64_t locations_published = 0;
+  /// Location entries created from pre-v3 metadata during reads.
+  uint64_t location_seeds = 0;
+  /// Reads that re-resolved a page's location after exhausting the cached
+  /// replica set (the page had been moved by the rebuilder).
+  uint64_t location_refreshes = 0;
 };
 
 /// One BlobSeer client process. Thread-safe: concurrent operations on the
@@ -178,6 +186,7 @@ class BlobClient {
   vmanager::VersionManagerClient& vmanager() { return vm_; }
   pmanager::ProviderManagerClient& pmanager() { return pm_; }
   dht::DhtClient& dht() { return dht_; }
+  locator::LocationIndex& locator() { return locator_; }
   meta::MetaClient& meta() { return meta_; }
   const ClientOptions& options() const { return options_; }
   Executor* executor() { return executor_; }
@@ -187,6 +196,10 @@ class BlobClient {
     uint64_t page_index = 0;
     meta::PageFragment frag;
     Slice bytes;  // fragment payload (borrowed from caller / owned buffer)
+    /// Replica set the page was stored on. Lives outside the fragment: v3
+    /// metadata persists only the PageId, the location index owns the
+    /// PageId -> replica-set mapping.
+    std::vector<ProviderId> replicas;
   };
   /// One update's page split plus the straggler barrier: with a write
   /// quorum below r, a page future can resolve while replica puts are
@@ -242,9 +255,20 @@ class BlobClient {
   /// barrier).
   Future<Unit> StorePageReplicasAsync(std::shared_ptr<PageWriteBatch> batch,
                                       size_t index);
+  /// Publishes one location entry per stored page and reports the batch to
+  /// the provider manager's location table. A page without a location entry
+  /// is unreadable under v3 metadata, so a publish failure fails the update
+  /// (the caller's cleanup then deletes the orphaned pages).
+  Future<Unit> PublishLocationsAsync(std::shared_ptr<PageWriteBatch> batch);
+
+  /// Detached best-effort report of a location entry just seeded from
+  /// pre-v3 metadata, so the rebuilder learns about legacy pages too.
+  void ReportSeededLocation(const PageId& pid,
+                            const locator::LocationEntry& entry);
+
   /// Best-effort deletion of already-stored pages — every replica of every
-  /// page (failure cleanup); waits for the batch's straggler barrier first;
-  /// always resolves OK.
+  /// page plus its location entry (failure cleanup); waits for the batch's
+  /// straggler barrier first; always resolves OK.
   Future<Unit> DeletePagesAsync(std::shared_ptr<PageWriteBatch> batch);
 
   /// Runs `tasks`, keeping at most `window` outstanding (0 = all at once).
@@ -307,6 +331,7 @@ class BlobClient {
   vmanager::VersionManagerClient vm_;
   pmanager::ProviderManagerClient pm_;
   dht::DhtClient dht_;
+  locator::LocationIndex locator_;
   meta::MetaClient meta_;
   provider::ProviderClient providers_;
 

@@ -76,12 +76,14 @@ Result<std::unique_ptr<EmbeddedCluster>> EmbeddedCluster::Start(
 
   c->pm_client_ = std::make_unique<pmanager::ProviderManagerClient>(
       c->transport_, c->pm_address_);
-  if (options.heartbeat_interval_us > 0) {
-    // One worker per provider: each sender loop parks its thread between
-    // beats.
-    c->hb_executor_ =
-        std::make_unique<ThreadPoolExecutor>(options.num_providers);
-  }
+  // One worker per heartbeat sender loop (each parks its thread between
+  // beats) plus spares for providers added later, plus one for the
+  // rebuilder loop.
+  size_t workers =
+      (options.heartbeat_interval_us > 0 ? options.num_providers + 4 : 0) +
+      (options.rebuild_interval_us > 0 ? 1 : 0);
+  if (workers > 0)
+    c->hb_executor_ = std::make_unique<ThreadPoolExecutor>(workers);
   for (size_t i = 0; i < options.num_providers; i++) {
     auto svc = std::make_shared<provider::ProviderService>(
         MakeStore(options.page_store, i));
@@ -95,6 +97,19 @@ Result<std::unique_ptr<EmbeddedCluster>> EmbeddedCluster::Start(
     if (!id.ok()) return id.status();
     c->provider_ids_.push_back(*id);
     BS_RETURN_NOT_OK(c->StartProviderHeartbeat(i));
+  }
+  if (options.rebuild_interval_us > 0) {
+    locator::RebuildOptions ro;
+    ro.interval_us = options.rebuild_interval_us;
+    ro.max_moves_per_pass = options.rebuild_max_moves;
+    ro.rebalance = options.rebuild_rebalance;
+    // Default DhtClientOptions: the rebuilder's CAS placement must match
+    // the clients', which also run defaults (placement is positional over
+    // the same node list).
+    c->pm_service_->StartRebuilder(c->hb_executor_.get(),
+                                   RealClock::Default(), c->transport_,
+                                   c->dht_addresses_, dht::DhtClientOptions{},
+                                   ro);
   }
   return c;
 }
@@ -115,6 +130,9 @@ Status EmbeddedCluster::StartProviderHeartbeat(size_t index) {
 
 EmbeddedCluster::~EmbeddedCluster() {
   if (!transport_) return;
+  // Stop the rebuilder before tearing down endpoints: a pass in flight
+  // would otherwise race teardown with doomed page-copy RPCs.
+  if (pm_service_) pm_service_->StopRebuilder();
   (void)transport_->StopServing(vm_address_);
   (void)transport_->StopServing(pm_address_);
   for (const auto& a : dht_addresses_) (void)transport_->StopServing(a);
@@ -175,6 +193,34 @@ Status EmbeddedCluster::RestartProvider(size_t index) {
   if (!id.ok()) return id.status();
   provider_ids_[index] = *id;
   return StartProviderHeartbeat(index);
+}
+
+Result<size_t> EmbeddedCluster::AddProvider() {
+  const bool tcp = tcp_ != nullptr;
+  size_t index = provider_services_.size();
+  auto svc = std::make_shared<provider::ProviderService>(
+      MakeStore(options_.page_store, index));
+  auto addr = transport_->Serve(
+      tcp ? std::string("127.0.0.1:0")
+          : StrFormat("inproc://provider-%zu", index),
+      svc);
+  if (!addr.ok()) return addr.status();
+  provider_services_.push_back(std::move(svc));
+  provider_addresses_.push_back(std::move(addr).ValueUnsafe());
+  auto id = pm_client_->Register(provider_addresses_.back(),
+                                 options_.provider_capacity_pages);
+  if (!id.ok()) return id.status();
+  provider_ids_.push_back(*id);
+  // The heartbeat executor was sized with spare workers for a few joins.
+  BS_RETURN_NOT_OK(StartProviderHeartbeat(index));
+  return index;
+}
+
+Result<pmanager::DecommissionResponse> EmbeddedCluster::Decommission(
+    size_t index) {
+  if (index >= provider_ids_.size())
+    return Status::InvalidArgument("provider index");
+  return pm_client_->Decommission(provider_ids_[index]);
 }
 
 }  // namespace blobseer::core

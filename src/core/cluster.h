@@ -48,6 +48,14 @@ struct ClusterOptions {
   uint64_t heartbeat_interval_us = 0;
   uint64_t suspect_after_us = 0;
   uint64_t dead_after_us = 0;
+  /// Background re-replication: when `rebuild_interval_us` > 0 the provider
+  /// manager runs a rebuilder pass every interval that copies pages off
+  /// dead/draining providers onto live ones (and, with `rebuild_rebalance`,
+  /// evens page counts after a join). Requires heartbeats for dead
+  /// detection. See docs/page_locations.md.
+  uint64_t rebuild_interval_us = 0;
+  size_t rebuild_max_moves = 64;
+  bool rebuild_rebalance = true;
   uint64_t provider_capacity_pages = 0;  // 0 = unbounded
   size_t dht_shards = 16;
 };
@@ -96,6 +104,16 @@ class EmbeddedCluster {
   /// endpoint again, re-registers with the provider manager (same id, same
   /// address) and re-arms the heartbeat sender when heartbeats are on.
   Status RestartProvider(size_t index);
+
+  /// Adds a fresh provider to the running cluster (join-under-churn tests);
+  /// returns its index.
+  Result<size_t> AddProvider();
+
+  /// Marks provider `index` draining (no new allocations; the rebuilder
+  /// moves its pages off). Poll until `drained` before StopProvider.
+  Result<pmanager::DecommissionResponse> Decommission(size_t index);
+
+  ProviderId provider_id(size_t index) const { return provider_ids_[index]; }
 
  private:
   EmbeddedCluster() = default;

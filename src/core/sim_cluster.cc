@@ -64,9 +64,31 @@ SimCluster::SimCluster(simnet::SimScheduler* sched,
     provider_ids_.push_back(*id);
     StartProviderHeartbeat(i);
   }
+
+  if (options.rebuild_interval_us > 0) {
+    locator::RebuildOptions ro;
+    ro.interval_us = options.rebuild_interval_us;
+    ro.max_moves_per_pass = options.rebuild_max_moves;
+    ro.rebalance = options.rebuild_rebalance;
+    // The rebuilder loop is a sim task; spawn it from the provider
+    // manager's node so its copy/CAS RPCs originate there in the network
+    // model. Default DhtClientOptions so CAS placement matches clients'.
+    uint32_t caller_node = sched_->CurrentNode();
+    sched_->SetCurrentNode(pm_node());
+    pm_service_->StartRebuilder(executor_.get(), clock_.get(),
+                                transport_.get(), dht_addresses_,
+                                dht::DhtClientOptions{}, ro);
+    sched_->SetCurrentNode(caller_node);
+  }
 }
 
-SimCluster::~SimCluster() { StopHeartbeats(); }
+SimCluster::~SimCluster() {
+  // The rebuilder loop must stop before the scheduler can drain (it would
+  // otherwise re-arm forever in virtual time), and before heartbeats so a
+  // final pass still sees a live provider directory.
+  pm_service_->StopRebuilder();
+  StopHeartbeats();
+}
 
 void SimCluster::StartProviderHeartbeat(size_t index) {
   if (options_.heartbeat_interval_us == 0) return;
@@ -124,6 +146,12 @@ Status SimCluster::RestartProvider(size_t index) {
   provider_ids_[index] = *id;
   StartProviderHeartbeat(index);
   return Status::OK();
+}
+
+Result<pmanager::DecommissionResponse> SimCluster::Decommission(size_t index) {
+  if (index >= provider_ids_.size())
+    return Status::InvalidArgument("provider index");
+  return pm_client_->Decommission(provider_ids_[index]);
 }
 
 void SimCluster::SetHeartbeatLoss(size_t index, bool lost) {

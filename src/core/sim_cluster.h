@@ -50,6 +50,12 @@ struct SimClusterOptions {
   uint64_t heartbeat_interval_us = 0;
   uint64_t suspect_after_us = 0;
   uint64_t dead_after_us = 0;
+  /// Background re-replication in virtual time (0 = disabled): the provider
+  /// manager runs a rebuilder pass every `rebuild_interval_us`, copying
+  /// pages off dead/draining providers (docs/page_locations.md).
+  uint64_t rebuild_interval_us = 0;
+  size_t rebuild_max_moves = 64;
+  bool rebuild_rebalance = true;
 };
 
 /// Must be constructed from inside SimScheduler::Run (provider registration
@@ -105,6 +111,12 @@ class SimCluster {
   /// serves the endpoint again, re-registers with the provider manager
   /// (same id) and re-arms the heartbeat sender when heartbeats are on.
   Status RestartProvider(size_t index);
+
+  /// Marks provider `index` draining (no new allocations; the rebuilder
+  /// moves its pages off). Poll until `drained` before StopProvider.
+  Result<pmanager::DecommissionResponse> Decommission(size_t index);
+
+  ProviderId provider_id(size_t index) const { return provider_ids_[index]; }
 
   /// Scripted heartbeat loss without process death: while `lost`, the
   /// provider's RPCs to the provider manager (heartbeats, re-registrations)

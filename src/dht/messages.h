@@ -50,6 +50,49 @@ struct DeleteResponse {
   Status DecodeFrom(BinaryReader*) { return Status::OK(); }
 };
 
+/// Single-key compare-and-swap: installs `value` iff the stored value
+/// equals `expected` (or iff the key is absent, with `expect_absent`). A
+/// mismatch is a *successful* RPC (applied = false, current bytes
+/// returned), so callers can re-learn and retry without conflating
+/// conflicts with transport failures. The location index (src/locator)
+/// serializes replica-set reconfigurations through this.
+struct CasRequest {
+  std::string key;
+  std::string expected;  // ignored when expect_absent
+  std::string value;
+  bool expect_absent = false;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutString(key);
+    w->PutString(expected);
+    w->PutString(value);
+    w->PutBool(expect_absent);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetString(&key));
+    BS_RETURN_NOT_OK(r->GetString(&expected));
+    BS_RETURN_NOT_OK(r->GetString(&value));
+    return r->GetBool(&expect_absent);
+  }
+};
+
+struct CasResponse {
+  bool applied = false;
+  /// Whether the key exists after the call; `current` holds its bytes then
+  /// (the new value on success, the conflicting one on mismatch).
+  bool present = false;
+  std::string current;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutBool(applied);
+    w->PutBool(present);
+    w->PutString(current);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetBool(&applied));
+    BS_RETURN_NOT_OK(r->GetBool(&present));
+    return r->GetString(&current);
+  }
+};
+
 struct MultiGetRequest {
   std::vector<std::string> keys;
   void EncodeTo(BinaryWriter* w) const {

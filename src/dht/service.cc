@@ -26,6 +26,13 @@ Status DhtService::Handle(rpc::Method method, Slice payload,
           payload, response, [this](const DeleteRequest& req, DeleteResponse*) {
             return store_.Delete(Slice(req.key));
           });
+    case rpc::Method::kDhtCas:
+      return DispatchTyped<CasRequest, CasResponse>(
+          payload, response, [this](const CasRequest& req, CasResponse* rsp) {
+            return store_.Cas(Slice(req.key), Slice(req.expected),
+                              Slice(req.value), req.expect_absent,
+                              &rsp->applied, &rsp->present, &rsp->current);
+          });
     case rpc::Method::kDhtMultiGet:
       return DispatchTyped<MultiGetRequest, MultiGetResponse>(
           payload, response,

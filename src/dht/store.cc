@@ -53,6 +53,38 @@ Status KvStore::Delete(Slice key) {
   return Status::OK();
 }
 
+Status KvStore::Cas(Slice key, Slice expected, Slice value,
+                    bool expect_absent, bool* applied, bool* present,
+                    std::string* current) {
+  *applied = false;
+  Shard& s = shards_[ShardFor(key)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(std::string(key.data(), key.size()));
+  const bool exists = it != s.map.end();
+  const bool match = expect_absent
+                         ? !exists
+                         : exists && Slice(it->second) == expected;
+  if (match) {
+    puts_.fetch_add(1, std::memory_order_relaxed);
+    if (exists) {
+      bytes_.fetch_sub(it->second.size(), std::memory_order_relaxed);
+      it->second = value.ToString();
+      bytes_.fetch_add(value.size(), std::memory_order_relaxed);
+    } else {
+      s.map.emplace(key.ToString(), value.ToString());
+      keys_.fetch_add(1, std::memory_order_relaxed);
+      bytes_.fetch_add(key.size() + value.size(), std::memory_order_relaxed);
+    }
+    *applied = true;
+    *present = true;
+    *current = value.ToString();
+    return Status::OK();
+  }
+  *present = exists;
+  *current = exists ? it->second : std::string();
+  return Status::OK();
+}
+
 StoreStats KvStore::GetStats() const {
   StoreStats st;
   st.keys = keys_.load();

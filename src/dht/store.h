@@ -38,6 +38,13 @@ class KvStore {
   /// Removes the key; OK whether or not it existed (idempotent).
   Status Delete(Slice key);
 
+  /// Atomic conditional overwrite under the key's shard lock: installs
+  /// `value` iff the stored bytes equal `expected` (or iff the key is
+  /// absent, with `expect_absent`). Always returns OK; `*applied` reports
+  /// the outcome, `*present`/`*current` the post-call state of the key.
+  Status Cas(Slice key, Slice expected, Slice value, bool expect_absent,
+             bool* applied, bool* present, std::string* current);
+
   StoreStats GetStats() const;
 
  private:

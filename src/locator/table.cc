@@ -1,0 +1,66 @@
+#include "locator/table.h"
+
+#include <algorithm>
+
+namespace blobseer::locator {
+
+void PageLocationTable::Record(const PageId& pid, const LocationEntry& entry) {
+  if (!entry.valid()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(pid);
+  if (it == pages_.end()) {
+    pages_.emplace(pid, entry);
+  } else if (entry.epoch >= it->second.epoch) {
+    it->second = entry;
+  }
+}
+
+void PageLocationTable::Forget(const PageId& pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pages_.erase(pid);
+}
+
+bool PageLocationTable::Lookup(const PageId& pid, LocationEntry* entry) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pages_.find(pid);
+  if (it == pages_.end()) return false;
+  *entry = it->second;
+  return true;
+}
+
+std::vector<PageId> PageLocationTable::PagesOn(ProviderId id) const {
+  std::vector<PageId> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [pid, entry] : pages_) {
+    if (std::find(entry.providers.begin(), entry.providers.end(), id) !=
+        entry.providers.end()) {
+      out.push_back(pid);
+    }
+  }
+  return out;
+}
+
+size_t PageLocationTable::CountOn(ProviderId id) const {
+  size_t n = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [pid, entry] : pages_) {
+    if (std::find(entry.providers.begin(), entry.providers.end(), id) !=
+        entry.providers.end()) {
+      n++;
+    }
+  }
+  return n;
+}
+
+size_t PageLocationTable::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pages_.size();
+}
+
+std::vector<std::pair<PageId, LocationEntry>> PageLocationTable::Snapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {pages_.begin(), pages_.end()};
+}
+
+}  // namespace blobseer::locator

@@ -1,0 +1,44 @@
+// The provider manager's authoritative in-memory view of page locations,
+// built from client reports and rebuilder moves. The DHT holds the entries
+// clients resolve; this table exists so the rebuilder can answer "which
+// pages live on provider X" without scanning the DHT.
+#ifndef BLOBSEER_LOCATOR_TABLE_H_
+#define BLOBSEER_LOCATOR_TABLE_H_
+
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "locator/location.h"
+
+namespace blobseer::locator {
+
+class PageLocationTable {
+ public:
+  /// Installs or refreshes an entry. Stale epochs are ignored so an
+  /// out-of-order client report cannot roll back a rebuilder move.
+  void Record(const PageId& pid, const LocationEntry& entry);
+
+  /// Drops a page (deleted by its writer's cleanup or garbage collection).
+  void Forget(const PageId& pid);
+
+  /// Current entry for a page; false when unknown.
+  bool Lookup(const PageId& pid, LocationEntry* entry) const;
+
+  /// Pages whose replica set includes `id`.
+  std::vector<PageId> PagesOn(ProviderId id) const;
+  size_t CountOn(ProviderId id) const;
+
+  size_t size() const;
+  std::vector<std::pair<PageId, LocationEntry>> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<PageId, LocationEntry> pages_;
+};
+
+}  // namespace blobseer::locator
+
+#endif  // BLOBSEER_LOCATOR_TABLE_H_

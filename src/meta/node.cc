@@ -23,14 +23,9 @@ std::string NodeKey::ToString() const {
 }
 
 void PageFragment::EncodeTo(BinaryWriter* w) const {
+  // Format v3: the stable PageId only. Where the page's replicas currently
+  // live is the location index's concern, not the immutable leaf's.
   w->PutPageId(pid);
-  // Replica sets are small (the allocation factor); a byte count keeps the
-  // leaf encoding compact. The provider manager rejects factors over 255,
-  // so a larger set here is a caller bug — fail loudly rather than encode
-  // an undetectably corrupt leaf.
-  BS_CHECK(providers.size() <= 255) << "replica set exceeds wire format";
-  w->PutU8(static_cast<uint8_t>(providers.size()));
-  for (ProviderId p : providers) w->PutU32(p);
   w->PutU32(page_off);
   w->PutU32(len);
   w->PutU32(data_off);
@@ -38,13 +33,21 @@ void PageFragment::EncodeTo(BinaryWriter* w) const {
 
 Status PageFragment::DecodeFrom(BinaryReader* r) {
   BS_RETURN_NOT_OK(r->GetPageId(&pid));
+  legacy_providers.clear();
+  BS_RETURN_NOT_OK(r->GetU32(&page_off));
+  BS_RETURN_NOT_OK(r->GetU32(&len));
+  return r->GetU32(&data_off);
+}
+
+Status PageFragment::DecodeV2From(BinaryReader* r) {
+  BS_RETURN_NOT_OK(r->GetPageId(&pid));
   uint8_t n;
   BS_RETURN_NOT_OK(r->GetU8(&n));
   if (n == 0) return Status::Corruption("fragment with empty replica set");
   if (static_cast<uint64_t>(n) * 4 > r->remaining())
     return Status::Corruption("replica count exceeds payload");
-  providers.resize(n);
-  for (auto& p : providers) BS_RETURN_NOT_OK(r->GetU32(&p));
+  legacy_providers.resize(n);
+  for (auto& p : legacy_providers) BS_RETURN_NOT_OK(r->GetU32(&p));
   BS_RETURN_NOT_OK(r->GetU32(&page_off));
   BS_RETURN_NOT_OK(r->GetU32(&len));
   return r->GetU32(&data_off);
@@ -54,14 +57,14 @@ Status PageFragment::DecodeLegacyFrom(BinaryReader* r) {
   BS_RETURN_NOT_OK(r->GetPageId(&pid));
   ProviderId p = kInvalidProvider;
   BS_RETURN_NOT_OK(r->GetU32(&p));
-  providers.assign(1, p);
+  legacy_providers.assign(1, p);
   BS_RETURN_NOT_OK(r->GetU32(&page_off));
   BS_RETURN_NOT_OK(r->GetU32(&len));
   return r->GetU32(&data_off);
 }
 
 void MetaNode::EncodeTo(BinaryWriter* w) const {
-  w->PutU8(kNodeFormatV2);
+  w->PutU8(kNodeFormatV3);
   w->PutU8(static_cast<uint8_t>(type));
   if (type == Type::kInner) {
     w->PutU64(left_version);
@@ -76,11 +79,12 @@ void MetaNode::EncodeTo(BinaryWriter* w) const {
 Status MetaNode::DecodeFrom(BinaryReader* r) {
   uint8_t t;
   BS_RETURN_NOT_OK(r->GetU8(&t));
-  // Format v1 carried no version marker: byte 0 was the node type. The v2
-  // marker value (2) was invalid there, so the first byte disambiguates.
-  const bool legacy = t <= 1;
-  if (!legacy) {
-    if (t != kNodeFormatV2) return Status::Corruption("bad node format");
+  // Format v1 carried no version marker: byte 0 was the node type. Marker
+  // values 2 and 3 were invalid there, so the first byte disambiguates.
+  const uint8_t format = t <= 1 ? 1 : t;
+  if (format > 1) {
+    if (format != kNodeFormatV2 && format != kNodeFormatV3)
+      return Status::Corruption("bad node format");
     BS_RETURN_NOT_OK(r->GetU8(&t));
     if (t > 1) return Status::Corruption("bad node type");
   }
@@ -91,7 +95,7 @@ Status MetaNode::DecodeFrom(BinaryReader* r) {
   }
   BS_RETURN_NOT_OK(r->GetU64(&prev_version));
   BS_RETURN_NOT_OK(r->GetU32(&chain_len));
-  if (!legacy) return GetVector(r, &fragments);
+  if (format == kNodeFormatV3) return GetVector(r, &fragments);
   uint32_t n = 0;
   BS_RETURN_NOT_OK(r->GetU32(&n));
   if (n > r->remaining())
@@ -100,7 +104,8 @@ Status MetaNode::DecodeFrom(BinaryReader* r) {
   fragments.reserve(n);
   for (uint32_t i = 0; i < n; i++) {
     PageFragment f;
-    BS_RETURN_NOT_OK(f.DecodeLegacyFrom(r));
+    BS_RETURN_NOT_OK(format == kNodeFormatV2 ? f.DecodeV2From(r)
+                                             : f.DecodeLegacyFrom(r));
     fragments.push_back(std::move(f));
   }
   return Status::OK();

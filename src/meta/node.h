@@ -33,33 +33,38 @@ struct NodeKey {
 /// One stored fragment of a logical page: `len` bytes that live at
 /// `data_off` within page object `pid` and land at `page_off` within the
 /// logical page. Aligned writes produce exactly one full-page fragment.
-/// `providers` is the page's replica set (primary first): writers store the
-/// page object on every listed provider, readers try them in order.
+/// Format v3 stores only the stable PageId; readers resolve the current
+/// replica set through the location index (locator::LocationIndex), so the
+/// failure detector can move replicas without rewriting metadata.
 struct PageFragment {
   PageId pid;
-  std::vector<ProviderId> providers;
+  /// Replica set embedded by pre-indirection formats (v1: one provider,
+  /// v2: the full set). Empty on v3 fragments. Never re-encoded — readers
+  /// use it only to seed the location index for pages written before the
+  /// indirection existed.
+  std::vector<ProviderId> legacy_providers;
   uint32_t page_off = 0;
   uint32_t len = 0;
   uint32_t data_off = 0;
 
   friend bool operator==(const PageFragment&, const PageFragment&) = default;
 
-  ProviderId primary() const {
-    return providers.empty() ? kInvalidProvider : providers[0];
-  }
-
   void EncodeTo(BinaryWriter* w) const;
   Status DecodeFrom(BinaryReader* r);
+  /// Format v2 fragment body: PageId plus embedded replica set.
+  Status DecodeV2From(BinaryReader* r);
   /// Pre-replication (format v1) fragment body: a single provider id.
   Status DecodeLegacyFrom(BinaryReader* r);
 };
 
-/// Wire-format version marker for MetaNode (see EncodeTo/DecodeFrom).
+/// Wire-format version markers for MetaNode (see EncodeTo/DecodeFrom).
 /// Format v1 had no marker: its first byte was the node type (0 or 1).
-/// Format v2 prefixes this tag and stores a replica-set provider list per
-/// leaf fragment; decoding accepts both so pre-replication DHT contents
-/// stay readable.
+/// Format v2 prefixes a tag and embeds a replica-set provider list per leaf
+/// fragment. Format v3 drops the embedded providers — fragments carry only
+/// the stable PageId and the location index maps it to the current replica
+/// set. Decoding accepts all three so existing DHT contents stay readable.
 inline constexpr uint8_t kNodeFormatV2 = 2;
+inline constexpr uint8_t kNodeFormatV3 = 3;
 
 /// A tree node. Inner nodes carry the version labels of their two children
 /// (kNoVersion marks a never-written hole). Leaves carry the fragments this

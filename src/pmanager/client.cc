@@ -11,58 +11,94 @@ ProviderManagerClient::ProviderManagerClient(rpc::Transport* transport,
       address_(std::move(address)),
       pool_(transport_, channels) {}
 
-Result<ProviderId> ProviderManagerClient::Register(
-    const std::string& provider_address, uint64_t capacity_pages) {
+// Reconnect-once on Unavailable for binding transports: a channel pooled
+// before a provider-manager restart stays broken, so drop it and retry on
+// a fresh connection. Register and Heartbeat are idempotent; a duplicated
+// Allocate can over-charge allocated_pages transiently, which the next
+// heartbeat's stored-page count corrects.
+template <typename Req, typename Rsp>
+Status ProviderManagerClient::Call(rpc::Method method, const Req& req,
+                                   Rsp* rsp) {
   auto ch = pool_.Get(address_);
   if (!ch.ok()) return ch.status();
+  Status s = rpc::CallMethod(ch->get(), method, req, rsp);
+  if (!s.IsUnavailable() || !pool_.binding()) return s;
+  pool_.Invalidate(address_);
+  ch = pool_.Get(address_);
+  if (!ch.ok()) return s;
+  *rsp = Rsp{};
+  return rpc::CallMethod(ch->get(), method, req, rsp);
+}
+
+template <typename Req, typename Rsp>
+Future<Rsp> ProviderManagerClient::CallAsync(rpc::Method method,
+                                             const Req& req) {
+  auto ch = pool_.Get(address_);
+  if (!ch.ok()) return MakeReadyFuture<Rsp>(ch.status());
+  auto shared = std::make_shared<Req>(req);
+  return rpc::CallMethodAsync<Req, Rsp>(ch->get(), method, *shared)
+      .Then([this, method, shared](Result<Rsp> r) -> Future<Rsp> {
+        if (r.ok() || !r.status().IsUnavailable() || !pool_.binding())
+          return MakeReadyFuture<Rsp>(std::move(r));
+        pool_.Invalidate(address_);
+        auto retry = pool_.Get(address_);
+        if (!retry.ok()) return MakeReadyFuture<Rsp>(std::move(r));
+        return rpc::CallMethodAsync<Req, Rsp>(retry->get(), method, *shared);
+      });
+}
+
+Result<ProviderId> ProviderManagerClient::Register(
+    const std::string& provider_address, uint64_t capacity_pages) {
   RegisterRequest req{provider_address, capacity_pages};
   RegisterResponse rsp;
-  BS_RETURN_NOT_OK(
-      rpc::CallMethod(ch->get(), rpc::Method::kPmRegister, req, &rsp));
+  BS_RETURN_NOT_OK(Call(rpc::Method::kPmRegister, req, &rsp));
   return rsp.id;
 }
 
 Status ProviderManagerClient::Heartbeat(ProviderId id, uint64_t pages,
                                         uint64_t bytes) {
-  auto ch = pool_.Get(address_);
-  if (!ch.ok()) return ch.status();
   HeartbeatRequest req{id, pages, bytes};
   HeartbeatResponse rsp;
-  return rpc::CallMethod(ch->get(), rpc::Method::kPmHeartbeat, req, &rsp);
-}
-
-Result<std::vector<ProviderId>> ProviderManagerClient::Allocate(
-    uint32_t num_pages) {
-  auto sets = AllocateReplicated(num_pages, 1);
-  if (!sets.ok()) return sets.status();
-  std::vector<ProviderId> out;
-  out.reserve(sets->size());
-  for (const auto& set : *sets)
-    out.push_back(set.empty() ? kInvalidProvider : set[0]);
-  return out;
+  return Call(rpc::Method::kPmHeartbeat, req, &rsp);
 }
 
 Result<std::vector<std::vector<ProviderId>>>
 ProviderManagerClient::AllocateReplicated(uint32_t num_pages,
                                           uint32_t replication) {
-  auto ch = pool_.Get(address_);
-  if (!ch.ok()) return ch.status();
   AllocateRequest req{num_pages, replication};
   AllocateResponse rsp;
-  BS_RETURN_NOT_OK(
-      rpc::CallMethod(ch->get(), rpc::Method::kPmAllocate, req, &rsp));
+  BS_RETURN_NOT_OK(Call(rpc::Method::kPmAllocate, req, &rsp));
   return std::move(rsp.replicas);
+}
+
+Status ProviderManagerClient::ReportLocations(
+    const ReportLocationsRequest& req) {
+  ReportLocationsResponse rsp;
+  return Call(rpc::Method::kPmReportLocations, req, &rsp);
+}
+
+Future<Unit> ProviderManagerClient::ReportLocationsAsync(
+    ReportLocationsRequest req) {
+  return CallAsync<ReportLocationsRequest, ReportLocationsResponse>(
+             rpc::Method::kPmReportLocations, req)
+      .Then([](Result<ReportLocationsResponse> r) -> Status {
+        return r.status();
+      });
+}
+
+Result<DecommissionResponse> ProviderManagerClient::Decommission(
+    ProviderId id) {
+  DecommissionRequest req{id};
+  DecommissionResponse rsp;
+  BS_RETURN_NOT_OK(Call(rpc::Method::kPmDecommission, req, &rsp));
+  return rsp;
 }
 
 Future<std::vector<std::vector<ProviderId>>>
 ProviderManagerClient::AllocateReplicatedAsync(uint32_t num_pages,
                                                uint32_t replication) {
-  auto ch = pool_.Get(address_);
-  if (!ch.ok())
-    return MakeReadyFuture<std::vector<std::vector<ProviderId>>>(ch.status());
-  return rpc::CallMethodAsync<AllocateRequest, AllocateResponse>(
-             ch->get(), rpc::Method::kPmAllocate,
-             AllocateRequest{num_pages, replication})
+  return CallAsync<AllocateRequest, AllocateResponse>(
+             rpc::Method::kPmAllocate, AllocateRequest{num_pages, replication})
       .Then([](Result<AllocateResponse> rsp)
                 -> Result<std::vector<std::vector<ProviderId>>> {
         if (!rsp.ok()) return rsp.status();
@@ -89,10 +125,8 @@ Result<std::string> ProviderManagerClient::ResolveAddress(ProviderId id) {
 Future<std::string> ProviderManagerClient::ResolveAddressAsync(ProviderId id) {
   auto cached = CachedAddress(id);
   if (cached.ok()) return MakeReadyFuture<std::string>(std::move(cached));
-  auto ch = pool_.Get(address_);
-  if (!ch.ok()) return MakeReadyFuture<std::string>(ch.status());
-  return rpc::CallMethodAsync<DirectoryRequest, DirectoryResponse>(
-             ch->get(), rpc::Method::kPmDirectory, DirectoryRequest{})
+  return CallAsync<DirectoryRequest, DirectoryResponse>(
+             rpc::Method::kPmDirectory, DirectoryRequest{})
       .Then([this, id](Result<DirectoryResponse> rsp) -> Result<std::string> {
         if (!rsp.ok()) return rsp.status();
         {
@@ -104,22 +138,16 @@ Future<std::string> ProviderManagerClient::ResolveAddressAsync(ProviderId id) {
 }
 
 Result<PmStatsResponse> ProviderManagerClient::FetchStats() {
-  auto ch = pool_.Get(address_);
-  if (!ch.ok()) return ch.status();
   PmStatsRequest req;
   PmStatsResponse rsp;
-  BS_RETURN_NOT_OK(
-      rpc::CallMethod(ch->get(), rpc::Method::kPmStats, req, &rsp));
+  BS_RETURN_NOT_OK(Call(rpc::Method::kPmStats, req, &rsp));
   return rsp;
 }
 
 Result<std::vector<DirectoryEntry>> ProviderManagerClient::FetchDirectory() {
-  auto ch = pool_.Get(address_);
-  if (!ch.ok()) return ch.status();
   DirectoryRequest req;
   DirectoryResponse rsp;
-  BS_RETURN_NOT_OK(
-      rpc::CallMethod(ch->get(), rpc::Method::kPmDirectory, req, &rsp));
+  BS_RETURN_NOT_OK(Call(rpc::Method::kPmDirectory, req, &rsp));
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& e : rsp.entries) directory_[e.id] = e.address;
   return std::move(rsp.entries);

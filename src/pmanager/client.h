@@ -23,15 +23,21 @@ class ProviderManagerClient {
                               uint64_t capacity_pages);
   Status Heartbeat(ProviderId id, uint64_t pages, uint64_t bytes);
 
-  /// Asks for one provider per page. Returns provider ids; resolve
-  /// addresses via ResolveAddress (cached directory).
-  Result<std::vector<ProviderId>> Allocate(uint32_t num_pages);
-
   /// Asks for a replica set of `replication` distinct providers per page
   /// (primary first). Fails with Unavailable when fewer live providers than
-  /// `replication` are registered.
+  /// `replication` are registered. This is the only allocation surface —
+  /// unreplicated callers pass replication = 1.
   Result<std::vector<std::vector<ProviderId>>> AllocateReplicated(
       uint32_t num_pages, uint32_t replication);
+
+  /// Feeds the provider manager's location table (best-effort: the DHT
+  /// entries remain authoritative, this view only drives rebuilds).
+  Status ReportLocations(const ReportLocationsRequest& req);
+  Future<Unit> ReportLocationsAsync(ReportLocationsRequest req);
+
+  /// Marks a provider draining and reports how many pages still reference
+  /// it. Poll until `drained` before retiring the process.
+  Result<DecommissionResponse> Decommission(ProviderId id);
 
   /// Resolves a provider id to its endpoint address, refreshing the cached
   /// directory on miss.
@@ -41,7 +47,8 @@ class ProviderManagerClient {
   Result<std::vector<DirectoryEntry>> FetchDirectory();
 
   /// Registry statistics, including the failure detector's current
-  /// alive/suspect/dead counts (tools and tests).
+  /// alive/suspect/dead counts and the location-table health counters
+  /// (tools, tests and churn harnesses).
   Result<PmStatsResponse> FetchStats();
 
   /// Async variants used by the client pipeline; a directory cache hit
@@ -51,6 +58,11 @@ class ProviderManagerClient {
   Future<std::string> ResolveAddressAsync(ProviderId id);
 
  private:
+  template <typename Req, typename Rsp>
+  Status Call(rpc::Method method, const Req& req, Rsp* rsp);
+  template <typename Req, typename Rsp>
+  Future<Rsp> CallAsync(rpc::Method method, const Req& req);
+
   Result<std::string> CachedAddress(ProviderId id);
   rpc::Transport* transport_;
   std::string address_;

@@ -116,6 +116,81 @@ struct DirectoryResponse {
   Status DecodeFrom(BinaryReader* r) { return GetVector(r, &entries); }
 };
 
+/// One page's location as known to the reporter (a client that just stored
+/// it, or a reader that seeded a pre-v3 page).
+struct PageLocationInfo {
+  PageId pid;
+  uint64_t epoch = 0;
+  std::vector<ProviderId> providers;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutPageId(pid);
+    w->PutU64(epoch);
+    w->PutU32(static_cast<uint32_t>(providers.size()));
+    for (ProviderId p : providers) w->PutU32(p);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetPageId(&pid));
+    BS_RETURN_NOT_OK(r->GetU64(&epoch));
+    uint32_t n;
+    BS_RETURN_NOT_OK(r->GetU32(&n));
+    if (static_cast<uint64_t>(n) * 4 > r->remaining())
+      return Status::Corruption("replica count exceeds payload");
+    providers.resize(n);
+    for (auto& p : providers) BS_RETURN_NOT_OK(r->GetU32(&p));
+    return Status::OK();
+  }
+};
+
+/// Feeds the provider manager's location table: `added` after storing or
+/// seeding pages, `removed` after deleting them. Best-effort from clients —
+/// the DHT entries stay authoritative; this view only drives rebuilds.
+struct ReportLocationsRequest {
+  std::vector<PageLocationInfo> added;
+  std::vector<PageId> removed;
+  void EncodeTo(BinaryWriter* w) const {
+    PutVector(w, added);
+    w->PutU32(static_cast<uint32_t>(removed.size()));
+    for (const PageId& pid : removed) w->PutPageId(pid);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(GetVector(r, &added));
+    uint32_t n;
+    BS_RETURN_NOT_OK(r->GetU32(&n));
+    if (static_cast<uint64_t>(n) * 16 > r->remaining())
+      return Status::Corruption("removed count exceeds payload");
+    removed.resize(n);
+    for (auto& pid : removed) BS_RETURN_NOT_OK(r->GetPageId(&pid));
+    return Status::OK();
+  }
+};
+
+struct ReportLocationsResponse {
+  void EncodeTo(BinaryWriter*) const {}
+  Status DecodeFrom(BinaryReader*) { return Status::OK(); }
+};
+
+/// Marks a provider draining and reports drain progress. Idempotent: poll
+/// until `drained`, then the process can be retired safely.
+struct DecommissionRequest {
+  ProviderId id = kInvalidProvider;
+  void EncodeTo(BinaryWriter* w) const { w->PutU32(id); }
+  Status DecodeFrom(BinaryReader* r) { return r->GetU32(&id); }
+};
+
+struct DecommissionResponse {
+  /// Pages whose replica set still includes the draining provider.
+  uint64_t remaining_pages = 0;
+  bool drained = false;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU64(remaining_pages);
+    w->PutBool(drained);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetU64(&remaining_pages));
+    return r->GetBool(&drained);
+  }
+};
+
 struct PmStatsRequest {
   void EncodeTo(BinaryWriter*) const {}
   Status DecodeFrom(BinaryReader*) { return Status::OK(); }
@@ -131,6 +206,15 @@ struct PmStatsResponse {
   uint64_t alive = 0;
   uint64_t suspect = 0;
   uint64_t dead = 0;
+  /// Location-table view: providers being drained, pages with a known
+  /// location, pages whose replica set includes a dead / draining /
+  /// unknown provider (the rebuilder's backlog), and pages the rebuilder
+  /// has moved so far. `under_replicated == 0` means replication is fully
+  /// healed — churn harnesses poll exactly that.
+  uint64_t draining = 0;
+  uint64_t located_pages = 0;
+  uint64_t under_replicated = 0;
+  uint64_t rebuilt_pages = 0;
   void EncodeTo(BinaryWriter* w) const {
     w->PutU64(providers);
     w->PutU64(allocations);
@@ -139,6 +223,10 @@ struct PmStatsResponse {
     w->PutU64(alive);
     w->PutU64(suspect);
     w->PutU64(dead);
+    w->PutU64(draining);
+    w->PutU64(located_pages);
+    w->PutU64(under_replicated);
+    w->PutU64(rebuilt_pages);
   }
   Status DecodeFrom(BinaryReader* r) {
     BS_RETURN_NOT_OK(r->GetU64(&providers));
@@ -147,7 +235,11 @@ struct PmStatsResponse {
     BS_RETURN_NOT_OK(r->GetU64(&max_allocated));
     BS_RETURN_NOT_OK(r->GetU64(&alive));
     BS_RETURN_NOT_OK(r->GetU64(&suspect));
-    return r->GetU64(&dead);
+    BS_RETURN_NOT_OK(r->GetU64(&dead));
+    BS_RETURN_NOT_OK(r->GetU64(&draining));
+    BS_RETURN_NOT_OK(r->GetU64(&located_pages));
+    BS_RETURN_NOT_OK(r->GetU64(&under_replicated));
+    return r->GetU64(&rebuilt_pages);
   }
 };
 

@@ -21,6 +21,8 @@ ProviderManagerService::ProviderManagerService(
   }
 }
 
+ProviderManagerService::~ProviderManagerService() { StopRebuilder(); }
+
 void ProviderManagerService::RefreshLivenessLocked() const {
   if (liveness_.suspect_after_us == 0) return;  // detector disabled
   const uint64_t now = clock_->NowMicros();
@@ -42,6 +44,42 @@ std::vector<ProviderRecord> ProviderManagerService::Records() const {
   return records_;
 }
 
+std::vector<locator::ProviderView> ProviderManagerService::ProviderViews()
+    const {
+  std::vector<locator::ProviderView> views;
+  std::lock_guard<std::mutex> lock(mu_);
+  RefreshLivenessLocked();
+  views.reserve(records_.size());
+  for (const ProviderRecord& r : records_) {
+    locator::ProviderView v;
+    v.id = r.id;
+    v.address = r.address;
+    v.draining = r.draining;
+    v.alive = r.liveness == Liveness::kAlive && !r.draining;
+    v.up = r.liveness != Liveness::kDead;
+    views.push_back(std::move(v));
+  }
+  return views;
+}
+
+void ProviderManagerService::StartRebuilder(Executor* executor, Clock* clock,
+                                            rpc::Transport* transport,
+                                            std::vector<std::string> dht_nodes,
+                                            dht::DhtClientOptions dht_options,
+                                            locator::RebuildOptions options) {
+  StopRebuilder();
+  rebuilder_ = std::make_unique<locator::Rebuilder>(
+      &table_, [this] { return ProviderViews(); }, transport,
+      std::move(dht_nodes), dht_options, options);
+  rebuilder_->Start(executor, clock);
+}
+
+void ProviderManagerService::StopRebuilder() {
+  if (!rebuilder_) return;
+  rebuilder_->Stop();
+  rebuilder_.reset();
+}
+
 Status ProviderManagerService::Handle(rpc::Method method, Slice payload,
                                       std::string* response) {
   using rpc::DispatchTyped;
@@ -61,6 +99,9 @@ Status ProviderManagerService::Handle(rpc::Method method, Slice payload,
                 r.liveness = Liveness::kAlive;
                 r.last_heartbeat_us = now;
                 r.capacity_pages = req.capacity_pages;
+                // An operator bringing a drained provider back rejoins it
+                // to the allocation pool.
+                r.draining = false;
                 rsp->id = r.id;
                 return Status::OK();
               }
@@ -137,29 +178,81 @@ Status ProviderManagerService::Handle(rpc::Method method, Slice payload,
             }
             return Status::OK();
           });
+    case rpc::Method::kPmReportLocations:
+      return DispatchTyped<ReportLocationsRequest, ReportLocationsResponse>(
+          payload, response,
+          [this](const ReportLocationsRequest& req, ReportLocationsResponse*) {
+            for (const auto& info : req.added) {
+              table_.Record(info.pid,
+                            locator::LocationEntry{info.epoch, info.providers});
+            }
+            for (const PageId& pid : req.removed) table_.Forget(pid);
+            return Status::OK();
+          });
+    case rpc::Method::kPmDecommission:
+      return DispatchTyped<DecommissionRequest, DecommissionResponse>(
+          payload, response,
+          [this](const DecommissionRequest& req, DecommissionResponse* rsp) {
+            {
+              std::lock_guard<std::mutex> lock(mu_);
+              if (req.id >= records_.size())
+                return Status::NotFound("provider id");
+              records_[req.id].draining = true;
+            }
+            // Idempotent poll: the first call marks the provider draining,
+            // every call reports how many pages still reference it. The
+            // rebuilder loop does the actual moving.
+            rsp->remaining_pages = table_.CountOn(req.id);
+            rsp->drained = rsp->remaining_pages == 0;
+            return Status::OK();
+          });
     case rpc::Method::kPmStats:
       return DispatchTyped<PmStatsRequest, PmStatsResponse>(
           payload, response,
           [this](const PmStatsRequest&, PmStatsResponse* rsp) {
-            std::lock_guard<std::mutex> lock(mu_);
-            RefreshLivenessLocked();
-            rsp->providers = records_.size();
-            rsp->allocations = allocations_;
-            for (const auto& r : records_) {
-              switch (r.liveness) {
-                case Liveness::kAlive: rsp->alive++; break;
-                case Liveness::kSuspect: rsp->suspect++; break;
-                case Liveness::kDead: rsp->dead++; break;
+            std::vector<char> usable;  // by provider id: page has this member
+            {
+              std::lock_guard<std::mutex> lock(mu_);
+              RefreshLivenessLocked();
+              rsp->providers = records_.size();
+              rsp->allocations = allocations_;
+              usable.resize(records_.size(), 0);
+              for (const auto& r : records_) {
+                switch (r.liveness) {
+                  case Liveness::kAlive: rsp->alive++; break;
+                  case Liveness::kSuspect: rsp->suspect++; break;
+                  case Liveness::kDead: rsp->dead++; break;
+                }
+                if (r.draining) rsp->draining++;
+                usable[r.id] =
+                    r.liveness != Liveness::kDead && !r.draining;
+              }
+              if (!records_.empty()) {
+                auto [mn, mx] = std::minmax_element(
+                    records_.begin(), records_.end(),
+                    [](const ProviderRecord& a, const ProviderRecord& b) {
+                      return a.allocated_pages < b.allocated_pages;
+                    });
+                rsp->min_allocated = mn->allocated_pages;
+                rsp->max_allocated = mx->allocated_pages;
               }
             }
-            if (!records_.empty()) {
-              auto [mn, mx] = std::minmax_element(
-                  records_.begin(), records_.end(),
-                  [](const ProviderRecord& a, const ProviderRecord& b) {
-                    return a.allocated_pages < b.allocated_pages;
-                  });
-              rsp->min_allocated = mn->allocated_pages;
-              rsp->max_allocated = mx->allocated_pages;
+            // Location-table scan outside mu_ (the table has its own lock):
+            // a page is under-replicated when any member is dead, draining
+            // or unknown — exactly the rebuilder's backlog.
+            for (const auto& [pid, entry] : table_.Snapshot()) {
+              rsp->located_pages++;
+              for (ProviderId m : entry.providers) {
+                if (m >= usable.size() || !usable[m]) {
+                  rsp->under_replicated++;
+                  break;
+                }
+              }
+            }
+            if (rebuilder_) {
+              locator::RebuildStats rs = rebuilder_->GetStats();
+              rsp->rebuilt_pages =
+                  rs.pages_rebuilt + rs.pages_drained + rs.pages_rebalanced;
             }
             return Status::OK();
           });

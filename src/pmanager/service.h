@@ -1,13 +1,18 @@
 // Provider manager service: provider registration, heartbeat-driven
-// liveness and page allocation (paper section 3.1).
+// liveness, page allocation (paper section 3.1) and — through the location
+// table it feeds to the rebuilder — detector-triggered re-replication.
 #ifndef BLOBSEER_PMANAGER_SERVICE_H_
 #define BLOBSEER_PMANAGER_SERVICE_H_
 
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/executor.h"
+#include "locator/rebuilder.h"
+#include "locator/table.h"
 #include "pmanager/strategy.h"
 #include "rpc/transport.h"
 
@@ -31,6 +36,7 @@ class ProviderManagerService : public rpc::ServiceHandler {
   explicit ProviderManagerService(
       std::unique_ptr<AllocationStrategy> strategy = MakeRoundRobinStrategy(),
       Clock* clock = nullptr, LivenessOptions liveness = {});
+  ~ProviderManagerService() override;
 
   Status Handle(rpc::Method method, Slice payload,
                 std::string* response) override;
@@ -38,6 +44,25 @@ class ProviderManagerService : public rpc::ServiceHandler {
   /// Snapshot of the registry with liveness freshly derived from heartbeat
   /// ages (for tests and tools).
   std::vector<ProviderRecord> Records() const;
+
+  /// Registry snapshot in the rebuilder's vocabulary: `alive` marks
+  /// eligible move targets (heartbeating, not draining), `up` marks usable
+  /// copy sources (not declared dead).
+  std::vector<locator::ProviderView> ProviderViews() const;
+
+  /// Starts the background re-replication loop against this service's
+  /// location table. `dht_nodes`/`dht_options` must match what clients use
+  /// so the CAS linearization point agrees. Call StopRebuilder() before
+  /// tearing down the transport.
+  void StartRebuilder(Executor* executor, Clock* clock,
+                      rpc::Transport* transport,
+                      std::vector<std::string> dht_nodes,
+                      dht::DhtClientOptions dht_options,
+                      locator::RebuildOptions options);
+  void StopRebuilder();
+
+  locator::PageLocationTable* location_table() { return &table_; }
+  locator::Rebuilder* rebuilder() { return rebuilder_.get(); }
 
  private:
   /// Re-derives every record's liveness from its heartbeat age. Idempotent
@@ -51,6 +76,12 @@ class ProviderManagerService : public rpc::ServiceHandler {
   Clock* clock_;
   LivenessOptions liveness_;
   uint64_t allocations_ = 0;
+
+  // Authoritative page-location view (fed by client reports and rebuilder
+  // moves); lives here so Decommission and the stats endpoint can answer
+  // "which pages still reference provider X" without touching the DHT.
+  locator::PageLocationTable table_;
+  std::unique_ptr<locator::Rebuilder> rebuilder_;
 };
 
 }  // namespace blobseer::pmanager

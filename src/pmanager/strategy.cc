@@ -32,6 +32,9 @@ EligiblePool MakeEligiblePool(const std::vector<ProviderRecord>& recs,
   for (size_t i = 0; i < recs.size(); i++) {
     const ProviderRecord& rec = recs[i];
     if (rec.liveness == Liveness::kDead) continue;
+    // Draining providers are being emptied for decommission: allocating to
+    // them would race the rebuilder, so they are as ineligible as the dead.
+    if (rec.draining) continue;
     if (rec.capacity_pages != 0 && rec.allocated_pages >= rec.capacity_pages)
       continue;
     if (rec.liveness == Liveness::kSuspect) {
@@ -205,17 +208,6 @@ class PowerOfTwoStrategy : public AllocationStrategy {
 };
 
 }  // namespace
-
-std::vector<ProviderId> AllocationStrategy::Allocate(
-    std::vector<ProviderRecord>* records, size_t n) {
-  std::vector<ReplicaSet> sets = Allocate(records, n, 1);
-  std::vector<ProviderId> out;
-  out.reserve(sets.size());
-  for (const ReplicaSet& s : sets) {
-    if (!s.empty()) out.push_back(s[0]);
-  }
-  return out;
-}
 
 std::unique_ptr<AllocationStrategy> MakeRoundRobinStrategy() {
   return std::make_unique<RoundRobinStrategy>();

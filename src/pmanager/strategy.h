@@ -35,6 +35,10 @@ struct ProviderRecord {
   Liveness liveness = Liveness::kAlive;
   /// Clock reading of the last Register/Heartbeat (provider-manager clock).
   uint64_t last_heartbeat_us = 0;
+  /// Decommission in progress: the provider still serves reads while the
+  /// rebuilder moves its pages away, but receives no new allocations.
+  /// Cleared if the provider re-registers.
+  bool draining = false;
 };
 
 /// Distinct providers holding one page's replicas; [0] is the primary
@@ -58,9 +62,6 @@ class AllocationStrategy {
   virtual ~AllocationStrategy() = default;
   virtual std::vector<ReplicaSet> Allocate(std::vector<ProviderRecord>* records,
                                            size_t n, size_t r) = 0;
-  /// Unreplicated convenience: one provider per page, flattened.
-  std::vector<ProviderId> Allocate(std::vector<ProviderRecord>* records,
-                                   size_t n);
   virtual const char* name() const = 0;
 };
 

@@ -1,9 +1,53 @@
 #include "provider/client.h"
 
+#include <memory>
+
 #include "provider/messages.h"
 #include "rpc/call.h"
 
 namespace blobseer::provider {
+
+namespace {
+
+// Reconnect-once on Unavailable for binding transports: a channel pooled
+// before a provider restart keeps failing even once the provider serves
+// again, turning every read into a failover. Page operations are idempotent
+// (pages are immutable and deletes tolerate repeats), so retrying on a
+// fresh connection is safe. Simnet opts out via binds_at_connect() — its
+// failure model must not gain hidden retries.
+template <typename Req, typename Rsp>
+Status CallProvider(rpc::ChannelPool* pool, const std::string& address,
+                    rpc::Method method, const Req& req, Rsp* rsp) {
+  auto ch = pool->Get(address);
+  if (!ch.ok()) return ch.status();
+  Status s = rpc::CallMethod(ch->get(), method, req, rsp);
+  if (!s.IsUnavailable() || !pool->binding()) return s;
+  pool->Invalidate(address);
+  ch = pool->Get(address);
+  if (!ch.ok()) return s;
+  *rsp = Rsp{};
+  return rpc::CallMethod(ch->get(), method, req, rsp);
+}
+
+template <typename Req, typename Rsp>
+Future<Rsp> CallProviderAsync(rpc::ChannelPool* pool,
+                              const std::string& address, rpc::Method method,
+                              Req req) {
+  auto ch = pool->Get(address);
+  if (!ch.ok()) return MakeReadyFuture<Rsp>(ch.status());
+  auto shared = std::make_shared<Req>(std::move(req));
+  return rpc::CallMethodAsync<Req, Rsp>(ch->get(), method, *shared)
+      .Then([pool, address, method, shared](Result<Rsp> r) -> Future<Rsp> {
+        if (r.ok() || !r.status().IsUnavailable() || !pool->binding())
+          return MakeReadyFuture<Rsp>(std::move(r));
+        pool->Invalidate(address);
+        auto retry = pool->Get(address);
+        if (!retry.ok()) return MakeReadyFuture<Rsp>(std::move(r));
+        return rpc::CallMethodAsync<Req, Rsp>(retry->get(), method, *shared);
+      });
+}
+
+}  // namespace
 
 ProviderClient::ProviderClient(rpc::Transport* transport,
                                size_t channels_per_endpoint)
@@ -11,35 +55,30 @@ ProviderClient::ProviderClient(rpc::Transport* transport,
 
 Status ProviderClient::WritePage(const std::string& address, const PageId& pid,
                                  Slice data) {
-  auto ch = pool_.Get(address);
-  if (!ch.ok()) return ch.status();
   WriteRequest req;
   req.pid = pid;
   req.data = data.ToString();
   WriteResponse rsp;
-  return rpc::CallMethod(ch->get(), rpc::Method::kProviderWrite, req, &rsp);
+  return CallProvider(&pool_, address, rpc::Method::kProviderWrite, req, &rsp);
 }
 
 Status ProviderClient::ReadPage(const std::string& address, const PageId& pid,
                                 uint64_t offset, uint64_t len,
                                 std::string* out) {
-  auto ch = pool_.Get(address);
-  if (!ch.ok()) return ch.status();
   ReadRequest req{pid, offset, len};
   ReadResponse rsp;
   BS_RETURN_NOT_OK(
-      rpc::CallMethod(ch->get(), rpc::Method::kProviderRead, req, &rsp));
+      CallProvider(&pool_, address, rpc::Method::kProviderRead, req, &rsp));
   *out = std::move(rsp.data);
   return Status::OK();
 }
 
 Status ProviderClient::DeletePage(const std::string& address,
                                   const PageId& pid) {
-  auto ch = pool_.Get(address);
-  if (!ch.ok()) return ch.status();
   DeleteRequest req{pid};
   DeleteResponse rsp;
-  return rpc::CallMethod(ch->get(), rpc::Method::kProviderDelete, req, &rsp);
+  return CallProvider(&pool_, address, rpc::Method::kProviderDelete, req,
+                      &rsp);
 }
 
 Status ProviderClient::Stats(const std::string& address, uint64_t* pages,
@@ -52,12 +91,10 @@ Status ProviderClient::Stats(const std::string& address, uint64_t* pages,
 }
 
 Result<PageStoreStats> ProviderClient::FetchStats(const std::string& address) {
-  auto ch = pool_.Get(address);
-  if (!ch.ok()) return ch.status();
   StatsRequest req;
   StatsResponse rsp;
   BS_RETURN_NOT_OK(
-      rpc::CallMethod(ch->get(), rpc::Method::kProviderStats, req, &rsp));
+      CallProvider(&pool_, address, rpc::Method::kProviderStats, req, &rsp));
   PageStoreStats st;
   st.pages = rsp.pages;
   st.bytes = rsp.bytes;
@@ -73,13 +110,11 @@ Result<PageStoreStats> ProviderClient::FetchStats(const std::string& address) {
 
 Future<Unit> ProviderClient::WritePageAsync(const std::string& address,
                                             const PageId& pid, Slice data) {
-  auto ch = pool_.Get(address);
-  if (!ch.ok()) return MakeReadyFuture(ch.status());
   WriteRequest req;
   req.pid = pid;
   req.data = data.ToString();
-  return rpc::CallMethodAsync<WriteRequest, WriteResponse>(
-             ch->get(), rpc::Method::kProviderWrite, req)
+  return CallProviderAsync<WriteRequest, WriteResponse>(
+             &pool_, address, rpc::Method::kProviderWrite, std::move(req))
       .Then([](Result<WriteResponse> rsp) { return rsp.status(); });
 }
 
@@ -87,10 +122,8 @@ Future<std::string> ProviderClient::ReadPageAsync(const std::string& address,
                                                   const PageId& pid,
                                                   uint64_t offset,
                                                   uint64_t len) {
-  auto ch = pool_.Get(address);
-  if (!ch.ok()) return MakeReadyFuture<std::string>(ch.status());
-  return rpc::CallMethodAsync<ReadRequest, ReadResponse>(
-             ch->get(), rpc::Method::kProviderRead,
+  return CallProviderAsync<ReadRequest, ReadResponse>(
+             &pool_, address, rpc::Method::kProviderRead,
              ReadRequest{pid, offset, len})
       .Then([](Result<ReadResponse> rsp) -> Result<std::string> {
         if (!rsp.ok()) return rsp.status();
@@ -100,10 +133,8 @@ Future<std::string> ProviderClient::ReadPageAsync(const std::string& address,
 
 Future<Unit> ProviderClient::DeletePageAsync(const std::string& address,
                                              const PageId& pid) {
-  auto ch = pool_.Get(address);
-  if (!ch.ok()) return MakeReadyFuture(ch.status());
-  return rpc::CallMethodAsync<DeleteRequest, DeleteResponse>(
-             ch->get(), rpc::Method::kProviderDelete, DeleteRequest{pid})
+  return CallProviderAsync<DeleteRequest, DeleteResponse>(
+             &pool_, address, rpc::Method::kProviderDelete, DeleteRequest{pid})
       .Then([](Result<DeleteResponse> rsp) { return rsp.status(); });
 }
 

@@ -31,6 +31,11 @@ class ChannelPool {
   /// Drops all channels for `address` (e.g. after repeated failures).
   void Invalidate(const std::string& address);
 
+  /// True when the transport binds channels at connect time, i.e. when an
+  /// Unavailable from a pooled channel may mean "stale channel to a
+  /// restarted endpoint" and Invalidate + Get can reach it again.
+  bool binding() const { return transport_->binds_at_connect(); }
+
  private:
   struct Entry {
     std::vector<std::shared_ptr<Channel>> channels;

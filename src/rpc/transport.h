@@ -74,6 +74,14 @@ class Transport {
   /// Opens a channel to `address`.
   virtual Result<std::shared_ptr<Channel>> Connect(
       const std::string& address) = 0;
+
+  /// True when a channel binds to the endpoint instance at Connect time, so
+  /// a channel opened before a server restart keeps failing Unavailable
+  /// after it (TCP sockets, inproc registrations). Clients then reconnect
+  /// (ChannelPool::Invalidate + Get) on Unavailable. The simulated network
+  /// resolves the endpoint per call and overrides this to false — its
+  /// failure semantics must not gain hidden retries.
+  virtual bool binds_at_connect() const { return true; }
 };
 
 }  // namespace blobseer::rpc

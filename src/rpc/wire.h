@@ -21,6 +21,7 @@ enum class Method : uint32_t {
   kDhtDelete = 102,
   kDhtMultiGet = 103,
   kDhtStats = 104,
+  kDhtCas = 105,
 
   // Data provider service.
   kProviderWrite = 200,
@@ -34,6 +35,8 @@ enum class Method : uint32_t {
   kPmAllocate = 302,
   kPmDirectory = 303,
   kPmStats = 304,
+  kPmReportLocations = 305,
+  kPmDecommission = 306,
 
   // Version manager service.
   kVmCreateBlob = 400,

@@ -35,6 +35,11 @@ class SimTransport : public rpc::Transport {
   Result<std::shared_ptr<rpc::Channel>> Connect(
       const std::string& address) override;
 
+  /// Sim channels resolve the endpoint on every call, so a pre-restart
+  /// channel works again the moment the endpoint re-serves; reconnect-on-
+  /// Unavailable retries would only distort the simulated failure model.
+  bool binds_at_connect() const override { return false; }
+
   /// Sets the cost profile of an endpoint (before or after Serve).
   void SetServiceProfile(const std::string& address,
                          const SimServiceProfile& profile);

@@ -1,0 +1,505 @@
+// Locator subsystem tests: location-entry wire format, DHT compare-and-swap
+// (store and client), the client-side LocationIndex (cache, publish, seed,
+// CAS), the provider manager's page-location table, and direct
+// Rebuilder::RunOnePass scenarios — heal, drain, rebalance, CAS conflict,
+// deleted-entry cleanup and the per-pass move budget.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dht/client.h"
+#include "dht/service.h"
+#include "dht/store.h"
+#include "locator/location.h"
+#include "locator/rebuilder.h"
+#include "locator/table.h"
+#include "provider/client.h"
+#include "provider/page_store.h"
+#include "provider/service.h"
+#include "rpc/inproc.h"
+
+namespace blobseer::locator {
+namespace {
+
+// --- Wire format -----------------------------------------------------------
+
+TEST(LocationKeyTest, KeysAreDistinctAndDeterministic) {
+  EXPECT_EQ(LocationKey(PageId{1, 2}), LocationKey(PageId{1, 2}));
+  EXPECT_NE(LocationKey(PageId{1, 2}), LocationKey(PageId{1, 3}));
+  EXPECT_NE(LocationKey(PageId{1, 2}), LocationKey(PageId{2, 2}));
+}
+
+TEST(LocationEntrySerdeTest, RoundTrip) {
+  LocationEntry e{7, {3, 1, 4}};
+  BinaryWriter w;
+  e.EncodeTo(&w);
+  LocationEntry decoded;
+  BinaryReader r{Slice(w.buffer())};
+  ASSERT_TRUE(decoded.DecodeFrom(&r).ok());
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  EXPECT_EQ(decoded, e);
+  EXPECT_TRUE(decoded.valid());
+}
+
+TEST(LocationEntrySerdeTest, TruncatedAndOversizedRejected) {
+  LocationEntry e{1, {0, 1}};
+  BinaryWriter w;
+  e.EncodeTo(&w);
+  {
+    LocationEntry decoded;
+    BinaryReader r{Slice(w.buffer().data(), w.buffer().size() - 2)};
+    EXPECT_FALSE(decoded.DecodeFrom(&r).ok());
+  }
+  {
+    // Claimed replica count larger than the remaining payload.
+    BinaryWriter bad;
+    bad.PutU64(1);
+    bad.PutU32(1000);
+    LocationEntry decoded;
+    BinaryReader r{Slice(bad.buffer())};
+    EXPECT_TRUE(decoded.DecodeFrom(&r).IsCorruption());
+  }
+}
+
+TEST(LocationEntrySerdeTest, ValidRequiresEpochAndProviders) {
+  EXPECT_FALSE((LocationEntry{0, {1}}).valid());
+  EXPECT_FALSE((LocationEntry{1, {}}).valid());
+  EXPECT_TRUE((LocationEntry{1, {1}}).valid());
+}
+
+// --- Compare-and-swap: store and DHT client --------------------------------
+
+TEST(KvStoreCasTest, ExpectAbsentCreatesOnce) {
+  dht::KvStore store(4);
+  bool applied = false, present = false;
+  std::string current;
+  ASSERT_TRUE(store.Cas(Slice("k"), Slice(), Slice("v1"), true, &applied,
+                        &present, &current)
+                  .ok());
+  EXPECT_TRUE(applied);
+  EXPECT_TRUE(present);
+  EXPECT_EQ(current, "v1");
+  // A second create loses and reports the stored bytes.
+  ASSERT_TRUE(store.Cas(Slice("k"), Slice(), Slice("v2"), true, &applied,
+                        &present, &current)
+                  .ok());
+  EXPECT_FALSE(applied);
+  EXPECT_EQ(current, "v1");
+}
+
+TEST(KvStoreCasTest, ConditionalOverwrite) {
+  dht::KvStore store(4);
+  ASSERT_TRUE(store.Put(Slice("k"), Slice("v1")).ok());
+  bool applied = false, present = false;
+  std::string current;
+  // Mismatched expectation: not applied, current carries the stored bytes.
+  ASSERT_TRUE(store.Cas(Slice("k"), Slice("zz"), Slice("v2"), false, &applied,
+                        &present, &current)
+                  .ok());
+  EXPECT_FALSE(applied);
+  EXPECT_TRUE(present);
+  EXPECT_EQ(current, "v1");
+  // Matching expectation installs.
+  ASSERT_TRUE(store.Cas(Slice("k"), Slice("v1"), Slice("v2"), false, &applied,
+                        &present, &current)
+                  .ok());
+  EXPECT_TRUE(applied);
+  EXPECT_EQ(current, "v2");
+  // CAS on a missing key: not applied, not present.
+  ASSERT_TRUE(store.Cas(Slice("gone"), Slice("v1"), Slice("v2"), false,
+                        &applied, &present, &current)
+                  .ok());
+  EXPECT_FALSE(applied);
+  EXPECT_FALSE(present);
+  EXPECT_TRUE(current.empty());
+}
+
+class DhtCasTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; i++) {
+      auto svc = std::make_shared<dht::DhtService>();
+      services_.push_back(svc);
+      std::string addr = "inproc://dht-" + std::to_string(i);
+      ASSERT_TRUE(net_.Serve(addr, svc).ok());
+      addresses_.push_back(addr);
+    }
+  }
+
+  rpc::InProcNetwork net_;
+  std::vector<std::shared_ptr<dht::DhtService>> services_;
+  std::vector<std::string> addresses_;
+};
+
+TEST_F(DhtCasTest, CreateThenConditionalChain) {
+  dht::DhtClient client(&net_, addresses_);
+  bool applied = false;
+  std::string current;
+  ASSERT_TRUE(
+      client.Cas(Slice("k"), Slice(), Slice("a"), true, &applied, &current)
+          .ok());
+  EXPECT_TRUE(applied);
+  ASSERT_TRUE(
+      client.Cas(Slice("k"), Slice("a"), Slice("b"), false, &applied, &current)
+          .ok());
+  EXPECT_TRUE(applied);
+  // Stale expectation after the chain advanced.
+  ASSERT_TRUE(
+      client.Cas(Slice("k"), Slice("a"), Slice("c"), false, &applied, &current)
+          .ok());
+  EXPECT_FALSE(applied);
+  EXPECT_EQ(current, "b");
+  std::string v;
+  ASSERT_TRUE(client.Get(Slice("k"), &v).ok());
+  EXPECT_EQ(v, "b");
+}
+
+TEST_F(DhtCasTest, AppliedCasPropagatesToReplicas) {
+  dht::DhtClientOptions opts;
+  opts.replication = 2;
+  dht::DhtClient client(&net_, addresses_, opts);
+  bool applied = false;
+  std::string current;
+  ASSERT_TRUE(
+      client.Cas(Slice("rk"), Slice(), Slice("v"), true, &applied, &current)
+          .ok());
+  ASSERT_TRUE(applied);
+  // The winning value lands on both placement replicas.
+  uint64_t keys = 0, bytes = 0;
+  ASSERT_TRUE(client.TotalStats(&keys, &bytes).ok());
+  EXPECT_EQ(keys, 2u);
+}
+
+// --- LocationIndex ---------------------------------------------------------
+
+class LocationIndexTest : public DhtCasTest {
+ protected:
+  void SetUp() override {
+    DhtCasTest::SetUp();
+    dht_ = std::make_unique<dht::DhtClient>(&net_, addresses_);
+  }
+
+  std::unique_ptr<dht::DhtClient> dht_;
+};
+
+TEST_F(LocationIndexTest, PublishResolvesFromCacheThenFromDht) {
+  LocationIndex index(dht_.get(), 8);
+  PageId pid{1, 1};
+  ASSERT_TRUE(index.Publish(pid, {2, 4}).ok());
+  auto e = index.Resolve(pid);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->epoch, 1u);
+  EXPECT_EQ(e->providers, (std::vector<ProviderId>{2, 4}));
+  LocationIndexStats st = index.GetStats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.misses, 0u);
+  // Invalidate: the next resolve misses the cache but refetches the entry.
+  index.Invalidate(pid);
+  e = index.Resolve(pid);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->providers, (std::vector<ProviderId>{2, 4}));
+  st = index.GetStats();
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.invalidations, 1u);
+}
+
+TEST_F(LocationIndexTest, UnknownPageIsNotFound) {
+  LocationIndex index(dht_.get(), 8);
+  EXPECT_TRUE(index.Resolve(PageId{9, 9}).status().IsNotFound());
+}
+
+TEST_F(LocationIndexTest, SeedCreatesOnlyWhenAbsent) {
+  LocationIndex a(dht_.get(), 8);
+  LocationIndex b(dht_.get(), 8);
+  PageId pid{2, 1};
+  auto seeded = a.Seed(pid, {1, 3});
+  ASSERT_TRUE(seeded.ok());
+  EXPECT_EQ(seeded->epoch, 1u);
+  EXPECT_EQ(seeded->providers, (std::vector<ProviderId>{1, 3}));
+  EXPECT_EQ(a.GetStats().seeds, 1u);
+  // A second reader seeding from stale legacy metadata adopts the stored
+  // entry instead of overwriting it.
+  auto lost = b.Seed(pid, {7, 8});
+  ASSERT_TRUE(lost.ok());
+  EXPECT_EQ(lost->providers, (std::vector<ProviderId>{1, 3}));
+  EXPECT_EQ(b.GetStats().seeds, 0u);
+}
+
+TEST_F(LocationIndexTest, CompareAndSwapBumpsEpochAndDetectsConflict) {
+  LocationIndex index(dht_.get(), 8);
+  PageId pid{3, 1};
+  ASSERT_TRUE(index.Publish(pid, {0, 1}).ok());
+  LocationEntry e1{1, {0, 1}};
+  auto e2 = index.CompareAndSwap(pid, e1, {0, 2});
+  ASSERT_TRUE(e2.ok());
+  EXPECT_EQ(e2->epoch, 2u);
+  EXPECT_EQ(e2->providers, (std::vector<ProviderId>{0, 2}));
+  // Stale expectation: a concurrent relocation already won.
+  EXPECT_TRUE(index.CompareAndSwap(pid, e1, {0, 3}).status().IsAborted());
+  // Entry deleted underneath: NotFound, distinct from the conflict case.
+  ASSERT_TRUE(dht_->Delete(Slice(LocationKey(pid))).ok());
+  index.Invalidate(pid);
+  EXPECT_TRUE(index.CompareAndSwap(pid, *e2, {0, 3}).status().IsNotFound());
+}
+
+TEST_F(LocationIndexTest, CacheEvictsAtCapacityButDhtStillServes) {
+  LocationIndex index(dht_.get(), 2);
+  for (uint64_t i = 1; i <= 3; i++) {
+    ASSERT_TRUE(index.Publish(PageId{4, i}, {0}).ok());
+  }
+  // The oldest entry was evicted: resolving it misses but refetches.
+  auto e = index.Resolve(PageId{4, 1});
+  ASSERT_TRUE(e.ok());
+  EXPECT_GE(index.GetStats().misses, 1u);
+}
+
+// --- PageLocationTable -----------------------------------------------------
+
+TEST(PageLocationTableTest, RecordLookupForget) {
+  PageLocationTable table;
+  PageId pid{1, 1};
+  table.Record(pid, LocationEntry{1, {0, 2}});
+  LocationEntry e;
+  ASSERT_TRUE(table.Lookup(pid, &e));
+  EXPECT_EQ(e.providers, (std::vector<ProviderId>{0, 2}));
+  EXPECT_EQ(table.size(), 1u);
+  table.Forget(pid);
+  EXPECT_FALSE(table.Lookup(pid, &e));
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(PageLocationTableTest, StaleEpochIgnored) {
+  PageLocationTable table;
+  PageId pid{1, 2};
+  table.Record(pid, LocationEntry{3, {5}});
+  // An out-of-order report with an older epoch must not roll back the move.
+  table.Record(pid, LocationEntry{2, {4}});
+  LocationEntry e;
+  ASSERT_TRUE(table.Lookup(pid, &e));
+  EXPECT_EQ(e.epoch, 3u);
+  EXPECT_EQ(e.providers, (std::vector<ProviderId>{5}));
+}
+
+TEST(PageLocationTableTest, PagesOnAndCountOn) {
+  PageLocationTable table;
+  table.Record(PageId{1, 1}, LocationEntry{1, {0, 1}});
+  table.Record(PageId{1, 2}, LocationEntry{1, {1, 2}});
+  table.Record(PageId{1, 3}, LocationEntry{1, {2, 0}});
+  EXPECT_EQ(table.CountOn(1), 2u);
+  EXPECT_EQ(table.CountOn(3), 0u);
+  auto on0 = table.PagesOn(0);
+  EXPECT_EQ(on0.size(), 2u);
+  EXPECT_EQ(table.Snapshot().size(), 3u);
+}
+
+// --- Rebuilder: direct RunOnePass scenarios --------------------------------
+
+class RebuilderTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kProviders = 4;
+
+  void SetUp() override {
+    for (size_t i = 0; i < kProviders; i++) {
+      auto svc = std::make_shared<provider::ProviderService>(
+          provider::MakeMemoryPageStore());
+      std::string addr = "inproc://prov-" + std::to_string(i);
+      ASSERT_TRUE(net_.Serve(addr, svc).ok());
+      provider_services_.push_back(svc);
+      provider_addresses_.push_back(addr);
+      ProviderView v;
+      v.id = static_cast<ProviderId>(i);
+      v.address = addr;
+      v.alive = v.up = true;
+      views_.push_back(v);
+    }
+    auto dht_svc = std::make_shared<dht::DhtService>();
+    ASSERT_TRUE(net_.Serve("inproc://dht", dht_svc).ok());
+    dht_addresses_ = {"inproc://dht"};
+    dht_ = std::make_unique<dht::DhtClient>(&net_, dht_addresses_);
+    index_ = std::make_unique<LocationIndex>(dht_.get(), 0);
+    pages_ = std::make_unique<provider::ProviderClient>(&net_);
+  }
+
+  Rebuilder NewRebuilder(RebuildOptions options = {}) {
+    return Rebuilder(
+        &table_, [this] { return views_; }, &net_, dht_addresses_,
+        dht::DhtClientOptions{}, options);
+  }
+
+  /// Stores page bytes on every member, publishes the epoch-1 location
+  /// entry and records it in the table — the state a client write leaves.
+  void InstallPage(const PageId& pid, const std::vector<ProviderId>& members,
+                   const std::string& bytes) {
+    for (ProviderId m : members) {
+      ASSERT_TRUE(
+          pages_->WritePage(provider_addresses_[m], pid, Slice(bytes)).ok());
+    }
+    ASSERT_TRUE(index_->Publish(pid, members).ok());
+    table_.Record(pid, LocationEntry{1, members});
+  }
+
+  void MarkDead(ProviderId id) {
+    views_[id].alive = false;
+    views_[id].up = false;
+  }
+
+  void MarkDraining(ProviderId id) {
+    views_[id].alive = false;
+    views_[id].draining = true;
+  }
+
+  rpc::InProcNetwork net_;
+  std::vector<std::shared_ptr<provider::ProviderService>> provider_services_;
+  std::vector<std::string> provider_addresses_;
+  std::vector<ProviderView> views_;
+  std::vector<std::string> dht_addresses_;
+  std::unique_ptr<dht::DhtClient> dht_;
+  std::unique_ptr<LocationIndex> index_;
+  std::unique_ptr<provider::ProviderClient> pages_;
+  PageLocationTable table_;
+};
+
+TEST_F(RebuilderTest, HealsDeadMemberOntoDifferentLiveProvider) {
+  PageId pid{1, 1};
+  InstallPage(pid, {0, 1}, "payload");
+  MarkDead(1);
+  Rebuilder r = NewRebuilder();
+  EXPECT_EQ(r.RunOnePass(), 1u);
+  EXPECT_EQ(r.GetStats().pages_rebuilt, 1u);
+
+  // The committed entry names the survivor plus a fresh live provider.
+  LocationEntry e;
+  ASSERT_TRUE(table_.Lookup(pid, &e));
+  EXPECT_EQ(e.epoch, 2u);
+  EXPECT_EQ(e.providers, (std::vector<ProviderId>{0, 2}));
+  auto stored = index_->Resolve(pid);
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(*stored, e);
+  // And the bytes were actually copied there.
+  std::string out;
+  ASSERT_TRUE(
+      pages_->ReadPage(provider_addresses_[2], pid, 0, 0, &out).ok());
+  EXPECT_EQ(out, "payload");
+  // A second pass finds nothing to do.
+  EXPECT_EQ(r.RunOnePass(), 0u);
+}
+
+TEST_F(RebuilderTest, DrainMovesPageOffAndDeletesVacatedCopy) {
+  PageId pid{2, 1};
+  InstallPage(pid, {0}, "drainme");
+  MarkDraining(0);
+  Rebuilder r = NewRebuilder();
+  EXPECT_EQ(r.RunOnePass(), 1u);
+  EXPECT_EQ(r.GetStats().pages_drained, 1u);
+
+  LocationEntry e;
+  ASSERT_TRUE(table_.Lookup(pid, &e));
+  EXPECT_EQ(e.epoch, 2u);
+  EXPECT_EQ(e.providers, (std::vector<ProviderId>{1}));
+  std::string out;
+  ASSERT_TRUE(
+      pages_->ReadPage(provider_addresses_[1], pid, 0, 0, &out).ok());
+  EXPECT_EQ(out, "drainme");
+  // The draining provider is still up, so its vacated copy was deleted.
+  EXPECT_TRUE(pages_->ReadPage(provider_addresses_[0], pid, 0, 0, &out)
+                  .IsNotFound());
+  EXPECT_EQ(table_.CountOn(0), 0u);
+}
+
+TEST_F(RebuilderTest, RebalanceSpreadsLoadOntoEmptyProvider) {
+  // Three pages on provider 0, the rest empty: spread is 3 vs 0, so the
+  // rebalance pass must migrate pages until the spread closes to one.
+  for (uint64_t i = 1; i <= 3; i++) {
+    InstallPage(PageId{3, i}, {0}, "rb");
+  }
+  Rebuilder r = NewRebuilder();
+  size_t moved = r.RunOnePass();
+  EXPECT_GE(moved, 1u);
+  EXPECT_EQ(r.GetStats().pages_rebalanced, moved);
+  EXPECT_LT(table_.CountOn(0), 3u);
+}
+
+TEST_F(RebuilderTest, RebalanceDisabledLeavesImbalance) {
+  for (uint64_t i = 1; i <= 3; i++) {
+    InstallPage(PageId{4, i}, {0}, "rb");
+  }
+  RebuildOptions options;
+  options.rebalance = false;
+  Rebuilder r = NewRebuilder(options);
+  EXPECT_EQ(r.RunOnePass(), 0u);
+  EXPECT_EQ(table_.CountOn(0), 3u);
+}
+
+TEST_F(RebuilderTest, StaleTableEntryLosesCasAndAdoptsFreshEntry) {
+  // The DHT already holds the healed entry (epoch 2, {0, 2}) — say another
+  // rebuilder moved the page — while this rebuilder's table is stale at
+  // epoch 1 with the dead member still listed.
+  PageId pid{5, 1};
+  InstallPage(pid, {0, 1}, "cas");
+  LocationEntry healed = {1, {0, 1}};
+  auto installed = index_->CompareAndSwap(pid, healed, {0, 2});
+  ASSERT_TRUE(installed.ok());
+  ASSERT_TRUE(
+      pages_->WritePage(provider_addresses_[2], pid, Slice("cas")).ok());
+  table_.Record(pid, LocationEntry{1, {0, 1}});  // stale: pre-heal view
+  MarkDead(1);
+
+  Rebuilder r = NewRebuilder();
+  EXPECT_EQ(r.RunOnePass(), 0u);
+  RebuildStats st = r.GetStats();
+  EXPECT_EQ(st.cas_conflicts, 1u);
+  EXPECT_EQ(st.pages_rebuilt, 0u);
+  // The conflict taught the table the authoritative entry.
+  LocationEntry e;
+  ASSERT_TRUE(table_.Lookup(pid, &e));
+  EXPECT_EQ(e, *installed);
+}
+
+TEST_F(RebuilderTest, NoEligibleTargetCountsFailedMove) {
+  // Every live provider already holds the page: nowhere to move it.
+  PageId pid{6, 1};
+  InstallPage(pid, {0, 1}, "stuck");
+  MarkDead(1);
+  MarkDead(2);
+  MarkDead(3);
+  Rebuilder r = NewRebuilder();
+  EXPECT_EQ(r.RunOnePass(), 0u);
+  EXPECT_GE(r.GetStats().failed_moves, 1u);
+  LocationEntry e;
+  ASSERT_TRUE(table_.Lookup(pid, &e));
+  EXPECT_EQ(e.epoch, 1u);  // entry untouched
+}
+
+TEST_F(RebuilderTest, DeletedEntryIsForgotten) {
+  // The table remembers a page whose location entry was deleted (the page
+  // was garbage-collected): the pass must drop it, not resurrect it.
+  PageId pid{7, 1};
+  InstallPage(pid, {0, 1}, "gone");
+  ASSERT_TRUE(dht_->Delete(Slice(LocationKey(pid))).ok());
+  MarkDead(1);
+  Rebuilder r = NewRebuilder();
+  EXPECT_EQ(r.RunOnePass(), 0u);
+  LocationEntry e;
+  EXPECT_FALSE(table_.Lookup(pid, &e));
+}
+
+TEST_F(RebuilderTest, MoveBudgetBoundsEachPass) {
+  for (uint64_t i = 1; i <= 3; i++) {
+    InstallPage(PageId{8, i}, {0, 1}, "budget");
+  }
+  MarkDead(1);
+  RebuildOptions options;
+  options.max_moves_per_pass = 1;
+  options.rebalance = false;
+  Rebuilder r = NewRebuilder(options);
+  EXPECT_EQ(r.RunOnePass(), 1u);
+  EXPECT_EQ(r.RunOnePass(), 1u);
+  EXPECT_EQ(r.RunOnePass(), 1u);
+  EXPECT_EQ(r.RunOnePass(), 0u);
+  EXPECT_EQ(r.GetStats().pages_rebuilt, 3u);
+  EXPECT_EQ(table_.CountOn(1), 0u);
+}
+
+}  // namespace
+}  // namespace blobseer::locator

@@ -22,14 +22,21 @@ std::vector<ProviderRecord> MakeRecords(size_t n) {
   return recs;
 }
 
+// r=1 sets flattened to their single member (the old flat-allocation shape).
+std::vector<ProviderId> Flatten(const std::vector<ReplicaSet>& sets) {
+  std::vector<ProviderId> out;
+  for (const auto& s : sets) out.insert(out.end(), s.begin(), s.end());
+  return out;
+}
+
 TEST(StrategyTest, RoundRobinIsPerfectlyEven) {
   auto recs = MakeRecords(5);
   auto strat = MakeRoundRobinStrategy();
-  auto got = strat->Allocate(&recs, 50);
+  auto got = strat->Allocate(&recs, 50, 1);
   ASSERT_EQ(got.size(), 50u);
   for (const auto& r : recs) EXPECT_EQ(r.allocated_pages, 10u);
   // Consecutive allocations continue the cycle.
-  auto got2 = strat->Allocate(&recs, 5);
+  auto got2 = Flatten(strat->Allocate(&recs, 5, 1));
   std::set<ProviderId> distinct(got2.begin(), got2.end());
   EXPECT_EQ(distinct.size(), 5u);
 }
@@ -39,7 +46,7 @@ TEST(StrategyTest, LeastLoadedCorrectsImbalance) {
   recs[0].allocated_pages = 100;
   recs[1].allocated_pages = 50;
   auto strat = MakeLeastLoadedStrategy();
-  auto got = strat->Allocate(&recs, 50);
+  auto got = strat->Allocate(&recs, 50, 1);
   ASSERT_EQ(got.size(), 50u);
   // All new pages go to the emptiest provider(s).
   EXPECT_EQ(recs[0].allocated_pages, 100u);
@@ -51,7 +58,7 @@ TEST(StrategyTest, RandomAndPowerOfTwoStayRoughlyBalanced) {
   for (auto name : {"random", "power_of_two"}) {
     auto recs = MakeRecords(8);
     auto strat = MakeStrategy(name);
-    strat->Allocate(&recs, 8000);
+    strat->Allocate(&recs, 8000, 1);
     for (const auto& r : recs) {
       EXPECT_GT(r.allocated_pages, 500u) << name;
       EXPECT_LT(r.allocated_pages, 1600u) << name;
@@ -62,8 +69,8 @@ TEST(StrategyTest, RandomAndPowerOfTwoStayRoughlyBalanced) {
 TEST(StrategyTest, PowerOfTwoBeatsRandomOnMaxLoad) {
   auto recs_rand = MakeRecords(16);
   auto recs_p2 = MakeRecords(16);
-  MakeRandomStrategy(99)->Allocate(&recs_rand, 16000);
-  MakePowerOfTwoStrategy(99)->Allocate(&recs_p2, 16000);
+  MakeRandomStrategy(99)->Allocate(&recs_rand, 16000, 1);
+  MakePowerOfTwoStrategy(99)->Allocate(&recs_p2, 16000, 1);
   auto max_load = [](const std::vector<ProviderRecord>& v) {
     uint64_t m = 0;
     for (const auto& r : v) m = std::max(m, r.allocated_pages);
@@ -76,17 +83,17 @@ TEST(StrategyTest, CapacityLimitsRespected) {
   auto recs = MakeRecords(2);
   recs[0].capacity_pages = 3;
   auto strat = MakeRoundRobinStrategy();
-  auto got = strat->Allocate(&recs, 10);
+  auto got = strat->Allocate(&recs, 10, 1);
   ASSERT_EQ(got.size(), 10u);
   EXPECT_LE(recs[0].allocated_pages, 4u);  // can exceed cap by at most in-batch
-  auto got2 = strat->Allocate(&recs, 4);
+  auto got2 = Flatten(strat->Allocate(&recs, 4, 1));
   for (ProviderId id : got2) EXPECT_EQ(id, 1u);  // provider 0 full
 }
 
 TEST(StrategyTest, DeadProvidersSkipped) {
   auto recs = MakeRecords(3);
   recs[1].liveness = Liveness::kDead;
-  auto got = MakeRoundRobinStrategy()->Allocate(&recs, 10);
+  auto got = Flatten(MakeRoundRobinStrategy()->Allocate(&recs, 10, 1));
   for (ProviderId id : got) EXPECT_NE(id, 1u);
 }
 
@@ -164,17 +171,18 @@ TEST_F(PmServiceTest, RegisterAssignsStableIds) {
 }
 
 TEST_F(PmServiceTest, AllocateWithoutProvidersFails) {
-  EXPECT_TRUE(client_->Allocate(3).status().IsUnavailable());
+  EXPECT_TRUE(client_->AllocateReplicated(3, 1).status().IsUnavailable());
 }
 
 TEST_F(PmServiceTest, AllocateAndResolve) {
   ASSERT_TRUE(client_->Register("inproc://prov-a", 0).ok());
   ASSERT_TRUE(client_->Register("inproc://prov-b", 0).ok());
-  auto ids = client_->Allocate(4);
-  ASSERT_TRUE(ids.ok());
-  ASSERT_EQ(ids->size(), 4u);
-  for (ProviderId id : *ids) {
-    auto addr = client_->ResolveAddress(id);
+  auto sets = client_->AllocateReplicated(4, 1);
+  ASSERT_TRUE(sets.ok());
+  ASSERT_EQ(sets->size(), 4u);
+  for (const auto& set : *sets) {
+    ASSERT_EQ(set.size(), 1u);
+    auto addr = client_->ResolveAddress(set[0]);
     ASSERT_TRUE(addr.ok());
     EXPECT_TRUE(addr->find("inproc://prov-") == 0);
   }
@@ -184,7 +192,7 @@ TEST_F(PmServiceTest, AllocateAndResolve) {
 TEST_F(PmServiceTest, HeartbeatOverridesLoadEstimate) {
   auto id = client_->Register("inproc://prov-a", 0);
   ASSERT_TRUE(id.ok());
-  ASSERT_TRUE(client_->Allocate(10).ok());
+  ASSERT_TRUE(client_->AllocateReplicated(10, 1).ok());
   ASSERT_TRUE(client_->Heartbeat(*id, 3, 4096).ok());
   auto recs = svc_->Records();
   ASSERT_EQ(recs.size(), 1u);
@@ -194,7 +202,7 @@ TEST_F(PmServiceTest, HeartbeatOverridesLoadEstimate) {
 
 TEST_F(PmServiceTest, ZeroPageAllocationRejected) {
   ASSERT_TRUE(client_->Register("inproc://prov-a", 0).ok());
-  EXPECT_TRUE(client_->Allocate(0).status().IsInvalidArgument());
+  EXPECT_TRUE(client_->AllocateReplicated(0, 1).status().IsInvalidArgument());
 }
 
 }  // namespace

@@ -110,20 +110,22 @@ TEST(ReplicaStrategyTest, DeadProvidersExcludedFromAllReplicas) {
   }
 }
 
-TEST(ReplicaStrategyTest, LegacySingleProviderOverloadStillFlat) {
+TEST(ReplicaStrategyTest, SingleReplicaSetsForUnreplicatedCallers) {
+  // The flat r=1 wrapper is gone: unreplicated callers allocate sets of one.
   auto recs = MakeRecords(5);
   auto strat = MakeStrategy("round_robin");
-  auto got = strat->Allocate(&recs, 50);
+  auto got = strat->Allocate(&recs, 50, 1);
   ASSERT_EQ(got.size(), 50u);
+  for (const auto& set : got) ASSERT_EQ(set.size(), 1u);
   for (const auto& r : recs) EXPECT_EQ(r.allocated_pages, 10u);
 }
 
 // --- Wire formats ----------------------------------------------------------
 
-TEST(ReplicatedNodeSerdeTest, LeafRoundTripWithReplicaSets) {
+TEST(ReplicatedNodeSerdeTest, LeafRoundTripV3StoresOnlyPageIds) {
   MetaNode n = MetaNode::Leaf(
-      {PageFragment{PageId{10, 20}, {3, 5, 9}, 100, 28, 4},
-       PageFragment{PageId{11, 21}, {4}, 0, 100, 0}},
+      {PageFragment{PageId{10, 20}, {}, 100, 28, 4},
+       PageFragment{PageId{11, 21}, {}, 0, 100, 0}},
       7, 3);
   BinaryWriter w;
   n.EncodeTo(&w);
@@ -133,9 +135,54 @@ TEST(ReplicatedNodeSerdeTest, LeafRoundTripWithReplicaSets) {
   ASSERT_TRUE(r.ExpectEnd().ok());
   ASSERT_TRUE(decoded.is_leaf());
   ASSERT_EQ(decoded.fragments.size(), 2u);
-  EXPECT_EQ(decoded.fragments[0].providers, (std::vector<ProviderId>{3, 5, 9}));
   EXPECT_EQ(decoded.fragments[0], n.fragments[0]);
   EXPECT_EQ(decoded.fragments[1], n.fragments[1]);
+}
+
+TEST(ReplicatedNodeSerdeTest, V3EncodeDropsLegacyProviders) {
+  // A fragment decoded from v2 (legacy_providers populated) re-encodes as
+  // pure v3: the embedded set is never written back.
+  MetaNode n =
+      MetaNode::Leaf({PageFragment{PageId{10, 20}, {3, 5}, 0, 64, 0}}, 7, 1);
+  BinaryWriter w;
+  n.EncodeTo(&w);
+  MetaNode decoded;
+  BinaryReader r{Slice(w.buffer())};
+  ASSERT_TRUE(decoded.DecodeFrom(&r).ok());
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  ASSERT_EQ(decoded.fragments.size(), 1u);
+  EXPECT_TRUE(decoded.fragments[0].legacy_providers.empty());
+  EXPECT_EQ(decoded.fragments[0].pid, n.fragments[0].pid);
+  EXPECT_EQ(decoded.fragments[0].len, 64u);
+}
+
+TEST(ReplicatedNodeSerdeTest, LegacyV2LeafStillDecodes) {
+  // Format v2: tagged, replica set embedded per fragment. Hand-encoded to
+  // pin the byte layout; decodes into legacy_providers.
+  BinaryWriter w;
+  w.PutU8(meta::kNodeFormatV2);
+  w.PutU8(1);       // type = leaf
+  w.PutU64(7);      // prev_version
+  w.PutU32(3);      // chain_len
+  w.PutU32(1);      // fragment count
+  w.PutPageId(PageId{10, 20});
+  w.PutU8(3);       // replica count
+  w.PutU32(3);
+  w.PutU32(5);
+  w.PutU32(9);
+  w.PutU32(100);    // page_off
+  w.PutU32(28);     // len
+  w.PutU32(4);      // data_off
+  MetaNode decoded;
+  BinaryReader r{Slice(w.buffer())};
+  ASSERT_TRUE(decoded.DecodeFrom(&r).ok());
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  ASSERT_TRUE(decoded.is_leaf());
+  ASSERT_EQ(decoded.fragments.size(), 1u);
+  EXPECT_EQ(decoded.fragments[0].legacy_providers,
+            (std::vector<ProviderId>{3, 5, 9}));
+  EXPECT_EQ(decoded.fragments[0].page_off, 100u);
+  EXPECT_EQ(decoded.fragments[0].len, 28u);
 }
 
 TEST(ReplicatedNodeSerdeTest, LegacyV1LeafStillDecodes) {
@@ -159,8 +206,8 @@ TEST(ReplicatedNodeSerdeTest, LegacyV1LeafStillDecodes) {
   EXPECT_EQ(decoded.prev_version, 7u);
   EXPECT_EQ(decoded.chain_len, 3u);
   ASSERT_EQ(decoded.fragments.size(), 1u);
-  EXPECT_EQ(decoded.fragments[0].providers, (std::vector<ProviderId>{6}));
-  EXPECT_EQ(decoded.fragments[0].primary(), 6u);
+  EXPECT_EQ(decoded.fragments[0].legacy_providers,
+            (std::vector<ProviderId>{6}));
   EXPECT_EQ(decoded.fragments[0].page_off, 100u);
 }
 
@@ -339,15 +386,18 @@ TEST(ReplicationClusterTest, ReadRepairRestoresLostReplica) {
   std::string payload = TestPayload(1, 64);
   ASSERT_TRUE(blob.AppendSync(payload).ok());
 
-  // White-box: the leaf for page block [0, 64) names the page object and
-  // its replica set.
+  // White-box: the leaf for page block [0, 64) names the page object; its
+  // replica set lives in the location index.
   auto leaf = (*client)->meta().GetNode(NodeKey{*id, 1, Extent{0, 64}});
   ASSERT_TRUE(leaf.ok());
   ASSERT_TRUE(leaf->is_leaf());
   ASSERT_EQ(leaf->fragments.size(), 1u);
   const PageFragment& frag = leaf->fragments[0];
-  ASSERT_EQ(frag.providers.size(), 2u);
-  ProviderId lost = frag.providers[0];
+  EXPECT_TRUE(frag.legacy_providers.empty());
+  auto entry = (*client)->locator().Resolve(frag.pid);
+  ASSERT_TRUE(entry.ok());
+  ASSERT_EQ(entry->providers.size(), 2u);
+  ProviderId lost = entry->providers[0];
 
   // Simulate a disk loss on the primary: the endpoint stays up but the
   // page object is gone.
@@ -374,7 +424,7 @@ TEST(ReplicationClusterTest, ReadRepairRestoresLostReplica) {
   // The repaired replica serves reads again without failover: break the
   // *other* replica and re-read.
   ASSERT_TRUE(
-      (*cluster)->provider(frag.providers[1]).store().Delete(frag.pid).ok());
+      (*cluster)->provider(entry->providers[1]).store().Delete(frag.pid).ok());
   out.clear();
   ASSERT_TRUE(blob.Read(1, 0, 64, &out).ok());
   EXPECT_EQ(out, payload);
