@@ -1,12 +1,15 @@
-// Shared helpers for the figure-reproduction benchmarks: flag parsing and
-// paper-style table output.
+// Shared helpers for the figure-reproduction benchmarks: flag parsing,
+// paper-style table output, and machine-readable JSON result files.
 #ifndef BLOBSEER_BENCH_BENCH_UTIL_H_
 #define BLOBSEER_BENCH_BENCH_UTIL_H_
 
+#include <cinttypes>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace blobseer::bench {
@@ -101,6 +104,70 @@ class Table {
   std::vector<std::string> columns_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Insertion-ordered JSON object builder for bench result files. Values are
+/// rendered on Put; nested objects nest via PutObject. Only what the
+/// benches need — strings are escaped for quotes and backslashes, numbers
+/// are emitted verbatim.
+class JsonObject {
+ public:
+  void PutU64(const std::string& key, uint64_t value) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    fields_.emplace_back(key, buf);
+  }
+  void PutDouble(const std::string& key, double value) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void PutBool(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+  }
+  void PutString(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, Quote(value));
+  }
+  void PutObject(const std::string& key, const JsonObject& obj) {
+    fields_.emplace_back(key, obj.Render());
+  }
+
+  std::string Render() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); i++) {
+      if (i > 0) out += ", ";
+      out += Quote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Writes a bench result document to `path` (pretty enough: one object,
+/// trailing newline). Honoured destination of the shared --json=PATH flag;
+/// returns false (with a note on stderr) when the file cannot be written.
+inline bool WriteJsonFile(const std::string& path, const JsonObject& doc) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::string body = doc.Render();
+  fprintf(f, "%s\n", body.c_str());
+  fclose(f);
+  printf("\nresults written to %s\n", path.c_str());
+  return true;
+}
 
 }  // namespace blobseer::bench
 

@@ -450,11 +450,17 @@ Future<Unit> BlobClient::StorePagesAsync(
         if (!sets.ok()) return MakeReadyFuture(sets.status());
         std::vector<std::function<Future<Unit>()>> tasks;
         tasks.reserve(batch->pages.size());
+        const bool dedup = options_.dedup;
         for (size_t i = 0; i < batch->pages.size(); i++) {
           batch->pages[i].frag.pid = NewPageId();
           batch->pages[i].replicas = std::move((*sets)[i]);
-          tasks.push_back(
-              [this, batch, i] { return StorePageReplicasAsync(batch, i); });
+          if (dedup && batch->pages[i].bytes.size() > 0) {
+            tasks.push_back(
+                [this, batch, i] { return StorePageDedupAsync(batch, i); });
+          } else {
+            tasks.push_back(
+                [this, batch, i] { return StorePageReplicasAsync(batch, i); });
+          }
         }
         return RunWindowed(std::move(tasks), options_.max_inflight_pages)
             .Then([this, batch](Result<Unit> all) -> Future<Unit> {
@@ -463,10 +469,83 @@ Future<Unit> BlobClient::StorePagesAsync(
             })
             .Then([this, batch](Result<Unit> published) -> Status {
               if (!published.ok()) return published.status();
+              size_t stored = 0;
+              for (const PageWrite& w : batch->pages)
+                if (!w.adopted) stored++;
               std::lock_guard<std::mutex> lock(stats_mu_);
-              stats_.pages_stored += batch->pages.size();
-              stats_.locations_published += batch->pages.size();
+              stats_.pages_stored += stored;
+              stats_.locations_published += stored;
               return Status::OK();
+            });
+      });
+}
+
+Future<Unit> BlobClient::StorePageDedupAsync(
+    std::shared_ptr<PageWriteBatch> batch, size_t index) {
+  PageWrite& w = batch->pages[index];
+  w.hash = lifecycle::HashPage(w.bytes);
+  // Claim state kept alive across the chain (Cas borrows the Slices).
+  struct Claim {
+    std::string hkey;
+    std::string target;
+    std::string seen;  // the conflicting mapping, for the repair CAS
+  };
+  auto st = std::make_shared<Claim>();
+  st->hkey = lifecycle::HashKey(w.hash);
+  st->target = lifecycle::EncodeHashTarget(w.frag.pid);
+  return dht_
+      .CasAsync(Slice(st->hkey), Slice(), Slice(st->target),
+                /*expect_absent=*/true)
+      .Then([this, batch, index,
+             st](Result<dht::CasResponse> cas) -> Future<Unit> {
+        PageWrite& w = batch->pages[index];
+        if (!cas.ok()) {
+          // Dedup is best-effort: an unreachable 'H' replica must not fail
+          // the write — store the page as if dedup were off.
+          return StorePageReplicasAsync(batch, index);
+        }
+        if (cas->applied) {
+          w.claimed_h = true;
+          return StorePageReplicasAsync(batch, index);
+        }
+        Result<PageId> existing = lifecycle::DecodeHashTarget(cas->current);
+        if (!existing.ok()) return StorePageReplicasAsync(batch, index);
+        st->seen = std::move(cas->current);
+        // Adoption must CAS a refs bump so it loses cleanly against a GC
+        // condemn of the same entry (docs/lifecycle.md).
+        return locator_.AdjustRefsAsync(*existing, +1)
+            .Then([this, batch, index, st, pid = *existing](
+                      Result<locator::LocationEntry> e) -> Future<Unit> {
+              if (e.ok()) {
+                PageWrite& w = batch->pages[index];
+                w.frag.pid = pid;
+                w.replicas = e->providers;
+                w.adopted = true;
+                std::lock_guard<std::mutex> lock(stats_mu_);
+                stats_.dedup_hits++;
+                return MakeReadyFuture(Status::OK());
+              }
+              // The holder was condemned or deleted under us (GC won the
+              // race, or its publish has not landed yet): store fresh,
+              // then best-effort repoint the mapping at our page. A lost
+              // repair only costs future dedup hits, never correctness —
+              // the sweeper deletes 'H' keys conditionally on their
+              // target.
+              return StorePageReplicasAsync(batch, index)
+                  .Then([this, batch, index,
+                         st](Result<Unit> stored) -> Future<Unit> {
+                    if (!stored.ok())
+                      return MakeReadyFuture(stored.status());
+                    return dht_
+                        .CasAsync(Slice(st->hkey), Slice(st->seen),
+                                  Slice(st->target), /*expect_absent=*/false)
+                        .Then([batch, index,
+                               st](Result<dht::CasResponse> rep) -> Status {
+                          if (rep.ok() && rep->applied)
+                            batch->pages[index].claimed_h = true;
+                          return Status::OK();
+                        });
+                  });
             });
       });
 }
@@ -480,8 +559,13 @@ Future<Unit> BlobClient::PublishLocationsAsync(
   // the update and the caller's cleanup deletes the stored pages.
   std::vector<Future<Unit>> puts;
   puts.reserve(batch->pages.size());
-  for (const PageWrite& w : batch->pages)
-    puts.push_back(locator_.PublishAsync(w.frag.pid, w.replicas));
+  for (const PageWrite& w : batch->pages) {
+    // Adopted pages already have a live entry (their refcount bump proved
+    // it); publishing again would reset its epoch history.
+    if (w.adopted) continue;
+    puts.push_back(
+        locator_.PublishAsync(w.frag.pid, w.replicas, w.hash.hi, w.hash.lo));
+  }
   return WhenAll(std::move(puts))
       .Then([this, batch](Result<std::vector<Result<Unit>>> rs)
                 -> Future<Unit> {
@@ -491,12 +575,16 @@ Future<Unit> BlobClient::PublishLocationsAsync(
         // Feed the provider manager's location table so the rebuilder can
         // heal these pages. Required, not best-effort: a page the table
         // never learns about would silently stay under-replicated after a
-        // provider loss.
+        // provider loss. Adopted pages are already in the table from their
+        // original publisher.
         pmanager::ReportLocationsRequest report;
         report.added.reserve(batch->pages.size());
-        for (const PageWrite& w : batch->pages)
+        for (const PageWrite& w : batch->pages) {
+          if (w.adopted) continue;
           report.added.push_back(
               pmanager::PageLocationInfo{w.frag.pid, 1, w.replicas});
+        }
+        if (report.added.empty()) return MakeReadyFuture(Status::OK());
         return pm_.ReportLocationsAsync(std::move(report));
       });
 }
@@ -511,9 +599,39 @@ Future<Unit> BlobClient::DeletePagesAsync(
     pmanager::ReportLocationsRequest report;
     for (const PageWrite& w : batch->pages) {
       if (!w.frag.pid.valid()) continue;
+      locator_.Invalidate(w.frag.pid);
+      if (w.claimed_h) {
+        // Retract our 'H' claim first so no new adoption arrives while
+        // this page unwinds.
+        deletions.push_back(UnlinkHashAsync(w.hash, w.frag.pid));
+      }
+      if (w.hash.valid()) {
+        // Dedup'd page: another writer may have adopted it since, so the
+        // refcount decides. Our contribution is one reference; physical
+        // deletion only happens when dropping it proves no one else holds
+        // the page.
+        deletions.push_back(
+            locator_.AdjustRefsAsync(w.frag.pid, -1)
+                .Then([this, pid = w.frag.pid, adopted = w.adopted,
+                       replicas = w.replicas](
+                          Result<locator::LocationEntry> e) -> Future<Unit> {
+                  if (e.ok()) {
+                    if (!e->condemned()) return MakeReadyFuture(Status::OK());
+                    return PurgePageAsync(pid, e->providers);
+                  }
+                  // FailedPrecondition: the GC condemned the entry and owns
+                  // the physical delete. NotFound on an adopted page: the
+                  // entry is gone, nothing of ours to clean. NotFound on a
+                  // page we stored: the publish never landed, so the copies
+                  // are only findable through our local replica list.
+                  if (e.status().IsNotFound() && !adopted)
+                    return PurgePageAsync(pid, std::move(replicas));
+                  return MakeReadyFuture(Status::OK());
+                }));
+        continue;
+      }
       // Retract the page's location entry (cache, DHT, pmanager table) so
       // the rebuilder never tries to re-replicate a deleted page.
-      locator_.Invalidate(w.frag.pid);
       report.removed.push_back(w.frag.pid);
       deletions.push_back(
           dht_.DeleteAsync(locator::LocationKey(w.frag.pid))
@@ -539,6 +657,41 @@ Future<Unit> BlobClient::DeletePagesAsync(
           return Status::OK();  // best-effort by design
         });
   });
+}
+
+Future<Unit> BlobClient::UnlinkHashAsync(lifecycle::ContentHash hash,
+                                         PageId pid) {
+  auto hkey = std::make_shared<std::string>(lifecycle::HashKey(hash));
+  return dht_.GetAsync(Slice(*hkey))
+      .Then([this, hkey, pid](Result<std::string> cur) -> Future<Unit> {
+        if (!cur.ok()) return MakeReadyFuture(Status::OK());
+        Result<PageId> target = lifecycle::DecodeHashTarget(*cur);
+        // Only unlink our own mapping: a repair CAS may already have
+        // repointed the hash at someone else's live page.
+        if (!target.ok() || *target != pid)
+          return MakeReadyFuture(Status::OK());
+        return dht_.DeleteAsync(Slice(*hkey))
+            .Then([hkey](Result<Unit>) { return Status::OK(); });
+      });
+}
+
+Future<Unit> BlobClient::PurgePageAsync(PageId pid,
+                                        std::vector<ProviderId> replicas) {
+  locator_.Invalidate(pid);
+  std::vector<Future<Unit>> deletions;
+  deletions.push_back(locator_.DeleteEntryAsync(pid).Then(
+      [](Result<Unit>) { return Status::OK(); }));
+  for (ProviderId provider : replicas) {
+    deletions.push_back(
+        pm_.ResolveAddressAsync(provider)
+            .Then([this, pid](Result<std::string> addr) -> Future<Unit> {
+              if (!addr.ok()) return MakeReadyFuture(Status::OK());
+              return providers_.DeletePageAsync(*addr, pid)
+                  .Then([](Result<Unit>) { return Status::OK(); });
+            }));
+  }
+  return WhenAll(std::move(deletions))
+      .Then([](Result<std::vector<Result<Unit>>>) { return Status::OK(); });
 }
 
 Future<Version> BlobClient::ResolveBorderAsync(std::shared_ptr<UpdateOp> op,

@@ -26,6 +26,7 @@
 #include "common/future.h"
 #include "common/result.h"
 #include "dht/client.h"
+#include "lifecycle/dedup.h"
 #include "locator/location.h"
 #include "meta/meta_client.h"
 #include "pmanager/client.h"
@@ -72,6 +73,12 @@ struct ClientOptions {
   size_t cache_capacity = 1 << 16;
   /// Channels per endpoint for parallel RPCs.
   size_t channels_per_endpoint = 8;
+  /// Content-hash page dedup (docs/lifecycle.md): pages are addressed by a
+  /// 128-bit content hash in the DHT's 'H' namespace, and a write whose
+  /// page body already exists adopts the stored page (bumping its location
+  /// entry's refcount) instead of storing a duplicate. The hash is fast,
+  /// not cryptographic, so this is opt-in for trusted workloads.
+  bool dedup = false;
   dht::DhtClientOptions dht;
 };
 
@@ -99,6 +106,8 @@ struct ClientStats {
   /// Reads that re-resolved a page's location after exhausting the cached
   /// replica set (the page had been moved by the rebuilder).
   uint64_t location_refreshes = 0;
+  /// Pages adopted through the content-hash index instead of stored.
+  uint64_t dedup_hits = 0;
 };
 
 /// One BlobSeer client process. Thread-safe: concurrent operations on the
@@ -200,6 +209,13 @@ class BlobClient {
     /// metadata persists only the PageId, the location index owns the
     /// PageId -> replica-set mapping.
     std::vector<ProviderId> replicas;
+    /// Dedup bookkeeping (hash.valid() iff dedup hashed this page):
+    /// `adopted` pages reference an existing page object via a refcount
+    /// bump and were never stored; `claimed_h` marks that this op installed
+    /// the 'H' mapping (so cleanup retracts it).
+    lifecycle::ContentHash hash;
+    bool adopted = false;
+    bool claimed_h = false;
   };
   /// One update's page split plus the straggler barrier: with a write
   /// quorum below r, a page future can resolve while replica puts are
@@ -255,6 +271,18 @@ class BlobClient {
   /// barrier).
   Future<Unit> StorePageReplicasAsync(std::shared_ptr<PageWriteBatch> batch,
                                       size_t index);
+  /// Dedup pre-stage for one page (ClientOptions::dedup): claim the 'H'
+  /// mapping for the fresh PageId with a create-if-absent CAS, or adopt
+  /// the existing page by CAS-bumping its location entry's refcount. A
+  /// losing adoption (the holder was condemned by GC mid-race) falls back
+  /// to a fresh store and best-effort repairs the mapping.
+  Future<Unit> StorePageDedupAsync(std::shared_ptr<PageWriteBatch> batch,
+                                   size_t index);
+  /// Best-effort removal of the 'H' mapping iff it still targets `pid`.
+  Future<Unit> UnlinkHashAsync(lifecycle::ContentHash hash, PageId pid);
+  /// Best-effort physical deletion of one dead page (location entry plus
+  /// every replica copy) once its refcount proved no one references it.
+  Future<Unit> PurgePageAsync(PageId pid, std::vector<ProviderId> replicas);
   /// Publishes one location entry per stored page and reports the batch to
   /// the provider manager's location table. A page without a location entry
   /// is unreadable under v3 metadata, so a publish failure fails the update

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "pagelog/log_page_store.h"
 #include "pmanager/client.h"
@@ -10,16 +11,21 @@ namespace blobseer::core {
 
 namespace {
 
-std::unique_ptr<provider::PageStore> MakeStore(const std::string& spec,
+std::unique_ptr<provider::PageStore> MakeStore(const ClusterOptions& options,
                                                size_t index) {
+  const std::string& spec = options.page_store;
   if (spec == "null") return provider::MakeNullPageStore();
   if (StartsWith(spec, "file:")) {
     return provider::MakeFilePageStore(
         StrFormat("%s/provider-%zu", spec.substr(5).c_str(), index));
   }
   if (StartsWith(spec, "log:")) {
+    pagelog::LogPageStoreOptions lo;
+    lo.compact_dead_ratio = options.log_compact_dead_ratio;
+    if (options.log_segment_target_bytes > 0)
+      lo.segment_target_bytes = options.log_segment_target_bytes;
     return pagelog::MakeLogPageStore(
-        StrFormat("%s/provider-%zu", spec.substr(4).c_str(), index));
+        StrFormat("%s/provider-%zu", spec.substr(4).c_str(), index), lo);
   }
   return provider::MakeMemoryPageStore();
 }
@@ -81,12 +87,12 @@ Result<std::unique_ptr<EmbeddedCluster>> EmbeddedCluster::Start(
   // rebuilder loop.
   size_t workers =
       (options.heartbeat_interval_us > 0 ? options.num_providers + 4 : 0) +
-      (options.rebuild_interval_us > 0 ? 1 : 0);
+      (options.rebuild_interval_us > 0 ? 1 : 0) +
+      (options.gc_interval_us > 0 ? 1 : 0);
   if (workers > 0)
     c->hb_executor_ = std::make_unique<ThreadPoolExecutor>(workers);
   for (size_t i = 0; i < options.num_providers; i++) {
-    auto svc = std::make_shared<provider::ProviderService>(
-        MakeStore(options.page_store, i));
+    auto svc = std::make_shared<provider::ProviderService>(MakeStore(options, i));
     auto addr =
         c->transport_->Serve(bind_addr(StrFormat("provider-%zu", i)), svc);
     if (!addr.ok()) return addr.status();
@@ -111,6 +117,15 @@ Result<std::unique_ptr<EmbeddedCluster>> EmbeddedCluster::Start(
                                    c->dht_addresses_, dht::DhtClientOptions{},
                                    ro);
   }
+  if (options.gc_interval_us > 0) {
+    lifecycle::GcOptions go;
+    go.interval_us = options.gc_interval_us;
+    go.max_sweep_per_pass = options.gc_max_sweep;
+    c->pm_service_->StartGcSweeper(c->hb_executor_.get(), RealClock::Default(),
+                                   c->transport_, c->vm_address_,
+                                   c->dht_addresses_, dht::DhtClientOptions{},
+                                   go);
+  }
   return c;
 }
 
@@ -130,9 +145,14 @@ Status EmbeddedCluster::StartProviderHeartbeat(size_t index) {
 
 EmbeddedCluster::~EmbeddedCluster() {
   if (!transport_) return;
-  // Stop the rebuilder before tearing down endpoints: a pass in flight
-  // would otherwise race teardown with doomed page-copy RPCs.
-  if (pm_service_) pm_service_->StopRebuilder();
+  // Stop the sweeper and rebuilder before tearing down endpoints: a pass
+  // in flight would otherwise race teardown with doomed RPCs. The sweeper
+  // must report drained — a pass (or any of its delete RPCs) outliving
+  // Stop would use-after-free the transport.
+  if (pm_service_) {
+    BS_CHECK(pm_service_->StopGcSweeper());
+    pm_service_->StopRebuilder();
+  }
   (void)transport_->StopServing(vm_address_);
   (void)transport_->StopServing(pm_address_);
   for (const auto& a : dht_addresses_) (void)transport_->StopServing(a);
@@ -199,7 +219,7 @@ Result<size_t> EmbeddedCluster::AddProvider() {
   const bool tcp = tcp_ != nullptr;
   size_t index = provider_services_.size();
   auto svc = std::make_shared<provider::ProviderService>(
-      MakeStore(options_.page_store, index));
+      MakeStore(options_, index));
   auto addr = transport_->Serve(
       tcp ? std::string("127.0.0.1:0")
           : StrFormat("inproc://provider-%zu", index),

@@ -56,6 +56,20 @@ struct ClusterOptions {
   uint64_t rebuild_interval_us = 0;
   size_t rebuild_max_moves = 64;
   bool rebuild_rebalance = true;
+  /// Version-lifecycle GC (docs/lifecycle.md): when `gc_interval_us` > 0
+  /// the provider manager hosts a GcSweeper that evaluates retention
+  /// policies and mark-and-sweeps discarded versions every interval. With
+  /// 0, tests and benches can still host one via pmanager().StartGcSweeper
+  /// (loop disabled) and drive RunOnePass deterministically.
+  uint64_t gc_interval_us = 0;
+  size_t gc_max_sweep = 256;
+  /// Dead-payload ratio that auto-compacts "log:" page stores after GC
+  /// deletes (LogPageStoreOptions::compact_dead_ratio; 0 = manual).
+  double log_compact_dead_ratio = 0;
+  /// Segment seal threshold for "log:" page stores (0 = backend default).
+  /// Benches shrink it so GC deletes land in sealed segments and the
+  /// auto-compaction path above actually runs at test scale.
+  uint64_t log_segment_target_bytes = 0;
   uint64_t provider_capacity_pages = 0;  // 0 = unbounded
   size_t dht_shards = 16;
 };

@@ -80,12 +80,29 @@ SimCluster::SimCluster(simnet::SimScheduler* sched,
                                 dht::DhtClientOptions{}, ro);
     sched_->SetCurrentNode(caller_node);
   }
+
+  if (options.gc_interval_us > 0) {
+    lifecycle::GcOptions go;
+    go.interval_us = options.gc_interval_us;
+    go.max_sweep_per_pass = options.gc_max_sweep;
+    // Like the rebuilder: the sweeper loop is a sim task spawned from the
+    // provider manager's node so its walk/delete RPCs originate there.
+    uint32_t caller_node = sched_->CurrentNode();
+    sched_->SetCurrentNode(pm_node());
+    pm_service_->StartGcSweeper(executor_.get(), clock_.get(),
+                                transport_.get(), vm_address_, dht_addresses_,
+                                dht::DhtClientOptions{}, go);
+    sched_->SetCurrentNode(caller_node);
+  }
 }
 
 SimCluster::~SimCluster() {
-  // The rebuilder loop must stop before the scheduler can drain (it would
-  // otherwise re-arm forever in virtual time), and before heartbeats so a
-  // final pass still sees a live provider directory.
+  // The sweeper and rebuilder loops must stop before the scheduler can
+  // drain (they would otherwise re-arm forever in virtual time), and
+  // before heartbeats so a final pass still sees a live provider
+  // directory. The sweeper must also report drained: a pass outliving
+  // Stop would race cluster teardown.
+  BS_CHECK(pm_service_->StopGcSweeper());
   pm_service_->StopRebuilder();
   StopHeartbeats();
 }

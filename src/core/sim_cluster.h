@@ -56,6 +56,12 @@ struct SimClusterOptions {
   uint64_t rebuild_interval_us = 0;
   size_t rebuild_max_moves = 64;
   bool rebuild_rebalance = true;
+  /// Version-lifecycle GC in virtual time (0 = disabled): the provider
+  /// manager hosts a GcSweeper pass every `gc_interval_us`, evaluating
+  /// retention policies and sweeping discarded versions
+  /// (docs/lifecycle.md).
+  uint64_t gc_interval_us = 0;
+  size_t gc_max_sweep = 256;
 };
 
 /// Must be constructed from inside SimScheduler::Run (provider registration

@@ -15,6 +15,9 @@ void LocationEntry::EncodeTo(BinaryWriter* w) const {
   w->PutU64(epoch);
   w->PutU32(static_cast<uint32_t>(providers.size()));
   for (ProviderId p : providers) w->PutU32(p);
+  w->PutU32(refs);
+  w->PutU64(hash_hi);
+  w->PutU64(hash_lo);
 }
 
 Status LocationEntry::DecodeFrom(BinaryReader* r) {
@@ -25,13 +28,21 @@ Status LocationEntry::DecodeFrom(BinaryReader* r) {
     return Status::Corruption("location replica count exceeds payload");
   providers.resize(n);
   for (auto& p : providers) BS_RETURN_NOT_OK(r->GetU32(&p));
-  return Status::OK();
+  // Gated trailing decode: entries written before the lifecycle subsystem
+  // end here and imply one reference and no content hash.
+  refs = 1;
+  hash_hi = 0;
+  hash_lo = 0;
+  if (r->remaining() == 0) return Status::OK();
+  BS_RETURN_NOT_OK(r->GetU32(&refs));
+  BS_RETURN_NOT_OK(r->GetU64(&hash_hi));
+  return r->GetU64(&hash_lo);
 }
 
 std::string LocationEntry::ToString() const {
   std::string out = StrFormat(
-      "loc{epoch=%llu r=%zu [", static_cast<unsigned long long>(epoch),
-      providers.size());
+      "loc{epoch=%llu refs=%u r=%zu [",
+      static_cast<unsigned long long>(epoch), refs, providers.size());
   for (size_t i = 0; i < providers.size(); i++) {
     if (i > 0) out += ' ';
     out += StrFormat("%u", providers[i]);
@@ -118,17 +129,19 @@ Future<LocationEntry> LocationIndex::ResolveAsync(const PageId& pid) {
 }
 
 Status LocationIndex::Publish(const PageId& pid,
-                              std::vector<ProviderId> providers) {
-  LocationEntry entry{1, std::move(providers)};
+                              std::vector<ProviderId> providers,
+                              uint64_t hash_hi, uint64_t hash_lo) {
+  LocationEntry entry{1, std::move(providers), 1, hash_hi, hash_lo};
   BS_RETURN_NOT_OK(dht_->Put(Slice(LocationKey(pid)), Slice(EncodeEntry(entry))));
   CacheInsert(pid, entry);
   return Status::OK();
 }
 
 Future<Unit> LocationIndex::PublishAsync(const PageId& pid,
-                                         std::vector<ProviderId> providers) {
+                                         std::vector<ProviderId> providers,
+                                         uint64_t hash_hi, uint64_t hash_lo) {
   auto entry = std::make_shared<LocationEntry>(
-      LocationEntry{1, std::move(providers)});
+      LocationEntry{1, std::move(providers), 1, hash_hi, hash_lo});
   return dht_->PutAsync(Slice(LocationKey(pid)), Slice(EncodeEntry(*entry)))
       .Then([this, pid, entry](Result<Unit> r) -> Result<Unit> {
         if (r.ok()) CacheInsert(pid, *entry);
@@ -187,16 +200,24 @@ Future<LocationEntry> LocationIndex::SeedAsync(
 Result<LocationEntry> LocationIndex::CompareAndSwap(
     const PageId& pid, const LocationEntry& expected,
     std::vector<ProviderId> next) {
-  LocationEntry installed{expected.epoch + 1, std::move(next)};
+  // Replica moves carry the refcount and content hash through unchanged.
+  LocationEntry installed = expected;
+  installed.providers = std::move(next);
+  return CompareAndSwapEntry(pid, expected, std::move(installed));
+}
+
+Result<LocationEntry> LocationIndex::CompareAndSwapEntry(
+    const PageId& pid, const LocationEntry& expected, LocationEntry next) {
+  next.epoch = expected.epoch + 1;
   bool applied = false;
   std::string current;
   BS_RETURN_NOT_OK(dht_->Cas(Slice(LocationKey(pid)),
                              Slice(EncodeEntry(expected)),
-                             Slice(EncodeEntry(installed)),
+                             Slice(EncodeEntry(next)),
                              /*expect_absent=*/false, &applied, &current));
   if (applied) {
-    CacheInsert(pid, installed);
-    return installed;
+    CacheInsert(pid, next);
+    return next;
   }
   Invalidate(pid);
   if (current.empty()) return Status::NotFound("location entry deleted");
@@ -204,6 +225,107 @@ Result<LocationEntry> LocationIndex::CompareAndSwap(
   if (stored.ok()) CacheInsert(pid, *stored);
   return Status::Aborted("location entry changed: " +
                          (stored.ok() ? stored->ToString() : current));
+}
+
+Future<LocationEntry> LocationIndex::CompareAndSwapEntryAsync(
+    const PageId& pid, const LocationEntry& expected, LocationEntry next) {
+  next.epoch = expected.epoch + 1;
+  auto installed = std::make_shared<LocationEntry>(std::move(next));
+  return dht_
+      ->CasAsync(Slice(LocationKey(pid)), Slice(EncodeEntry(expected)),
+                 Slice(EncodeEntry(*installed)),
+                 /*expect_absent=*/false)
+      .Then([this, pid,
+             installed](Result<dht::CasResponse> r) -> Result<LocationEntry> {
+        if (!r.ok()) return r.status();
+        if (r->applied) {
+          CacheInsert(pid, *installed);
+          return std::move(*installed);
+        }
+        Invalidate(pid);
+        if (r->current.empty())
+          return Status::NotFound("location entry deleted");
+        Result<LocationEntry> stored = DecodeEntry(r->current);
+        if (stored.ok()) CacheInsert(pid, *stored);
+        return Status::Aborted("location entry changed: " +
+                               (stored.ok() ? stored->ToString()
+                                            : r->current));
+      });
+}
+
+Result<LocationEntry> LocationIndex::AdjustRefs(const PageId& pid,
+                                                int32_t delta,
+                                                int max_retries) {
+  for (int attempt = 0;; attempt++) {
+    // Always a fresh DHT read: the CAS below must expect the authoritative
+    // bytes, and a cached entry may be epochs behind.
+    std::string bytes;
+    Status got = dht_->Get(Slice(LocationKey(pid)), &bytes);
+    if (!got.ok()) {
+      Invalidate(pid);
+      return got;
+    }
+    Result<LocationEntry> cur = DecodeEntry(bytes);
+    if (!cur.ok()) return cur.status();
+    if (cur->condemned())
+      return Status::FailedPrecondition("location entry condemned");
+    LocationEntry next = *cur;
+    next.refs = delta < 0 && uint32_t(-delta) >= next.refs
+                    ? 0
+                    : next.refs + uint32_t(delta);
+    Result<LocationEntry> swapped =
+        CompareAndSwapEntry(pid, *cur, std::move(next));
+    if (swapped.ok() || !swapped.status().IsAborted() ||
+        attempt >= max_retries) {
+      return swapped;
+    }
+  }
+}
+
+Future<LocationEntry> LocationIndex::AdjustRefsAsync(const PageId& pid,
+                                                     int32_t delta,
+                                                     int max_retries) {
+  return dht_->GetAsync(Slice(LocationKey(pid)))
+      .Then([this, pid, delta,
+             max_retries](Result<std::string> bytes) -> Future<LocationEntry> {
+        if (!bytes.ok()) {
+          Invalidate(pid);
+          return MakeReadyFuture<LocationEntry>(bytes.status());
+        }
+        Result<LocationEntry> cur = DecodeEntry(*bytes);
+        if (!cur.ok()) return MakeReadyFuture<LocationEntry>(cur.status());
+        if (cur->condemned()) {
+          return MakeReadyFuture<LocationEntry>(
+              Status::FailedPrecondition("location entry condemned"));
+        }
+        LocationEntry next = *cur;
+        next.refs = delta < 0 && uint32_t(-delta) >= next.refs
+                        ? 0
+                        : next.refs + uint32_t(delta);
+        return CompareAndSwapEntryAsync(pid, *cur, std::move(next))
+            .Then([this, pid, delta, max_retries](
+                      Result<LocationEntry> swapped) -> Future<LocationEntry> {
+              if (swapped.ok() || !swapped.status().IsAborted() ||
+                  max_retries == 0) {
+                return MakeReadyFuture<LocationEntry>(std::move(swapped));
+              }
+              return AdjustRefsAsync(pid, delta, max_retries - 1);
+            });
+      });
+}
+
+Status LocationIndex::DeleteEntry(const PageId& pid) {
+  Status s = dht_->Delete(Slice(LocationKey(pid)));
+  Invalidate(pid);
+  return s;
+}
+
+Future<Unit> LocationIndex::DeleteEntryAsync(const PageId& pid) {
+  return dht_->DeleteAsync(Slice(LocationKey(pid)))
+      .Then([this, pid](Result<Unit> r) -> Result<Unit> {
+        Invalidate(pid);
+        return r;
+      });
 }
 
 void LocationIndex::Invalidate(const PageId& pid) {

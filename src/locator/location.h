@@ -31,10 +31,20 @@ std::string LocationKey(const PageId& pid);
 struct LocationEntry {
   uint64_t epoch = 0;
   std::vector<ProviderId> providers;
+  /// Dedup reference count: the number of store events referencing this
+  /// page (1 from the original publish, +1 per content-hash adoption).
+  /// 0 means the GC sweeper condemned the entry — the page is being
+  /// physically deleted and must not be adopted (docs/lifecycle.md).
+  uint32_t refs = 1;
+  /// Content hash the page was deduplicated under (0/0 = none); lets the
+  /// sweeper clean the 'H' namespace mapping when the page dies.
+  uint64_t hash_hi = 0;
+  uint64_t hash_lo = 0;
 
   friend bool operator==(const LocationEntry&, const LocationEntry&) = default;
 
   bool valid() const { return epoch != 0 && !providers.empty(); }
+  bool condemned() const { return refs == 0; }
 
   void EncodeTo(BinaryWriter* w) const;
   Status DecodeFrom(BinaryReader* r);
@@ -62,12 +72,15 @@ class LocationIndex {
   Result<LocationEntry> Resolve(const PageId& pid);
   Future<LocationEntry> ResolveAsync(const PageId& pid);
 
-  /// Installs the entry for a freshly written page at epoch 1. A plain put:
-  /// PageIds are minted client-locally and never reused, so no other writer
-  /// can race this key.
-  Status Publish(const PageId& pid, std::vector<ProviderId> providers);
+  /// Installs the entry for a freshly written page at epoch 1 with refs=1.
+  /// A plain put: PageIds are minted client-locally and never reused, so no
+  /// other writer can race this key. `hash_hi`/`hash_lo` record the content
+  /// hash the page is addressed by when dedup is on (0/0 = none).
+  Status Publish(const PageId& pid, std::vector<ProviderId> providers,
+                 uint64_t hash_hi = 0, uint64_t hash_lo = 0);
   Future<Unit> PublishAsync(const PageId& pid,
-                            std::vector<ProviderId> providers);
+                            std::vector<ProviderId> providers,
+                            uint64_t hash_hi = 0, uint64_t hash_lo = 0);
 
   /// Creates the entry for a pre-v3 page from the replica set embedded in
   /// its metadata leaf (create-if-absent CAS). If another reader or the
@@ -85,6 +98,32 @@ class LocationIndex {
   Result<LocationEntry> CompareAndSwap(const PageId& pid,
                                        const LocationEntry& expected,
                                        std::vector<ProviderId> next);
+
+  /// Full-entry CAS: installs `next` (with epoch forced to
+  /// `expected.epoch + 1`) iff the stored bytes still equal `expected`.
+  /// Same failure contract as CompareAndSwap. The GC sweeper condemns
+  /// entries through this (refs -> 0) so any concurrent adoption — which
+  /// must itself CAS a refs bump — fails one side of the race cleanly.
+  Result<LocationEntry> CompareAndSwapEntry(const PageId& pid,
+                                            const LocationEntry& expected,
+                                            LocationEntry next);
+  Future<LocationEntry> CompareAndSwapEntryAsync(const PageId& pid,
+                                                 const LocationEntry& expected,
+                                                 LocationEntry next);
+
+  /// Atomically adds `delta` to the entry's dedup refcount (fresh DHT read,
+  /// never the cache), retrying lost CAS races up to `max_retries` times.
+  /// Returns the installed entry. FailedPrecondition when the entry is
+  /// condemned (refs == 0): the caller must not adopt this page.
+  Result<LocationEntry> AdjustRefs(const PageId& pid, int32_t delta,
+                                   int max_retries = 4);
+  Future<LocationEntry> AdjustRefsAsync(const PageId& pid, int32_t delta,
+                                        int max_retries = 4);
+
+  /// Deletes the entry outright (physical cleanup after a condemn; also the
+  /// failed-write cleanup path). Plain delete, caller serializes.
+  Status DeleteEntry(const PageId& pid);
+  Future<Unit> DeleteEntryAsync(const PageId& pid);
 
   /// Drops one / every cached entry. Readers invalidate a page on replica
   /// failover so the next resolve re-fetches the (possibly moved) entry.

@@ -96,7 +96,18 @@ Status Rebuilder::MovePage(
   std::replace(next.begin(), next.end(), from, to);
   Result<LocationEntry> installed =
       index_.CompareAndSwap(pid, *entry, std::move(next));
-  if (!installed.ok()) return installed.status();
+  if (!installed.ok()) {
+    if (installed.status().IsNotFound()) {
+      // The GC sweeper deleted the entry between our read and the CAS: the
+      // copy we just wrote is unreachable garbage — remove it so it cannot
+      // leak on the target provider.
+      provider::DeleteRequest del{pid};
+      provider::DeleteResponse drsp;
+      (void)CallProvider(&providers_pool_, to_it->second.address,
+                         rpc::Method::kProviderDelete, del, &drsp);
+    }
+    return installed.status();
+  }
   *entry = *installed;
   table_->Record(pid, *entry);
 
@@ -148,6 +159,7 @@ size_t Rebuilder::RunOnePass() {
   // Heal dead members and drain draining ones, page by page.
   for (auto& [pid, entry] : pages) {
     if (moves >= options_.max_moves_per_pass) break;
+    if (entry.condemned()) continue;  // GC owns this page now
     bool rescan = true;
     while (rescan && moves < options_.max_moves_per_pass) {
       rescan = false;
@@ -180,6 +192,12 @@ size_t Rebuilder::RunOnePass() {
           }
           Result<LocationEntry> fresh = index_.Resolve(pid);
           if (fresh.ok()) {
+            if (fresh->condemned()) {
+              // The conflicting CAS was the GC sweeper condemning the page;
+              // leave it to the sweeper's physical deletes.
+              table_->Forget(pid);
+              break;
+            }
             entry = *fresh;
             table_->Record(pid, entry);
             rescan = true;
@@ -211,6 +229,7 @@ size_t Rebuilder::RunOnePass() {
     }
     bool moved = false;
     for (auto& [pid, entry] : pages) {
+      if (entry.condemned()) continue;
       const auto& p = entry.providers;
       if (std::find(p.begin(), p.end(), hi) == p.end()) continue;
       if (std::find(p.begin(), p.end(), lo) != p.end()) continue;

@@ -227,8 +227,27 @@ class LogPageStore : public PageStore {
         seq = append_seq_;
       }
     }
-    if (opts_.sync) return SyncTo(seq);
-    return Status::OK();
+    if (opts_.sync) BS_RETURN_NOT_OK(SyncTo(seq));
+    return MaybeAutoCompact();
+  }
+
+  /// Delete-driven compaction trigger (compact_dead_ratio > 0): runs a
+  /// full Compact() once any sealed segment crossed the threshold.
+  /// Serialized by Compact()'s own lock, so concurrent deletes just queue.
+  Status MaybeAutoCompact() {
+    if (opts_.compact_dead_ratio <= 0) return Status::OK();
+    bool trigger = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [seq, seg] : segments_) {
+        if (seg == active_) continue;
+        if (seg->DeadRatio() >= opts_.compact_dead_ratio) {
+          trigger = true;
+          break;
+        }
+      }
+    }
+    return trigger ? Compact() : Status::OK();
   }
 
   Status Compact() override {

@@ -33,6 +33,14 @@ struct LogPageStoreOptions {
   /// Compact() rewrites sealed segments whose dead-payload ratio (deleted or
   /// superseded duplicate records) is at least this threshold.
   double compact_min_dead_ratio = 0.5;
+
+  /// When > 0, a Delete that leaves any sealed segment at or above this
+  /// dead-payload ratio triggers an inline Compact() — how the GC
+  /// sweeper's tombstone storms reclaim disk without an external
+  /// compaction driver. This knob decides *when* compaction runs;
+  /// compact_min_dead_ratio still decides *which* segments it rewrites.
+  /// 0 (the default) keeps compaction manual.
+  double compact_dead_ratio = 0;
 };
 
 /// Opens (creating or recovering) a log-structured store rooted at `dir`.

@@ -215,6 +215,13 @@ struct PmStatsResponse {
   uint64_t located_pages = 0;
   uint64_t under_replicated = 0;
   uint64_t rebuilt_pages = 0;
+  /// GC sweeper counters (zero when no sweeper is hosted); appended after
+  /// the replication fields, decoded only when present so a new client can
+  /// read an old server's response.
+  uint64_t gc_passes = 0;
+  uint64_t gc_versions_discarded = 0;
+  uint64_t gc_versions_retired = 0;
+  uint64_t gc_pages_swept = 0;
   void EncodeTo(BinaryWriter* w) const {
     w->PutU64(providers);
     w->PutU64(allocations);
@@ -227,6 +234,10 @@ struct PmStatsResponse {
     w->PutU64(located_pages);
     w->PutU64(under_replicated);
     w->PutU64(rebuilt_pages);
+    w->PutU64(gc_passes);
+    w->PutU64(gc_versions_discarded);
+    w->PutU64(gc_versions_retired);
+    w->PutU64(gc_pages_swept);
   }
   Status DecodeFrom(BinaryReader* r) {
     BS_RETURN_NOT_OK(r->GetU64(&providers));
@@ -239,7 +250,12 @@ struct PmStatsResponse {
     BS_RETURN_NOT_OK(r->GetU64(&draining));
     BS_RETURN_NOT_OK(r->GetU64(&located_pages));
     BS_RETURN_NOT_OK(r->GetU64(&under_replicated));
-    return r->GetU64(&rebuilt_pages);
+    BS_RETURN_NOT_OK(r->GetU64(&rebuilt_pages));
+    if (r->remaining() == 0) return Status::OK();
+    BS_RETURN_NOT_OK(r->GetU64(&gc_passes));
+    BS_RETURN_NOT_OK(r->GetU64(&gc_versions_discarded));
+    BS_RETURN_NOT_OK(r->GetU64(&gc_versions_retired));
+    return r->GetU64(&gc_pages_swept);
   }
 };
 

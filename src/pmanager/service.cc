@@ -21,7 +21,10 @@ ProviderManagerService::ProviderManagerService(
   }
 }
 
-ProviderManagerService::~ProviderManagerService() { StopRebuilder(); }
+ProviderManagerService::~ProviderManagerService() {
+  StopGcSweeper();
+  StopRebuilder();
+}
 
 void ProviderManagerService::RefreshLivenessLocked() const {
   if (liveness_.suspect_after_us == 0) return;  // detector disabled
@@ -78,6 +81,25 @@ void ProviderManagerService::StopRebuilder() {
   if (!rebuilder_) return;
   rebuilder_->Stop();
   rebuilder_.reset();
+}
+
+void ProviderManagerService::StartGcSweeper(
+    Executor* executor, Clock* clock, rpc::Transport* transport,
+    std::string vm_address, std::vector<std::string> dht_nodes,
+    dht::DhtClientOptions dht_options, lifecycle::GcOptions options) {
+  StopGcSweeper();
+  gc_sweeper_ = std::make_unique<lifecycle::GcSweeper>(
+      &table_, [this] { return ProviderViews(); }, transport,
+      std::move(vm_address), std::move(dht_nodes), dht_options, options);
+  gc_sweeper_->Start(executor, clock);
+}
+
+bool ProviderManagerService::StopGcSweeper() {
+  if (!gc_sweeper_) return true;
+  gc_sweeper_->Stop();
+  const bool drained = gc_sweeper_->Drained();
+  gc_sweeper_.reset();
+  return drained;
 }
 
 Status ProviderManagerService::Handle(rpc::Method method, Slice payload,
@@ -253,6 +275,13 @@ Status ProviderManagerService::Handle(rpc::Method method, Slice payload,
               locator::RebuildStats rs = rebuilder_->GetStats();
               rsp->rebuilt_pages =
                   rs.pages_rebuilt + rs.pages_drained + rs.pages_rebalanced;
+            }
+            if (gc_sweeper_) {
+              lifecycle::GcStats gs = gc_sweeper_->GetStats();
+              rsp->gc_passes = gs.passes;
+              rsp->gc_versions_discarded = gs.versions_discarded;
+              rsp->gc_versions_retired = gs.versions_retired;
+              rsp->gc_pages_swept = gs.pages_swept;
             }
             return Status::OK();
           });

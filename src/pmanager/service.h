@@ -11,6 +11,7 @@
 
 #include "common/clock.h"
 #include "common/executor.h"
+#include "lifecycle/gc_sweeper.h"
 #include "locator/rebuilder.h"
 #include "locator/table.h"
 #include "pmanager/strategy.h"
@@ -61,8 +62,24 @@ class ProviderManagerService : public rpc::ServiceHandler {
                       locator::RebuildOptions options);
   void StopRebuilder();
 
+  /// Starts the version-lifecycle GC sweeper (docs/lifecycle.md) against
+  /// this service's location table, mirroring the rebuilder's hosting:
+  /// same executor/clock pair, same dht placement contract. `vm_address`
+  /// is the version manager the sweeper evaluates retention against.
+  void StartGcSweeper(Executor* executor, Clock* clock,
+                      rpc::Transport* transport, std::string vm_address,
+                      std::vector<std::string> dht_nodes,
+                      dht::DhtClientOptions dht_options,
+                      lifecycle::GcOptions options);
+  /// Stops the sweeper loop. Returns true when the sweeper drained (no
+  /// pass or delete RPC still in flight — always, given Stop joins the
+  /// loop) or was never started; harness teardown asserts on it before
+  /// tearing down the transport under the sweeper.
+  bool StopGcSweeper();
+
   locator::PageLocationTable* location_table() { return &table_; }
   locator::Rebuilder* rebuilder() { return rebuilder_.get(); }
+  lifecycle::GcSweeper* gc_sweeper() { return gc_sweeper_.get(); }
 
  private:
   /// Re-derives every record's liveness from its heartbeat age. Idempotent
@@ -82,6 +99,7 @@ class ProviderManagerService : public rpc::ServiceHandler {
   // "which pages still reference provider X" without touching the DHT.
   locator::PageLocationTable table_;
   std::unique_ptr<locator::Rebuilder> rebuilder_;
+  std::unique_ptr<lifecycle::GcSweeper> gc_sweeper_;
 };
 
 }  // namespace blobseer::pmanager

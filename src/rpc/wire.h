@@ -49,6 +49,11 @@ enum class Method : uint32_t {
   kVmAwaitPublished = 407,
   kVmBranch = 408,
   kVmStats = 409,
+  kVmSetRetention = 410,
+  kVmGetRetention = 411,
+  kVmListVersions = 412,
+  kVmDiscardVersion = 413,
+  kVmListBlobs = 414,
 
   // Centralized-metadata baseline service (ablation comparator).
   kCentralCreate = 500,

@@ -18,11 +18,20 @@
 // a provider beat to its --pmanager on that period; on the pmanager role,
 // --suspect-after=SECONDS / --dead-after=SECONDS (0 = detector off) arm the
 // failure detector that excludes silent providers from page allocation.
+//
+// Version lifecycle (docs/lifecycle.md): on the pmanager role,
+// --gc-interval=SECONDS (0 = off) hosts the retention/GC sweeper; it needs
+// --vmanager=host:port and --meta-nodes=host:port,... to walk metadata and
+// discard expired versions. --gc-max-sweep=N bounds pages swept per pass.
+// --compact-dead-ratio=R (0 = off) makes a "log:" store auto-compact after
+// GC deletes once a sealed segment's dead-payload ratio reaches R.
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/executor.h"
 #include "common/logging.h"
@@ -65,6 +74,14 @@ int main(int argc, char** argv) {
       strtoull(FlagValue(argc, argv, "capacity", "0").c_str(), nullptr, 10);
   uint64_t compact_interval_sec = strtoull(
       FlagValue(argc, argv, "compact-interval", "0").c_str(), nullptr, 10);
+  double compact_dead_ratio = strtod(
+      FlagValue(argc, argv, "compact-dead-ratio", "0").c_str(), nullptr);
+  uint64_t gc_interval_sec = strtoull(
+      FlagValue(argc, argv, "gc-interval", "0").c_str(), nullptr, 10);
+  uint64_t gc_max_sweep = strtoull(
+      FlagValue(argc, argv, "gc-max-sweep", "256").c_str(), nullptr, 10);
+  std::string vm_addr = FlagValue(argc, argv, "vmanager", "");
+  std::string meta_nodes = FlagValue(argc, argv, "meta-nodes", "");
   uint64_t heartbeat_interval_sec = strtoull(
       FlagValue(argc, argv, "heartbeat-interval", "0").c_str(), nullptr, 10);
   uint64_t suspect_after_sec = strtoull(
@@ -85,22 +102,23 @@ int main(int argc, char** argv) {
   // loops the services stop in their destructors.
   std::unique_ptr<ThreadPoolExecutor> compaction_executor;
   std::unique_ptr<ThreadPoolExecutor> heartbeat_executor;
+  std::unique_ptr<ThreadPoolExecutor> gc_executor;
   rpc::TcpTransport transport;
   auto composite = std::make_shared<rpc::CompositeHandler>();
   bool has_provider = false;
   std::shared_ptr<provider::ProviderService> provider_service;
+  std::shared_ptr<pmanager::ProviderManagerService> pmanager_service;
 
   for (const std::string& role : StrSplit(roles, ',')) {
     if (role == "vmanager") {
       composite->Register(400,
                           std::make_shared<vmanager::VersionManagerService>());
     } else if (role == "pmanager") {
-      composite->Register(
-          300, std::make_shared<pmanager::ProviderManagerService>(
-                   pmanager::MakeStrategy(allocation), RealClock::Default(),
-                   pmanager::LivenessOptions{
-                       suspect_after_sec * 1000 * 1000,
-                       dead_after_sec * 1000 * 1000}));
+      pmanager_service = std::make_shared<pmanager::ProviderManagerService>(
+          pmanager::MakeStrategy(allocation), RealClock::Default(),
+          pmanager::LivenessOptions{suspect_after_sec * 1000 * 1000,
+                                    dead_after_sec * 1000 * 1000});
+      composite->Register(300, pmanager_service);
       if (suspect_after_sec > 0) {
         printf("failure detector armed: suspect after %llu s, dead after "
                "%llu s\n",
@@ -116,7 +134,9 @@ int main(int argc, char** argv) {
       } else if (StartsWith(store_spec, "file:")) {
         store = provider::MakeFilePageStore(store_spec.substr(5));
       } else if (StartsWith(store_spec, "log:")) {
-        store = pagelog::MakeLogPageStore(store_spec.substr(4));
+        pagelog::LogPageStoreOptions lo;
+        lo.compact_dead_ratio = compact_dead_ratio;
+        store = pagelog::MakeLogPageStore(store_spec.substr(4), lo);
       } else {
         store = provider::MakeMemoryPageStore();
       }
@@ -145,6 +165,29 @@ int main(int argc, char** argv) {
   printf("blobseer_server listening on %s (roles: %s)\n", bound->c_str(),
          roles.c_str());
   fflush(stdout);
+
+  if (pmanager_service && gc_interval_sec > 0) {
+    if (vm_addr.empty() || meta_nodes.empty()) {
+      fprintf(stderr,
+              "--gc-interval requires --vmanager=host:port and "
+              "--meta-nodes=host:port,...\n");
+      return 2;
+    }
+    std::vector<std::string> dht_nodes;
+    for (const std::string& n : StrSplit(meta_nodes, ','))
+      if (!n.empty()) dht_nodes.push_back(n);
+    lifecycle::GcOptions go;
+    go.interval_us = gc_interval_sec * 1000 * 1000;
+    go.max_sweep_per_pass = gc_max_sweep;
+    gc_executor = std::make_unique<ThreadPoolExecutor>(1);
+    pmanager_service->StartGcSweeper(gc_executor.get(), RealClock::Default(),
+                                     &transport, vm_addr, dht_nodes,
+                                     dht::DhtClientOptions{}, go);
+    printf("gc sweeper every %llu s (max %llu pages/pass) against %s\n",
+           static_cast<unsigned long long>(gc_interval_sec),
+           static_cast<unsigned long long>(gc_max_sweep), vm_addr.c_str());
+    fflush(stdout);
+  }
 
   if (has_provider) {
     if (pm_addr.empty()) {

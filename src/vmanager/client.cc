@@ -231,7 +231,56 @@ Result<VmStats> VersionManagerClient::GetStats() {
   st.assigned = rsp.assigned;
   st.published = rsp.published;
   st.aborted = rsp.aborted;
+  st.discarded = rsp.discarded;
   return st;
+}
+
+Status VersionManagerClient::SetRetention(
+    BlobId id, const lifecycle::RetentionPolicy& policy) {
+  auto ch = Chan();
+  if (!ch.ok()) return ch.status();
+  SetRetentionRequest req{id, policy};
+  SetRetentionResponse rsp;
+  return rpc::CallMethod(*ch, rpc::Method::kVmSetRetention, req, &rsp);
+}
+
+Result<lifecycle::RetentionPolicy> VersionManagerClient::GetRetention(
+    BlobId id) {
+  auto ch = Chan();
+  if (!ch.ok()) return ch.status();
+  GetRetentionRequest req{id};
+  GetRetentionResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(*ch, rpc::Method::kVmGetRetention, req, &rsp));
+  return rsp.policy;
+}
+
+Result<std::vector<VersionInfo>> VersionManagerClient::ListVersions(BlobId id) {
+  auto ch = Chan();
+  if (!ch.ok()) return ch.status();
+  ListVersionsRequest req{id};
+  ListVersionsResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(*ch, rpc::Method::kVmListVersions, req, &rsp));
+  return std::move(rsp.versions);
+}
+
+Status VersionManagerClient::DiscardVersion(BlobId id, Version version) {
+  auto ch = Chan();
+  if (!ch.ok()) return ch.status();
+  DiscardVersionRequest req{id, version};
+  DiscardVersionResponse rsp;
+  return rpc::CallMethod(*ch, rpc::Method::kVmDiscardVersion, req, &rsp);
+}
+
+Result<std::vector<BlobId>> VersionManagerClient::ListBlobs() {
+  auto ch = Chan();
+  if (!ch.ok()) return ch.status();
+  ListBlobsRequest req;
+  ListBlobsResponse rsp;
+  BS_RETURN_NOT_OK(
+      rpc::CallMethod(*ch, rpc::Method::kVmListBlobs, req, &rsp));
+  return std::move(rsp.blobs);
 }
 
 }  // namespace blobseer::vmanager

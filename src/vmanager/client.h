@@ -39,6 +39,14 @@ class VersionManagerClient {
   Result<BlobDescriptor> Branch(BlobId id, Version version);
   Result<VmStats> GetStats();
 
+  /// Version lifecycle (docs/lifecycle.md). Sync only: the GC sweeper
+  /// drives these from its own background loop.
+  Status SetRetention(BlobId id, const lifecycle::RetentionPolicy& policy);
+  Result<lifecycle::RetentionPolicy> GetRetention(BlobId id);
+  Result<std::vector<VersionInfo>> ListVersions(BlobId id);
+  Status DiscardVersion(BlobId id, Version version);
+  Result<std::vector<BlobId>> ListBlobs();
+
   Future<BlobDescriptor> CreateBlobAsync(uint64_t psize);
   Future<OpenInfo> OpenBlobAsync(BlobId id);
   Future<AssignTicket> AssignVersionAsync(BlobId id, bool is_append,

@@ -132,9 +132,14 @@ Result<AssignTicket> VersionManagerCore::AssignVersion(BlobId id,
   ticket.borders =
       ComputeBordersLocked(blob, vw, ticket.range(), old_size, new_size);
 
-  blob->updates.emplace(vw, UpdateRecord{ticket.range(), new_size,
-                                         /*completed=*/false,
-                                         /*aborted=*/false});
+  UpdateRecord rec;
+  rec.range = ticket.range();
+  rec.size_after = new_size;
+  rec.assigned_at_us = clock_->NowMicros();
+  // Pin the published frontier this update's borders resolve through: its
+  // tree must stay walkable until the update publishes or aborts.
+  rec.ref_floor = blob->published;
+  blob->updates.emplace(vw, rec);
   blob->last_assigned = vw;
   blob->last_assigned_size = new_size;
   total_assigned_++;
@@ -235,6 +240,11 @@ Result<uint64_t> VersionManagerCore::GetSize(BlobId id, Version version) {
   if (version > blob->published)
     return Status::NotFound(StrFormat(
         "version %llu not published", static_cast<unsigned long long>(version)));
+  // A discarded snapshot is unreadable through every blob that could reach
+  // it — its pages and tree nodes may already be swept.
+  if (DiscardedLocked(blob, version))
+    return Status::NotFound(StrFormat(
+        "version %llu discarded", static_cast<unsigned long long>(version)));
   return SizeOfVersionLocked(blob, version);
 }
 
@@ -259,6 +269,8 @@ Result<BlobDescriptor> VersionManagerCore::Branch(BlobId id, Version version) {
   if (!blob) return Status::NotFound("blob " + std::to_string(id));
   if (version > blob->published)
     return Status::FailedPrecondition("branch point not published");
+  if (DiscardedLocked(blob, version))
+    return Status::FailedPrecondition("branch point discarded");
   auto size = SizeOfVersionLocked(blob, version);
   if (!size.ok()) return size.status();
 
@@ -289,6 +301,102 @@ Result<BlobDescriptor> VersionManagerCore::Branch(BlobId id, Version version) {
   return desc;
 }
 
+bool VersionManagerCore::PinnedLocked(const BlobMeta* blob,
+                                      Version version) const {
+  if (version == blob->published) return true;  // latest readable snapshot
+  // Branch points: a child's whole history below its branch version
+  // resolves through this snapshot's tree.
+  for (const auto& [id, other] : blobs_) {
+    if (other->parent == blob->id && other->branch_version == version)
+      return true;
+  }
+  // In-flight updates border-link against the tree of the snapshot that was
+  // published when they were assigned; that tree must stay walkable.
+  for (auto it = blob->updates.upper_bound(blob->published);
+       it != blob->updates.end(); ++it) {
+    if (it->second.ref_floor == version) return true;
+  }
+  return false;
+}
+
+bool VersionManagerCore::DiscardedLocked(BlobMeta* blob, Version version) {
+  if (version == 0) return false;
+  BlobMeta* cur = blob;
+  while (version <= cur->branch_version) {
+    cur = FindLocked(cur->parent);
+    if (!cur) return false;
+  }
+  auto it = cur->updates.find(version);
+  return it != cur->updates.end() && it->second.discarded;
+}
+
+Status VersionManagerCore::SetRetention(BlobId id,
+                                        const lifecycle::RetentionPolicy& p) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BlobMeta* blob = FindLocked(id);
+  if (!blob) return Status::NotFound("blob " + std::to_string(id));
+  blob->retention = p;
+  return Status::OK();
+}
+
+Result<lifecycle::RetentionPolicy> VersionManagerCore::GetRetention(BlobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BlobMeta* blob = FindLocked(id);
+  if (!blob) return Status::NotFound("blob " + std::to_string(id));
+  return blob->retention;
+}
+
+Result<std::vector<VersionInfo>> VersionManagerCore::ListVersions(BlobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BlobMeta* blob = FindLocked(id);
+  if (!blob) return Status::NotFound("blob " + std::to_string(id));
+  std::vector<VersionInfo> out;
+  out.reserve(blob->updates.size());
+  for (const auto& [v, rec] : blob->updates) {
+    VersionInfo info;
+    info.version = v;
+    info.size = rec.size_after;
+    info.assigned_at_us = rec.assigned_at_us;
+    info.published = v <= blob->published;
+    info.discarded = rec.discarded;
+    info.pinned = PinnedLocked(blob, v);
+    out.push_back(info);
+  }
+  return out;
+}
+
+Result<std::vector<BlobId>> VersionManagerCore::ListBlobs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BlobId> out;
+  out.reserve(blobs_.size());
+  for (const auto& [id, blob] : blobs_) out.push_back(id);
+  return out;
+}
+
+Status VersionManagerCore::DiscardVersion(BlobId id, Version version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  BlobMeta* blob = FindLocked(id);
+  if (!blob) return Status::NotFound("blob " + std::to_string(id));
+  if (version == 0 || version <= blob->branch_version)
+    return Status::FailedPrecondition(
+        "version not owned by this blob (discard it on its owner)");
+  auto it = blob->updates.find(version);
+  if (it == blob->updates.end())
+    return Status::NotFound("version never assigned");
+  if (version > blob->published)
+    return Status::FailedPrecondition("version not published");
+  if (it->second.discarded) return Status::OK();  // idempotent
+  if (PinnedLocked(blob, version))
+    return Status::FailedPrecondition(StrFormat(
+        "version %llu pinned (latest, branch point, or in-flight floor)",
+        static_cast<unsigned long long>(version)));
+  // The record stays: ancestry size walks, publication bookkeeping and
+  // border math still need it — only readability and GC liveness change.
+  it->second.discarded = true;
+  total_discarded_++;
+  return Status::OK();
+}
+
 VmStats VersionManagerCore::GetStats() const {
   std::lock_guard<std::mutex> lock(mu_);
   VmStats st;
@@ -296,6 +404,7 @@ VmStats VersionManagerCore::GetStats() const {
   st.assigned = total_assigned_;
   st.published = total_published_;
   st.aborted = total_aborted_;
+  st.discarded = total_discarded_;
   return st;
 }
 

@@ -20,6 +20,7 @@
 #include "common/result.h"
 #include "common/serde.h"
 #include "common/types.h"
+#include "lifecycle/retention.h"
 
 namespace blobseer::vmanager {
 
@@ -103,12 +104,49 @@ struct VmStats {
   uint64_t assigned = 0;
   uint64_t published = 0;
   uint64_t aborted = 0;
+  uint64_t discarded = 0;
+};
+
+/// One version's lifecycle facts, as reported by ListVersions (the GC
+/// sweeper feeds these to lifecycle::ExpiredVersions and walks the
+/// segment trees of the survivors).
+struct VersionInfo {
+  Version version = kNoVersion;
+  uint64_t size = 0;  ///< blob size of this snapshot
+  uint64_t assigned_at_us = 0;
+  bool published = false;
+  bool discarded = false;
+  /// Latest published, a child's branch point, or an in-flight update's
+  /// published frontier — DiscardVersion refuses these.
+  bool pinned = false;
+
+  friend bool operator==(const VersionInfo&, const VersionInfo&) = default;
+
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU64(version);
+    w->PutU64(size);
+    w->PutU64(assigned_at_us);
+    w->PutBool(published);
+    w->PutBool(discarded);
+    w->PutBool(pinned);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetU64(&version));
+    BS_RETURN_NOT_OK(r->GetU64(&size));
+    BS_RETURN_NOT_OK(r->GetU64(&assigned_at_us));
+    BS_RETURN_NOT_OK(r->GetBool(&published));
+    BS_RETURN_NOT_OK(r->GetBool(&discarded));
+    return r->GetBool(&pinned);
+  }
 };
 
 /// Thread-safe version manager state machine.
 class VersionManagerCore {
  public:
-  VersionManagerCore() = default;
+  /// `clock` stamps assignment times for age-based retention; nullptr means
+  /// the real clock. Must outlive the core.
+  explicit VersionManagerCore(Clock* clock = nullptr)
+      : clock_(clock ? clock : RealClock::Default()) {}
 
   /// Creates a blob with the given page size (power of two) and an empty,
   /// already-published snapshot 0.
@@ -147,6 +185,27 @@ class VersionManagerCore {
   /// version `version` (paper section 2.1).
   Result<BlobDescriptor> Branch(BlobId id, Version version);
 
+  /// Stores the blob's retention policy (replacing any previous one). The
+  /// policy is advisory state: the GC sweeper reads it back and turns it
+  /// into DiscardVersion calls, so policy and manual deletion share a path.
+  Status SetRetention(BlobId id, const lifecycle::RetentionPolicy& policy);
+  Result<lifecycle::RetentionPolicy> GetRetention(BlobId id);
+
+  /// Lifecycle facts for every version this blob owns (versions above its
+  /// branch point), ascending. Version 0 (the empty snapshot) has no record
+  /// and is never listed — it owns no pages or tree nodes.
+  Result<std::vector<VersionInfo>> ListVersions(BlobId id);
+
+  /// Every live blob id, ascending (the GC sweeper's enumeration).
+  Result<std::vector<BlobId>> ListBlobs();
+
+  /// Marks a published snapshot discarded: reads of it fail NotFound and
+  /// the GC sweeper may reclaim its unshared pages and tree nodes. Refuses
+  /// (FailedPrecondition) versions this blob does not own, unpublished
+  /// versions, and pinned ones (latest published, child branch points,
+  /// in-flight published frontiers). Idempotent on re-discard.
+  Status DiscardVersion(BlobId id, Version version);
+
   VmStats GetStats() const;
 
  private:
@@ -155,6 +214,11 @@ class VersionManagerCore {
     uint64_t size_after = 0;
     bool completed = false;
     bool aborted = false;
+    bool discarded = false;
+    uint64_t assigned_at_us = 0;
+    /// blob->published at assign time: the snapshot whose tree this update
+    /// border-links against. Pinned until this update publishes or aborts.
+    Version ref_floor = 0;
   };
 
   struct BlobMeta {
@@ -168,9 +232,16 @@ class VersionManagerCore {
     uint64_t last_assigned_size = 0;
     std::map<Version, UpdateRecord> updates;  ///< versions > branch_version
     std::vector<AncestrySegment> ancestry;
+    lifecycle::RetentionPolicy retention;
   };
 
   BlobMeta* FindLocked(BlobId id);
+  /// True when `version` must never be discarded from `blob`: the latest
+  /// published snapshot, a child blob's branch point, or the published
+  /// frontier an in-flight (unpublished) update border-links against.
+  bool PinnedLocked(const BlobMeta* blob, Version version) const;
+  /// True when the (possibly ancestor-owned) version has been discarded.
+  bool DiscardedLocked(BlobMeta* blob, Version version);
   /// Size of (possibly ancestor-owned) version v; requires v assigned.
   Result<uint64_t> SizeOfVersionLocked(BlobMeta* blob, Version v);
   /// Builds the partial border set for an update (range, new_size) at
@@ -181,6 +252,7 @@ class VersionManagerCore {
                                                 uint64_t new_size);
   void AdvancePublishedLocked(BlobMeta* blob);
 
+  Clock* clock_;
   mutable std::mutex mu_;
   std::condition_variable publish_cv_;
   std::map<BlobId, std::unique_ptr<BlobMeta>> blobs_;
@@ -188,6 +260,7 @@ class VersionManagerCore {
   uint64_t total_assigned_ = 0;
   uint64_t total_published_ = 0;
   uint64_t total_aborted_ = 0;
+  uint64_t total_discarded_ = 0;
 };
 
 }  // namespace blobseer::vmanager

@@ -193,17 +193,104 @@ struct VmStatsResponse {
   uint64_t assigned = 0;
   uint64_t published = 0;
   uint64_t aborted = 0;
+  uint64_t discarded = 0;
   void EncodeTo(BinaryWriter* w) const {
     w->PutU64(blobs);
     w->PutU64(assigned);
     w->PutU64(published);
     w->PutU64(aborted);
+    w->PutU64(discarded);
   }
   Status DecodeFrom(BinaryReader* r) {
     BS_RETURN_NOT_OK(r->GetU64(&blobs));
     BS_RETURN_NOT_OK(r->GetU64(&assigned));
     BS_RETURN_NOT_OK(r->GetU64(&published));
-    return r->GetU64(&aborted);
+    BS_RETURN_NOT_OK(r->GetU64(&aborted));
+    // Gated trailing decode: pre-lifecycle peers omit the field.
+    if (r->remaining() == 0) return Status::OK();
+    return r->GetU64(&discarded);
+  }
+};
+
+struct SetRetentionRequest {
+  BlobId id = kInvalidBlobId;
+  lifecycle::RetentionPolicy policy;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU64(id);
+    policy.EncodeTo(w);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetU64(&id));
+    return policy.DecodeFrom(r);
+  }
+};
+
+struct SetRetentionResponse {
+  void EncodeTo(BinaryWriter*) const {}
+  Status DecodeFrom(BinaryReader*) { return Status::OK(); }
+};
+
+struct GetRetentionRequest {
+  BlobId id = kInvalidBlobId;
+  void EncodeTo(BinaryWriter* w) const { w->PutU64(id); }
+  Status DecodeFrom(BinaryReader* r) { return r->GetU64(&id); }
+};
+
+struct GetRetentionResponse {
+  lifecycle::RetentionPolicy policy;
+  void EncodeTo(BinaryWriter* w) const { policy.EncodeTo(w); }
+  Status DecodeFrom(BinaryReader* r) { return policy.DecodeFrom(r); }
+};
+
+struct ListVersionsRequest {
+  BlobId id = kInvalidBlobId;
+  void EncodeTo(BinaryWriter* w) const { w->PutU64(id); }
+  Status DecodeFrom(BinaryReader* r) { return r->GetU64(&id); }
+};
+
+struct ListVersionsResponse {
+  std::vector<VersionInfo> versions;
+  void EncodeTo(BinaryWriter* w) const { PutVector(w, versions); }
+  Status DecodeFrom(BinaryReader* r) { return GetVector(r, &versions); }
+};
+
+struct DiscardVersionRequest {
+  BlobId id = kInvalidBlobId;
+  Version version = kNoVersion;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU64(id);
+    w->PutU64(version);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    BS_RETURN_NOT_OK(r->GetU64(&id));
+    return r->GetU64(&version);
+  }
+};
+
+struct DiscardVersionResponse {
+  void EncodeTo(BinaryWriter*) const {}
+  Status DecodeFrom(BinaryReader*) { return Status::OK(); }
+};
+
+struct ListBlobsRequest {
+  void EncodeTo(BinaryWriter*) const {}
+  Status DecodeFrom(BinaryReader*) { return Status::OK(); }
+};
+
+struct ListBlobsResponse {
+  std::vector<BlobId> blobs;
+  void EncodeTo(BinaryWriter* w) const {
+    w->PutU32(static_cast<uint32_t>(blobs.size()));
+    for (BlobId id : blobs) w->PutU64(id);
+  }
+  Status DecodeFrom(BinaryReader* r) {
+    uint32_t n = 0;
+    BS_RETURN_NOT_OK(r->GetU32(&n));
+    if (static_cast<uint64_t>(n) * 8 > r->remaining())
+      return Status::Corruption("blob count exceeds payload");
+    blobs.resize(n);
+    for (auto& id : blobs) BS_RETURN_NOT_OK(r->GetU64(&id));
+    return Status::OK();
   }
 };
 

@@ -96,6 +96,46 @@ Status VersionManagerService::Handle(rpc::Method method, Slice payload,
             rsp->assigned = st.assigned;
             rsp->published = st.published;
             rsp->aborted = st.aborted;
+            rsp->discarded = st.discarded;
+            return Status::OK();
+          });
+    case rpc::Method::kVmSetRetention:
+      return DispatchTyped<SetRetentionRequest, SetRetentionResponse>(
+          payload, response,
+          [this](const SetRetentionRequest& req, SetRetentionResponse*) {
+            return core_.SetRetention(req.id, req.policy);
+          });
+    case rpc::Method::kVmGetRetention:
+      return DispatchTyped<GetRetentionRequest, GetRetentionResponse>(
+          payload, response,
+          [this](const GetRetentionRequest& req, GetRetentionResponse* rsp) {
+            auto p = core_.GetRetention(req.id);
+            if (!p.ok()) return p.status();
+            rsp->policy = *p;
+            return Status::OK();
+          });
+    case rpc::Method::kVmListVersions:
+      return DispatchTyped<ListVersionsRequest, ListVersionsResponse>(
+          payload, response,
+          [this](const ListVersionsRequest& req, ListVersionsResponse* rsp) {
+            auto v = core_.ListVersions(req.id);
+            if (!v.ok()) return v.status();
+            rsp->versions = std::move(v).ValueUnsafe();
+            return Status::OK();
+          });
+    case rpc::Method::kVmDiscardVersion:
+      return DispatchTyped<DiscardVersionRequest, DiscardVersionResponse>(
+          payload, response,
+          [this](const DiscardVersionRequest& req, DiscardVersionResponse*) {
+            return core_.DiscardVersion(req.id, req.version);
+          });
+    case rpc::Method::kVmListBlobs:
+      return DispatchTyped<ListBlobsRequest, ListBlobsResponse>(
+          payload, response,
+          [this](const ListBlobsRequest&, ListBlobsResponse* rsp) {
+            auto b = core_.ListBlobs();
+            if (!b.ok()) return b.status();
+            rsp->blobs = std::move(b).ValueUnsafe();
             return Status::OK();
           });
     default:

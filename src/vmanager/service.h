@@ -9,7 +9,9 @@ namespace blobseer::vmanager {
 
 class VersionManagerService : public rpc::ServiceHandler {
  public:
-  VersionManagerService() = default;
+  /// `clock` feeds assignment timestamps for age-based retention (nullptr =
+  /// real clock); sim harnesses pass their virtual clock.
+  explicit VersionManagerService(Clock* clock = nullptr) : core_(clock) {}
 
   Status Handle(rpc::Method method, Slice payload,
                 std::string* response) override;
