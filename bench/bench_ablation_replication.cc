@@ -244,9 +244,23 @@ int main(int argc, char** argv) {
   double r1_append = 0, r2_append = 0;
   bool degraded_reads_ok = true;
   bool degraded_writes_ok = true;
+  bench::JsonObject sweep_json;
   for (const Config& cfg : kConfigs) {
     SweepResult res =
         RunSweep(cfg.r, cfg.w, psize, total_mb << 20, append_kb << 10);
+    bench::JsonObject row;
+    row.PutU64("r", cfg.r);
+    row.PutU64("w", cfg.w);
+    row.PutDouble("append_mbps", res.append_mbps);
+    row.PutDouble("read_mbps", res.read_mbps);
+    if (res.degraded_write_ran) {
+      row.PutBool("degraded_write_ok", res.degraded_write_ok);
+      row.PutDouble("degraded_write_mbps", res.degraded_write_mbps);
+      row.PutDouble("degraded_read_mbps", res.degraded_read_mbps);
+      row.PutU64("failover_reads", res.failover_reads);
+      row.PutU64("short_quorum_pages", res.degraded_writes);
+    }
+    sweep_json.PutObject(StrFormat("r%u_w%u", cfg.r, cfg.w), row);
     if (cfg.r == 1 && cfg.w == 1) r1_append = res.append_mbps;
     if (cfg.r == 2 && cfg.w == 2) r2_append = res.append_mbps;
     if (cfg.r >= 2 && res.degraded_read_mbps <= 0) degraded_reads_ok = false;
@@ -308,6 +322,39 @@ int main(int argc, char** argv) {
          churn_ok ? "[ok]" : "[REGRESSION]");
   printf("  (w=r degraded writes fail by design; chaos_test gates that "
          "side)\n");
+
+  bench::JsonObject config;
+  config.PutU64("psize", psize);
+  config.PutU64("total_mb", total_mb);
+  config.PutU64("append_kb", append_kb);
+  bench::JsonObject churn_json;
+  churn_json.PutBool("ran", churn.ran);
+  churn_json.PutBool("healed", churn.healed);
+  churn_json.PutDouble("time_to_restore_s", churn.restore_seconds);
+  churn_json.PutU64("rebuilt_pages", churn.rebuilt_pages);
+  churn_json.PutDouble("degraded_read_mbps", churn.during_read_mbps);
+  churn_json.PutDouble("post_heal_read_mbps", churn.after_read_mbps);
+  churn_json.PutU64("degraded_failovers", churn.during_failovers);
+  churn_json.PutU64("post_heal_failovers", churn.after_failovers);
+  bench::JsonObject gates;
+  gates.PutDouble("r2w2_slowdown_vs_r1",
+                  r2_append > 0 ? r1_append / r2_append : 0.0);
+  gates.PutDouble("gate_max_slowdown", budget);
+  gates.PutBool("write_cost_ok", write_cost_ok);
+  gates.PutBool("degraded_reads_ok", degraded_reads_ok);
+  gates.PutBool("degraded_writes_ok", degraded_writes_ok);
+  gates.PutBool("churn_ok", churn_ok);
+  bench::JsonObject doc;
+  doc.PutString("bench", "ablation_replication");
+  doc.PutBool("quick", quick);
+  doc.PutObject("config", config);
+  doc.PutObject("sweep", sweep_json);
+  doc.PutObject("churn", churn_json);
+  doc.PutObject("gates", gates);
+  const std::string json_path =
+      bench::FlagValue(argc, argv, "json", "BENCH_replication.json");
+  if (!bench::WriteJsonFile(json_path, doc)) return 1;
+
   return write_cost_ok && degraded_reads_ok && degraded_writes_ok && churn_ok
              ? 0
              : 1;

@@ -142,6 +142,7 @@ int main(int argc, char** argv) {
                                              "log-nosync"};
   bench::Table store_table({"backend", "put MB/s", "puts/s", "syncs",
                             "segments", "dead bytes"});
+  bench::JsonObject store_json;
   double file_mbps = 0, log_mbps = 0;
   for (const auto& b : backends) {
     StoreResult r =
@@ -153,6 +154,13 @@ int main(int argc, char** argv) {
                         std::to_string(r.stats.syncs),
                         std::to_string(r.stats.segments),
                         std::to_string(r.stats.dead_bytes)});
+    bench::JsonObject row;
+    row.PutDouble("put_mbps", r.mbps);
+    row.PutDouble("puts_per_sec", r.puts_per_sec);
+    row.PutU64("syncs", r.stats.syncs);
+    row.PutU64("segments", r.stats.segments);
+    row.PutU64("dead_bytes", r.stats.dead_bytes);
+    store_json.PutObject(b, row);
   }
   store_table.Print();
   // Quick/smoke runs keep headroom: at smoke scale (few hundred puts) a
@@ -173,6 +181,7 @@ int main(int argc, char** argv) {
          " MB in %" PRIu64 " KB chunks, %" PRIu64 " KB pages)\n\n",
          total_mb, append_kb, psize >> 10);
   bench::Table cluster_table({"backend", "append MB/s"});
+  bench::JsonObject cluster_json;
   for (const auto& b : backends) {
     std::string spec = b == "memory" ? std::string("memory")
                        : b == "file" ? "file:" + root + "/cluster_file"
@@ -181,10 +190,32 @@ int main(int argc, char** argv) {
     double mbps =
         RunClusterAppend(spec, psize, total_mb << 20, append_kb << 10);
     cluster_table.AddRow({b, StrFormat("%.1f", mbps)});
+    cluster_json.PutDouble(b, mbps);
     std::filesystem::remove_all(root);
   }
   cluster_table.Print();
   std::filesystem::remove_all(root);
+
+  bench::JsonObject config;
+  config.PutU64("psize", psize);
+  config.PutU64("writers", writers);
+  config.PutU64("pages_per_writer", pages_per_writer);
+  config.PutU64("total_mb", total_mb);
+  config.PutU64("append_kb", append_kb);
+  bench::JsonObject gate;
+  gate.PutDouble("log_over_file", file_mbps > 0 ? log_mbps / file_mbps : 0.0);
+  gate.PutDouble("gate_min_speedup", speedup_floor);
+  gate.PutBool("gate_pass", log_wins);
+  bench::JsonObject doc;
+  doc.PutString("bench", "ablation_store");
+  doc.PutBool("quick", quick);
+  doc.PutObject("config", config);
+  doc.PutObject("store_sweep", store_json);
+  doc.PutObject("cluster_append_mbps", cluster_json);
+  doc.PutObject("log_vs_file", gate);
+  const std::string json_path =
+      bench::FlagValue(argc, argv, "json", "BENCH_store.json");
+  if (!bench::WriteJsonFile(json_path, doc)) return 1;
 
   // Perf gate: the log store losing to file-per-page is a regression, but
   // the comparison is only meaningful in optimized builds (sanitizer/debug

@@ -1,14 +1,22 @@
-// Async-client pipelining bench: one client, TCP loopback cluster.
+// Async-client pipelining bench, two passes:
 //
-// Compares 64 blocking appends fanned over the default 16-thread executor
-// (each append parks a worker thread for its full RPC latency) against 64
-// async appends issued from a single thread (the continuation chains
-// pipeline every RPC; nothing blocks). The async side must sustain the
-// whole window in flight at once, so its throughput bounds how far the
-// client is from "one thread per operation".
+//   loopback — one client on a TCP loopback cluster. 64 blocking appends
+//     fanned over the default 16-thread executor (each append parks a
+//     worker thread for its full RPC latency) against 64 async appends
+//     issued from a single thread (the continuation chains pipeline every
+//     RPC; nothing blocks). Loopback RTT is ~0, so at smoke scale the gap
+//     narrows to CPU scheduling and the gate keeps headroom.
 //
-// Exits non-zero if the async pipeline fails to beat the blocking fan-out —
-// this is the acceptance gate for the futures-based client API.
+//   simnet — the same comparison under a scripted 2 ms one-way latency in
+//     virtual time: 16 simulated blocking workers against a single async
+//     issuer with 64 in flight. Here the RPC latency is real (simulated)
+//     and deterministic, so the async-pipelining win is visible and gated
+//     strictly: the pipeline must beat thread-per-op by >= 1.3x.
+//
+// Results are also written as JSON (--json=PATH, default
+// BENCH_async_client.json) and the process exits non-zero when a gate
+// fails — this is the acceptance gate for the futures-based client API.
+#include <atomic>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -20,6 +28,7 @@
 #include "common/executor.h"
 #include "common/future.h"
 #include "core/cluster.h"
+#include "core/sim_cluster.h"
 
 namespace {
 
@@ -31,22 +40,24 @@ struct RunResult {
   double seconds = 0;
   uint64_t ops = 0;
   uint64_t bytes = 0;
-  double ops_per_sec() const { return ops / seconds; }
-  double mb_per_sec() const { return bytes / seconds / (1 << 20); }
+  double ops_per_sec() const { return seconds > 0 ? ops / seconds : 0; }
+  double mb_per_sec() const {
+    return seconds > 0 ? bytes / seconds / (1 << 20) : 0;
+  }
 };
 
-// `ops` blocking appends through a `threads`-wide executor, `window` at a
-// time: the classic thread-per-operation client.
-RunResult RunSync(BlobClient* client, BlobId id, const std::string& payload,
-                  uint64_t ops, size_t threads, size_t window) {
-  ThreadPoolExecutor pool(threads);
-  Stopwatch timer;
-  Status st = pool.ParallelFor(ops, window, [&](size_t) {
+// `ops` blocking appends through `pool`, `window` at a time: the classic
+// thread-per-operation client. Works on real threads (ThreadPoolExecutor)
+// and on sim tasks (SimExecutor) — the clock decides what "seconds" means.
+RunResult RunSync(BlobClient* client, Clock* clock, Executor* pool, BlobId id,
+                  const std::string& payload, uint64_t ops, size_t window) {
+  const uint64_t t0 = clock->NowMicros();
+  Status st = pool->ParallelFor(ops, window, [&](size_t) {
     auto v = client->Append(id, payload);
     return v.ok() ? Status::OK() : v.status();
   });
   RunResult r;
-  r.seconds = timer.ElapsedSeconds();
+  r.seconds = double(clock->NowMicros() - t0) / 1e6;
   r.ops = ops;
   r.bytes = ops * payload.size();
   if (!st.ok()) {
@@ -56,10 +67,11 @@ RunResult RunSync(BlobClient* client, BlobId id, const std::string& payload,
   return r;
 }
 
-// `ops` async appends from ONE thread, `window` in flight at a time.
-RunResult RunAsync(BlobClient* client, BlobId id, const std::string& payload,
-                   uint64_t ops, size_t window) {
-  Stopwatch timer;
+// `ops` async appends from ONE thread (or sim task), `window` in flight at
+// a time.
+RunResult RunAsync(BlobClient* client, Clock* clock, BlobId id,
+                   const std::string& payload, uint64_t ops, size_t window) {
+  const uint64_t t0 = clock->NowMicros();
   uint64_t issued = 0;
   Status first;
   while (issued < ops) {
@@ -69,12 +81,12 @@ RunResult RunAsync(BlobClient* client, BlobId id, const std::string& payload,
     for (size_t i = 0; i < wave; i++)
       in_flight.push_back(client->AppendAsync(id, payload));
     issued += wave;
-    auto all = WhenAll(std::move(in_flight)).Wait();
+    auto all = WhenAll(std::move(in_flight)).Wait(client->executor());
     if (!all.ok() && first.ok()) first = all.status();
     if (all.ok() && first.ok()) first = FirstError(*all);
   }
   RunResult r;
-  r.seconds = timer.ElapsedSeconds();
+  r.seconds = double(clock->NowMicros() - t0) / 1e6;
   r.ops = ops;
   r.bytes = ops * payload.size();
   if (!first.ok()) {
@@ -82,6 +94,31 @@ RunResult RunAsync(BlobClient* client, BlobId id, const std::string& payload,
     exit(1);
   }
   return r;
+}
+
+JsonObject ResultJson(const RunResult& r) {
+  JsonObject o;
+  o.PutU64("ops", r.ops);
+  o.PutDouble("seconds", r.seconds);
+  o.PutDouble("ops_per_sec", r.ops_per_sec());
+  o.PutDouble("mb_per_sec", r.mb_per_sec());
+  return o;
+}
+
+void PrintPass(const char* name, const RunResult& sync_r,
+               const RunResult& async_r) {
+  Table table({"mode", "ops/s", "MB/s", "seconds"});
+  auto row = [&](const char* mode, const RunResult& r) {
+    char a[32], b[32], c[32];
+    snprintf(a, sizeof(a), "%.0f", r.ops_per_sec());
+    snprintf(b, sizeof(b), "%.1f", r.mb_per_sec());
+    snprintf(c, sizeof(c), "%.3f", r.seconds);
+    table.AddRow({mode, a, b, c});
+  };
+  printf("\n-- %s --\n", name);
+  row("sync-fanout", sync_r);
+  row("async-1thr", async_r);
+  table.Print();
 }
 
 }  // namespace
@@ -93,7 +130,19 @@ int main(int argc, char** argv) {
   const uint64_t pages_per_op = FlagU64(argc, argv, "pages", 4);
   const size_t window = FlagU64(argc, argv, "window", 64);
   const size_t threads = FlagU64(argc, argv, "threads", 16);
+  const double sim_latency_us =
+      FlagDouble(argc, argv, "sim-latency-us", 2000.0);
+  const std::string json_path =
+      FlagValue(argc, argv, "json", "BENCH_async_client.json");
 
+  printf("async-client bench: %llu appends x %llu KiB, window %zu\n"
+         "  sync: %zu-way blocking fan-out   async: single issuer, "
+         "AppendAsync pipeline\n",
+         static_cast<unsigned long long>(ops),
+         static_cast<unsigned long long>(psize * pages_per_op / 1024), window,
+         threads);
+
+  // ---- Pass 1: TCP loopback, real time. -------------------------------
   core::ClusterOptions copts;
   copts.num_providers = 4;
   copts.num_meta = 4;
@@ -107,57 +156,129 @@ int main(int argc, char** argv) {
   if (!client.ok()) return 1;
 
   std::string payload(psize * pages_per_op, 'a');
-  printf("async-client bench: %llu appends x %llu KiB over TCP loopback, "
-         "window %zu\n  sync: %zu-thread executor, blocking Append\n"
-         "  async: single issuing thread, AppendAsync pipeline\n\n",
-         static_cast<unsigned long long>(ops),
-         static_cast<unsigned long long>(payload.size() / 1024), window,
-         threads);
-
   // Warm up: descriptor/directory caches and TCP connections.
   auto warm = (*client)->Create(psize);
   if (!warm.ok()) return 1;
   if (!(*client)->Append(*warm, payload).ok()) return 1;
 
-  auto sync_blob = (*client)->Create(psize);
-  if (!sync_blob.ok()) return 1;
-  RunResult sync_r =
-      RunSync(client->get(), *sync_blob, payload, ops, threads, window);
+  RunResult sync_r, async_r;
+  {
+    auto sync_blob = (*client)->Create(psize);
+    if (!sync_blob.ok()) return 1;
+    ThreadPoolExecutor pool(threads);
+    sync_r = RunSync(client->get(), RealClock::Default(), &pool, *sync_blob,
+                     payload, ops, window);
+    auto async_blob = (*client)->Create(psize);
+    if (!async_blob.ok()) return 1;
+    async_r = RunAsync(client->get(), RealClock::Default(), *async_blob,
+                       payload, ops, window);
+  }
+  PrintPass("TCP loopback (real time)", sync_r, async_r);
 
-  auto async_blob = (*client)->Create(psize);
-  if (!async_blob.ok()) return 1;
-  RunResult async_r =
-      RunAsync(client->get(), *async_blob, payload, ops, window);
-
-  Table table({"mode", "ops/s", "MB/s", "seconds"});
-  auto row = [&](const char* name, const RunResult& r) {
-    char a[32], b[32], c[32];
-    snprintf(a, sizeof(a), "%.0f", r.ops_per_sec());
-    snprintf(b, sizeof(b), "%.1f", r.mb_per_sec());
-    snprintf(c, sizeof(c), "%.3f", r.seconds);
-    table.AddRow({name, a, b, c});
-  };
-  row("sync-16thr", sync_r);
-  row("async-1thr", async_r);
-  table.Print();
-
-  double speedup = async_r.ops_per_sec() / sync_r.ops_per_sec();
+  double loop_speedup = async_r.ops_per_sec() / sync_r.ops_per_sec();
   // At smoke scale (64 ops) loopback TCP saturates the server CPU and the
   // async/sync gap narrows to ~1.1x (see ROADMAP PR-3 findings); under a
   // loaded machine the two separately-timed passes jitter past each other,
   // so the quick gate keeps headroom. The full run stays strict.
-  const double floor = quick ? 0.7 : 1.0;
-  printf("\nasync/sync speedup = %.2fx (gate: async with %zu in flight must "
-         "stay above %.1fx of blocking fan-out)\n",
-         speedup, window, floor);
-  if (speedup <= floor) {
-    fprintf(stderr,
-            "FAIL: async pipeline (%.0f ops/s) fell below %.1fx of %zu "
-            "blocking appends on the %zu-thread executor (%.0f ops/s)\n",
-            async_r.ops_per_sec(), floor, window, threads,
-            sync_r.ops_per_sec());
+  const double loop_floor = quick ? 0.7 : 1.0;
+
+  // ---- Pass 2: simnet, scripted RTT, virtual time. --------------------
+  // With a real (simulated) network latency each blocking append parks its
+  // worker for the full chain of RPC round trips, while the async issuer
+  // keeps `window` chains in flight — the pipelining win the loopback pass
+  // cannot show. Virtual time makes the ratio deterministic.
+  const uint64_t sim_ops = quick ? 64 : 256;
+  RunResult sim_sync, sim_async;
+  bool sim_setup_ok = false;
+  {
+    simnet::SimScheduler sched;
+    sched.Run([&] {
+      core::SimClusterOptions so;
+      so.num_provider_nodes = 8;
+      so.num_client_nodes = 1;
+      so.page_store = "memory";
+      so.net.latency_us = sim_latency_us;
+      so.provider_cpu_us = 100.0;
+      so.provider_concurrency = 4;
+      core::SimCluster sim(&sched, so);
+      auto sim_client = sim.NewClient();
+
+      uint32_t caller = sched.CurrentNode();
+      sched.SetCurrentNode(sim.client_node(0));
+      auto task = sched.Spawn([&] {
+        auto sync_blob = sim_client->Create(psize);
+        if (!sync_blob.ok()) return;
+        // Warm the directory cache so both passes start equal.
+        if (!sim_client->Append(*sync_blob, payload).ok()) return;
+        sim_sync = RunSync(sim_client.get(), &sim.clock(), &sim.executor(),
+                           *sync_blob, payload, sim_ops, threads);
+        auto async_blob = sim_client->Create(psize);
+        if (!async_blob.ok()) return;
+        sim_async = RunAsync(sim_client.get(), &sim.clock(), *async_blob,
+                             payload, sim_ops, window);
+        sim_setup_ok = true;
+      });
+      sched.SetCurrentNode(caller);
+      sched.Join(task);
+    });
+  }
+  if (!sim_setup_ok) {
+    fprintf(stderr, "simnet pass setup failed\n");
     return 1;
   }
-  printf("[ok]\n");
-  return 0;
+  PrintPass("simnet, 2ms one-way RTT (virtual time)", sim_sync, sim_async);
+
+  double sim_speedup = sim_async.ops_per_sec() / sim_sync.ops_per_sec();
+  const double sim_floor = 1.3;
+
+  printf("\nasync/sync speedup: loopback %.2fx (gate > %.1fx), simnet %.2fx "
+         "(gate > %.1fx)\n",
+         loop_speedup, loop_floor, sim_speedup, sim_floor);
+
+  bool loop_pass = loop_speedup > loop_floor;
+  bool sim_pass = sim_speedup > sim_floor;
+
+  JsonObject doc;
+  doc.PutString("bench", "async_client");
+  doc.PutBool("quick", quick);
+  JsonObject config;
+  config.PutU64("ops", ops);
+  config.PutU64("psize", psize);
+  config.PutU64("pages_per_op", pages_per_op);
+  config.PutU64("window", window);
+  config.PutU64("threads", threads);
+  doc.PutObject("config", config);
+  JsonObject loop;
+  loop.PutObject("sync", ResultJson(sync_r));
+  loop.PutObject("async", ResultJson(async_r));
+  loop.PutDouble("speedup", loop_speedup);
+  loop.PutDouble("gate_min_speedup", loop_floor);
+  loop.PutBool("gate_pass", loop_pass);
+  doc.PutObject("loopback", loop);
+  JsonObject sim_obj;
+  sim_obj.PutDouble("latency_us", sim_latency_us);
+  sim_obj.PutU64("ops", sim_ops);
+  sim_obj.PutObject("sync", ResultJson(sim_sync));
+  sim_obj.PutObject("async", ResultJson(sim_async));
+  sim_obj.PutDouble("speedup", sim_speedup);
+  sim_obj.PutDouble("gate_min_speedup", sim_floor);
+  sim_obj.PutBool("gate_pass", sim_pass);
+  doc.PutObject("simnet", sim_obj);
+  if (!WriteJsonFile(json_path, doc)) return 1;
+
+  if (!loop_pass) {
+    fprintf(stderr,
+            "FAIL: loopback async pipeline (%.0f ops/s) fell below %.1fx of "
+            "the blocking fan-out (%.0f ops/s)\n",
+            async_r.ops_per_sec(), loop_floor, sync_r.ops_per_sec());
+  }
+  if (!sim_pass) {
+    fprintf(stderr,
+            "FAIL: simnet async pipeline (%.0f ops/s) fell below %.1fx of "
+            "the blocking fan-out (%.0f ops/s) at %.0fus one-way latency\n",
+            sim_async.ops_per_sec(), sim_floor, sim_sync.ops_per_sec(),
+            sim_latency_us);
+  }
+  if (loop_pass && sim_pass) printf("[ok]\n");
+  return loop_pass && sim_pass ? 0 : 1;
 }

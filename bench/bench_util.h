@@ -105,6 +105,53 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
+namespace internal {
+inline std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+}  // namespace internal
+
+class JsonObject;
+
+/// Ordered JSON array builder — the workload benches emit throughput
+/// timelines and per-bucket series as arrays alongside JsonObject fields.
+class JsonArray {
+ public:
+  void AddU64(uint64_t value) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    items_.emplace_back(buf);
+  }
+  void AddDouble(double value) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "%.6g", value);
+    items_.emplace_back(buf);
+  }
+  void AddString(const std::string& value) {
+    items_.emplace_back(internal::JsonQuote(value));
+  }
+  void AddRendered(std::string rendered) {  // pre-rendered object/array
+    items_.push_back(std::move(rendered));
+  }
+
+  std::string Render() const {
+    std::string out = "[";
+    for (size_t i = 0; i < items_.size(); i++) {
+      if (i > 0) out += ", ";
+      out += items_[i];
+    }
+    return out + "]";
+  }
+
+ private:
+  std::vector<std::string> items_;
+};
+
 /// Insertion-ordered JSON object builder for bench result files. Values are
 /// rendered on Put; nested objects nest via PutObject. Only what the
 /// benches need — strings are escaped for quotes and backslashes, numbers
@@ -125,31 +172,25 @@ class JsonObject {
     fields_.emplace_back(key, value ? "true" : "false");
   }
   void PutString(const std::string& key, const std::string& value) {
-    fields_.emplace_back(key, Quote(value));
+    fields_.emplace_back(key, internal::JsonQuote(value));
   }
   void PutObject(const std::string& key, const JsonObject& obj) {
     fields_.emplace_back(key, obj.Render());
+  }
+  void PutArray(const std::string& key, const JsonArray& arr) {
+    fields_.emplace_back(key, arr.Render());
   }
 
   std::string Render() const {
     std::string out = "{";
     for (size_t i = 0; i < fields_.size(); i++) {
       if (i > 0) out += ", ";
-      out += Quote(fields_[i].first) + ": " + fields_[i].second;
+      out += internal::JsonQuote(fields_[i].first) + ": " + fields_[i].second;
     }
     return out + "}";
   }
 
  private:
-  static std::string Quote(const std::string& s) {
-    std::string out = "\"";
-    for (char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      out += c;
-    }
-    return out + "\"";
-  }
-
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 

@@ -40,15 +40,21 @@ SimCluster::SimCluster(simnet::SimScheduler* sched,
   provider_profile_ = provider_profile;
   pm_client_ = std::make_unique<pmanager::ProviderManagerClient>(
       transport_.get(), pm_address_);
+  const size_t dht_nodes =
+      options.num_dht_nodes == 0
+          ? options.num_provider_nodes
+          : std::min(options.num_dht_nodes, options.num_provider_nodes);
   for (size_t i = 0; i < options.num_provider_nodes; i++) {
     uint32_t node = provider_node(i);
 
-    auto dht_svc = std::make_shared<dht::DhtService>();
-    std::string dht_addr = simnet::SimTransport::MakeAddress(node, "meta");
-    transport_->SetServiceProfile(dht_addr, dht_profile);
-    BS_CHECK(transport_->Serve(dht_addr, dht_svc).ok());
-    dht_services_.push_back(std::move(dht_svc));
-    dht_addresses_.push_back(std::move(dht_addr));
+    if (i < dht_nodes) {
+      auto dht_svc = std::make_shared<dht::DhtService>();
+      std::string dht_addr = simnet::SimTransport::MakeAddress(node, "meta");
+      transport_->SetServiceProfile(dht_addr, dht_profile);
+      BS_CHECK(transport_->Serve(dht_addr, dht_svc).ok());
+      dht_services_.push_back(std::move(dht_svc));
+      dht_addresses_.push_back(std::move(dht_addr));
+    }
 
     auto prov_svc = std::make_shared<provider::ProviderService>(
         options.page_store == "memory" ? provider::MakeMemoryPageStore()
@@ -116,6 +122,12 @@ void SimCluster::StartProviderHeartbeat(size_t index) {
   config.capacity_pages = 0;
   config.id = provider_ids_[index];
   config.interval_us = options_.heartbeat_interval_us;
+  // Stagger first beats across the interval: n synchronized senders would
+  // otherwise all fire on the same virtual tick forever, serializing n
+  // RPCs through the provider manager at every beat boundary.
+  config.initial_delay_us =
+      1 + (index * options_.heartbeat_interval_us) /
+              std::max<size_t>(options_.num_provider_nodes, 1);
   // The sender loop is a sim task spawned via the executor; tasks inherit
   // the spawner's node, so place the caller on the provider's node for the
   // duration of the call — its beats then originate from that node in the
@@ -128,6 +140,10 @@ void SimCluster::StartProviderHeartbeat(size_t index) {
 }
 
 void SimCluster::StopHeartbeats() {
+  // Two-phase: request every stop, then join. Each join waits at most one
+  // beat interval, and the requested flags let those waits overlap —
+  // serial StopHeartbeat calls would cost ~n/2 intervals at n providers.
+  for (auto& svc : provider_services_) svc->RequestStopHeartbeat();
   for (auto& svc : provider_services_) svc->StopHeartbeat();
 }
 
@@ -148,6 +164,24 @@ Status SimCluster::StopProvider(size_t index) {
   // blocks the calling sim task for up to one beat interval).
   provider_services_[index]->StopHeartbeat();
   return transport_->StopServing(provider_addresses_[index]);
+}
+
+Status SimCluster::StopProviders(const std::vector<size_t>& indices) {
+  Status first = Status::OK();
+  for (size_t index : indices) {
+    if (index >= provider_addresses_.size()) {
+      if (first.ok()) first = Status::InvalidArgument("provider index");
+      continue;
+    }
+    provider_services_[index]->RequestStopHeartbeat();
+  }
+  for (size_t index : indices) {
+    if (index >= provider_addresses_.size()) continue;
+    provider_services_[index]->StopHeartbeat();
+    Status s = transport_->StopServing(provider_addresses_[index]);
+    if (first.ok() && !s.ok()) first = s;
+  }
+  return first;
 }
 
 Status SimCluster::RestartProvider(size_t index) {

@@ -29,6 +29,11 @@ struct SimClusterOptions {
   /// Extra dedicated client nodes (readers in Figure 2(b) instead run
   /// co-deployed on provider nodes).
   size_t num_client_nodes = 1;
+  /// Metadata (DHT) providers are co-deployed on the first
+  /// `num_dht_nodes` provider nodes; 0 = one on every provider node (the
+  /// paper deployment). 1000-provider campaigns cap this so the metadata
+  /// ring stays a realistic size instead of scaling with the data fleet.
+  size_t num_dht_nodes = 0;
   simnet::SimNetworkOptions net;
   /// Service cost model (calibrated in EXPERIMENTS.md).
   double provider_cpu_us = 1300.0;
@@ -111,6 +116,14 @@ class SimCluster {
   /// it observe Unavailable from then on. The node's heartbeat sender dies
   /// with it (process-death semantics).
   Status StopProvider(size_t index);
+
+  /// Kills a whole wave of providers at (nearly) the same virtual instant:
+  /// every victim's heartbeat stop is requested first, then the endpoints
+  /// are unserved and the senders joined — the joins overlap one beat
+  /// interval for the wave instead of serializing one per victim, which is
+  /// what makes 1000-provider kill waves affordable. Returns the first
+  /// error, having attempted every index.
+  Status StopProviders(const std::vector<size_t>& indices);
 
   /// Restarts a stopped provider on its original address (same service
   /// instance, so an in-memory store survives like a durable disk would):

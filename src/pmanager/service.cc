@@ -115,26 +115,29 @@ Status ProviderManagerService::Handle(rpc::Method method, Slice payload,
             std::lock_guard<std::mutex> lock(mu_);
             const uint64_t now = clock_->NowMicros();
             // Re-registration of the same address refreshes liveness and
-            // keeps the id stable (provider restart).
-            for (auto& r : records_) {
-              if (r.address == req.address) {
-                r.liveness = Liveness::kAlive;
-                r.last_heartbeat_us = now;
-                r.capacity_pages = req.capacity_pages;
-                // An operator bringing a drained provider back rejoins it
-                // to the allocation pool.
-                r.draining = false;
-                rsp->id = r.id;
-                return Status::OK();
-              }
+            // keeps the id stable (provider restart). Resolved through the
+            // address index — a linear registry scan here turns the bring-up
+            // of an n-provider cluster into O(n^2).
+            auto it = ids_by_address_.find(req.address);
+            if (it != ids_by_address_.end()) {
+              ProviderRecord& r = records_[it->second];
+              r.liveness = Liveness::kAlive;
+              r.last_heartbeat_us = now;
+              r.capacity_pages = req.capacity_pages;
+              // An operator bringing a drained provider back rejoins it
+              // to the allocation pool.
+              r.draining = false;
+              rsp->id = r.id;
+              return Status::OK();
             }
             ProviderRecord rec;
             rec.id = static_cast<ProviderId>(records_.size());
             rec.address = req.address;
             rec.capacity_pages = req.capacity_pages;
             rec.last_heartbeat_us = now;
-            records_.push_back(rec);
-            rsp->id = rec.id;
+            ids_by_address_.emplace(rec.address, rec.id);
+            records_.push_back(std::move(rec));
+            rsp->id = static_cast<ProviderId>(records_.size() - 1);
             return Status::OK();
           });
     case rpc::Method::kPmHeartbeat:
@@ -169,20 +172,28 @@ Status ProviderManagerService::Handle(rpc::Method method, Slice payload,
             // the rotation here, not at write time.
             RefreshLivenessLocked();
             // Strategies charge allocated_pages (and retire full providers)
-            // as they pick; run them on a scratch copy and commit only a
-            // fully-satisfied allocation, so failed requests leave no
-            // phantom load behind.
-            std::vector<ProviderRecord> scratch = records_;
+            // as they pick — that is the only record state they mutate. So
+            // snapshot just the allocation counters and roll them back on a
+            // partial allocation: failed requests leave no phantom load
+            // behind, and a large registry no longer pays a full record
+            // copy (address strings included) per allocation RPC.
+            alloc_rollback_.resize(records_.size());
+            for (size_t i = 0; i < records_.size(); i++)
+              alloc_rollback_[i] = records_[i].allocated_pages;
             rsp->replicas =
-                strategy_->Allocate(&scratch, req.num_pages, req.replication);
-            if (rsp->replicas.size() != req.num_pages)
-              return Status::Unavailable("insufficient provider capacity");
+                strategy_->Allocate(&records_, req.num_pages, req.replication);
+            bool satisfied = rsp->replicas.size() == req.num_pages;
             for (const auto& set : rsp->replicas) {
-              if (set.size() != req.replication)
-                return Status::Unavailable(
-                    "fewer live providers than replication factor");
+              if (set.size() != req.replication) satisfied = false;
             }
-            records_ = std::move(scratch);
+            if (!satisfied) {
+              for (size_t i = 0; i < alloc_rollback_.size(); i++)
+                records_[i].allocated_pages = alloc_rollback_[i];
+              return Status::Unavailable(
+                  rsp->replicas.size() != req.num_pages
+                      ? "insufficient provider capacity"
+                      : "fewer live providers than replication factor");
+            }
             allocations_ +=
                 static_cast<uint64_t>(req.num_pages) * req.replication;
             return Status::OK();

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
@@ -89,6 +90,12 @@ class ProviderManagerService : public rpc::ServiceHandler {
 
   mutable std::mutex mu_;
   mutable std::vector<ProviderRecord> records_;
+  /// Address -> index into records_ (ids are dense and never removed), so
+  /// (re-)registration stays O(1) at 1000-provider bring-up.
+  std::unordered_map<std::string, ProviderId> ids_by_address_;
+  /// Reusable allocated_pages snapshot for allocation rollback (guarded by
+  /// mu_; kept as a member to avoid a per-RPC allocation).
+  std::vector<uint64_t> alloc_rollback_;
   std::unique_ptr<AllocationStrategy> strategy_;
   Clock* clock_;
   LivenessOptions liveness_;

@@ -44,8 +44,12 @@ void ProviderService::StartHeartbeat(Executor* executor, Clock* clock,
   // The raw store pointer is safe: the destructor stops the loop (and
   // waits on `done`) before `store_` is destroyed.
   executor->Schedule([loop, clock, store = store_.get()] {
+    uint64_t sleep_us = loop->config.initial_delay_us
+                            ? loop->config.initial_delay_us
+                            : loop->config.interval_us;
     while (!loop->stop.load(std::memory_order_acquire)) {
-      clock->SleepForMicros(loop->config.interval_us);
+      clock->SleepForMicros(sleep_us);
+      sleep_us = loop->config.interval_us;
       if (loop->stop.load(std::memory_order_acquire)) break;
       PageStoreStats st = store->GetStats();
       Status s = loop->pm->Heartbeat(loop->config.id, st.pages, st.bytes);
@@ -68,6 +72,11 @@ void ProviderService::StartHeartbeat(Executor* executor, Clock* clock,
     }
     loop->done->Signal();
   });
+}
+
+void ProviderService::RequestStopHeartbeat() {
+  if (!hb_) return;
+  hb_->stop.store(true, std::memory_order_release);
 }
 
 void ProviderService::StopHeartbeat() {

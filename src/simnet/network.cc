@@ -23,6 +23,11 @@ void SimNetwork::SetNodeCapacity(uint32_t node, double bytes_per_sec) {
   nodes_[node].down_cap = bytes_per_sec;
 }
 
+void SimNetwork::SetNodeExtraLatency(uint32_t node, double us) {
+  BS_CHECK(node < nodes_.size()) << "bad node id";
+  nodes_[node].extra_latency_us = us;
+}
+
 double SimNetwork::EndpointRate(const Flow& f) const {
   const Node& s = nodes_[f.src];
   const Node& d = nodes_[f.dst];
@@ -128,7 +133,9 @@ void SimNetwork::RecomputeMaxMin() {
 
 void SimNetwork::Transfer(uint32_t src, uint32_t dst, uint64_t bytes) {
   BS_CHECK(src < nodes_.size() && dst < nodes_.size()) << "bad node id";
-  if (options_.latency_us > 0) sched_->SleepFor(options_.latency_us);
+  const double latency = options_.latency_us + nodes_[src].extra_latency_us +
+                         nodes_[dst].extra_latency_us;
+  if (latency > 0) sched_->SleepFor(latency);
   if (bytes == 0) return;
   nodes_[src].bytes_sent += static_cast<double>(bytes);
   nodes_[dst].bytes_received += static_cast<double>(bytes);

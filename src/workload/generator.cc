@@ -1,0 +1,197 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace blobseer::workload {
+namespace {
+
+/// Zipfian rank sampler over n items: P(rank) proportional to
+/// 1/(rank+1)^theta, sampled by binary search over the precomputed CDF.
+/// Rebuilt when the active-tenant set changes (churn is rare, n is small).
+class ZipfPicker {
+ public:
+  void Reset(size_t n, double theta) {
+    cdf_.resize(n);
+    double acc = 0.0;
+    for (size_t i = 0; i < n; i++) {
+      acc += 1.0 / std::pow(double(i + 1), theta);
+      cdf_[i] = acc;
+    }
+  }
+
+  size_t Pick(Rng& rng) const {
+    double u = rng.NextDouble() * cdf_.back();
+    size_t i = std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin();
+    return std::min(i, cdf_.size() - 1);
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Evenly spreads `count` event indices across [begin, end).
+std::vector<uint64_t> SpreadPoints(uint64_t count, uint64_t begin,
+                                   uint64_t end) {
+  std::vector<uint64_t> points;
+  if (count == 0 || end <= begin) return points;
+  uint64_t span = end - begin;
+  for (uint64_t i = 0; i < count; i++) {
+    points.push_back(begin + (i + 1) * span / (count + 1));
+  }
+  return points;
+}
+
+uint64_t RangeInclusive(Rng& rng, uint64_t lo, uint64_t hi) {
+  return lo + rng.Uniform(hi - lo + 1);
+}
+
+}  // namespace
+
+std::string Op::DebugString() const {
+  switch (kind) {
+    case OpKind::kCreate:
+      return StrFormat("create t%u pages=%llu salt=%016llx", tenant,
+                       (unsigned long long)pages, (unsigned long long)salt);
+    case OpKind::kAppend:
+      return StrFormat("append t%u pages=%llu salt=%016llx", tenant,
+                       (unsigned long long)pages, (unsigned long long)salt);
+    case OpKind::kWrite:
+      return StrFormat("write t%u pages=%llu off=%uppm salt=%016llx", tenant,
+                       (unsigned long long)pages, offset_ppm,
+                       (unsigned long long)salt);
+    case OpKind::kRead:
+      return StrFormat("read%s t%u pages=%llu off=%uppm lag=%u",
+                       flash ? "*" : "", tenant, (unsigned long long)pages,
+                       offset_ppm, version_lag);
+    case OpKind::kDepart:
+      return StrFormat("depart t%u", tenant);
+  }
+  return "?";
+}
+
+std::string Schedule::Canonical() const {
+  std::string out;
+  for (const Op& op : ops) {
+    out += op.DebugString();
+    out += "\n";
+  }
+  return out;
+}
+
+uint64_t Schedule::Fingerprint() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : Canonical()) {
+    h ^= uint8_t(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Schedule GenerateSchedule(const WorkloadSpec& spec) {
+  Schedule sched;
+  Rng rng(spec.seed);
+  ZipfPicker zipf;
+
+  // Active tenants ordered by popularity: creation order, hottest first.
+  std::vector<uint32_t> active;
+  uint32_t next_tenant = 0;
+  auto create = [&](uint32_t t) {
+    Op op;
+    op.kind = OpKind::kCreate;
+    op.tenant = t;
+    op.pages = spec.initial_pages;
+    op.salt = rng.Next();
+    sched.ops.push_back(op);
+    active.push_back(t);
+  };
+  for (uint64_t i = 0; i < spec.tenants; i++) create(next_tenant++);
+  zipf.Reset(active.size(), spec.zipf_theta);
+
+  std::vector<uint64_t> arrivals = SpreadPoints(spec.arrivals, 0, spec.ops);
+  // Departures run in the second half so arriving tenants can cover them.
+  std::vector<uint64_t> departures =
+      SpreadPoints(spec.departures, spec.ops / 2, spec.ops);
+  size_t next_arrival = 0;
+  size_t next_departure = 0;
+  uint64_t flash_at = spec.ops + 1;
+  if (spec.flash_crowd_at >= 0.0 && spec.flash_crowd_ops > 0) {
+    flash_at = uint64_t(spec.flash_crowd_at * double(spec.ops));
+  }
+
+  auto read_op = [&](uint32_t t, bool flash) {
+    Op op;
+    op.kind = OpKind::kRead;
+    op.tenant = t;
+    op.pages = RangeInclusive(rng, spec.read_pages_min, spec.read_pages_max);
+    op.offset_ppm = uint32_t(rng.Uniform(1000000));
+    op.version_lag =
+        flash ? 0 : uint32_t(rng.Uniform(spec.version_lag_max + 1));
+    op.flash = flash;
+    sched.ops.push_back(op);
+  };
+
+  for (uint64_t k = 0; k < spec.ops; k++) {
+    while (next_arrival < arrivals.size() && arrivals[next_arrival] == k) {
+      next_arrival++;
+      create(next_tenant++);
+      zipf.Reset(active.size(), spec.zipf_theta);
+    }
+    while (next_departure < departures.size() &&
+           departures[next_departure] == k) {
+      next_departure++;
+      if (active.size() <= 1) continue;
+      // Retire a non-hottest tenant so the flash-crowd target survives.
+      size_t idx = 1 + rng.Uniform(active.size() - 1);
+      Op op;
+      op.kind = OpKind::kDepart;
+      op.tenant = active[idx];
+      sched.ops.push_back(op);
+      active.erase(active.begin() + idx);
+      zipf.Reset(active.size(), spec.zipf_theta);
+    }
+    if (k == flash_at) {
+      for (uint64_t j = 0; j < spec.flash_crowd_ops; j++) {
+        read_op(active.front(), /*flash=*/true);
+      }
+    }
+
+    uint32_t tenant = active[zipf.Pick(rng)];
+    if (rng.NextDouble() < spec.read_fraction) {
+      read_op(tenant, /*flash=*/false);
+    } else {
+      Op op;
+      op.tenant = tenant;
+      op.pages =
+          RangeInclusive(rng, spec.write_pages_min, spec.write_pages_max);
+      op.salt = rng.Next();
+      if (rng.NextDouble() < spec.append_fraction) {
+        op.kind = OpKind::kAppend;
+      } else {
+        op.kind = OpKind::kWrite;
+        op.offset_ppm = uint32_t(rng.Uniform(1000000));
+      }
+      sched.ops.push_back(op);
+    }
+  }
+  return sched;
+}
+
+std::string MakePayload(uint64_t salt, size_t len) {
+  std::string out;
+  out.resize(len);
+  uint64_t x = salt ? salt : 0x9e3779b97f4a7c15ULL;
+  size_t i = 0;
+  while (i < len) {
+    x = Mix64(x);
+    for (int b = 0; b < 8 && i < len; b++, i++) {
+      out[i] = char('a' + ((x >> (b * 8)) % 26));
+    }
+  }
+  return out;
+}
+
+}  // namespace blobseer::workload

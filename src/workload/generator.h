@@ -1,0 +1,60 @@
+// Deterministic schedule expansion: a WorkloadSpec + seed becomes a flat
+// vector of ops (creates, zipfian-addressed reads/appends/writes, flash
+// crowd bursts, tenant arrivals/departures). The expansion is pure — no
+// clocks, no global state — so the same spec always yields a byte-identical
+// schedule, which is what makes campaign artifacts comparable across PRs.
+#ifndef BLOBSEER_WORKLOAD_GENERATOR_H_
+#define BLOBSEER_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/spec.h"
+
+namespace blobseer::workload {
+
+enum class OpKind : uint8_t {
+  kCreate,  // create blob `tenant` + initial append of `pages` pages
+  kAppend,  // append `pages` pages of payload derived from `salt`
+  kWrite,   // overwrite `pages` pages at a position derived from offset_ppm
+  kRead,    // read `pages` pages of version latest-`version_lag`
+  kDepart,  // tenant stops receiving traffic (blob stays readable)
+};
+
+/// One scheduled operation. Positions are stored as parts-per-million of
+/// the target blob/version size and resolved against the reference model at
+/// execution time, so the schedule stays pure data.
+struct Op {
+  OpKind kind = OpKind::kRead;
+  uint32_t tenant = 0;
+  uint64_t pages = 0;
+  uint32_t offset_ppm = 0;
+  uint32_t version_lag = 0;
+  uint64_t salt = 0;      // payload seed for mutations
+  bool flash = false;     // part of a flash-crowd burst
+
+  std::string DebugString() const;
+};
+
+struct Schedule {
+  std::vector<Op> ops;
+
+  /// Canonical one-op-per-line rendering; byte-identical across runs of the
+  /// same spec. The determinism tests diff this directly.
+  std::string Canonical() const;
+
+  /// FNV-1a over Canonical() — a stable schedule identity for JSON echo.
+  uint64_t Fingerprint() const;
+};
+
+/// Expands `spec` into its schedule. The spec must Validate().
+Schedule GenerateSchedule(const WorkloadSpec& spec);
+
+/// Deterministic payload bytes for a mutation op (salt + length identify
+/// the content). The runner and any external verifier must agree on this.
+std::string MakePayload(uint64_t salt, size_t len);
+
+}  // namespace blobseer::workload
+
+#endif  // BLOBSEER_WORKLOAD_GENERATOR_H_

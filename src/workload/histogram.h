@@ -1,0 +1,138 @@
+// Fixed-footprint latency histogram (HDR-style log buckets, ~6% relative
+// error) and a bucketed throughput timeline. Both merge across workers so a
+// campaign's per-runner measurements aggregate into one report; both work
+// identically under real and virtual clocks since they only consume
+// microsecond timestamps.
+#ifndef BLOBSEER_WORKLOAD_HISTOGRAM_H_
+#define BLOBSEER_WORKLOAD_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace blobseer::workload {
+
+/// Latency histogram over microsecond values. Values < 16 land in exact
+/// buckets; above that, each power-of-two octave splits into 16 linear
+/// sub-buckets, bounding relative error to 1/16.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kSub = 16;       // sub-buckets per octave
+  static constexpr size_t kGroups = 61;    // linear range + octaves 4..63
+  static constexpr size_t kBuckets = kGroups * kSub;
+
+  void Record(uint64_t us) {
+    buckets_[BucketFor(us)]++;
+    count_++;
+    sum_ += double(us);
+    max_ = std::max(max_, us);
+    min_ = std::min(min_, us);
+  }
+
+  void Merge(const LatencyHistogram& o) {
+    for (size_t i = 0; i < kBuckets; i++) buckets_[i] += o.buckets_[i];
+    count_ += o.count_;
+    sum_ += o.sum_;
+    max_ = std::max(max_, o.max_);
+    min_ = std::min(min_, o.min_);
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t max_us() const { return count_ ? max_ : 0; }
+  uint64_t min_us() const { return count_ ? min_ : 0; }
+  double mean_us() const { return count_ ? sum_ / double(count_) : 0.0; }
+
+  /// Value at quantile p in [0, 1] (upper bound of the containing bucket,
+  /// clamped to the observed max). 0 when empty.
+  uint64_t Percentile(double p) const {
+    if (count_ == 0) return 0;
+    uint64_t target = uint64_t(p * double(count_));
+    if (target < 1) target = 1;
+    if (target > count_) target = count_;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; i++) {
+      seen += buckets_[i];
+      if (seen >= target) return std::min(BucketUpper(i), max_);
+    }
+    return max_;
+  }
+
+ private:
+  static size_t BucketFor(uint64_t us) {
+    if (us < kSub) return size_t(us);
+    int msb = 63 - __builtin_clzll(us);  // >= 4 here
+    size_t group = size_t(msb) - 3;      // [16,32) => 1, [32,64) => 2, ...
+    size_t sub = size_t(us >> (msb - 4)) & (kSub - 1);
+    return group * kSub + sub;
+  }
+
+  static uint64_t BucketUpper(size_t bucket) {
+    size_t group = bucket / kSub;
+    size_t sub = bucket % kSub;
+    if (group == 0) return sub;
+    int msb = int(group) + 3;
+    uint64_t base = (uint64_t(kSub) + sub) << (msb - 4);
+    return base + ((uint64_t(1) << (msb - 4)) - 1);
+  }
+
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  uint64_t max_ = 0;
+  uint64_t min_ = UINT64_MAX;
+  double sum_ = 0.0;
+};
+
+/// Ops + bytes completed per fixed time bucket, measured from a shared
+/// epoch so per-worker timelines align when merged. Capped at kMaxBuckets;
+/// later completions fold into the final bucket rather than growing
+/// without bound.
+class Timeline {
+ public:
+  static constexpr size_t kMaxBuckets = 4096;
+
+  void Init(uint64_t epoch_us, uint64_t bucket_us) {
+    epoch_us_ = epoch_us;
+    bucket_us_ = bucket_us ? bucket_us : 1;
+  }
+
+  void Record(uint64_t now_us, uint64_t bytes) {
+    uint64_t rel = now_us > epoch_us_ ? now_us - epoch_us_ : 0;
+    size_t idx = std::min(size_t(rel / bucket_us_), kMaxBuckets - 1);
+    if (idx >= ops_.size()) {
+      ops_.resize(idx + 1, 0);
+      bytes_.resize(idx + 1, 0);
+    }
+    ops_[idx]++;
+    bytes_[idx] += bytes;
+  }
+
+  /// Merging requires matching epoch/bucket (the driver hands every worker
+  /// the same ones); mismatched timelines are folded bucket-by-bucket
+  /// anyway, which is the best available alignment.
+  void Merge(const Timeline& o) {
+    if (o.ops_.size() > ops_.size()) {
+      ops_.resize(o.ops_.size(), 0);
+      bytes_.resize(o.bytes_.size(), 0);
+    }
+    for (size_t i = 0; i < o.ops_.size(); i++) {
+      ops_[i] += o.ops_[i];
+      bytes_[i] += o.bytes_[i];
+    }
+  }
+
+  uint64_t epoch_us() const { return epoch_us_; }
+  uint64_t bucket_us() const { return bucket_us_; }
+  const std::vector<uint64_t>& ops() const { return ops_; }
+  const std::vector<uint64_t>& bytes() const { return bytes_; }
+
+ private:
+  uint64_t epoch_us_ = 0;
+  uint64_t bucket_us_ = 1000000;
+  std::vector<uint64_t> ops_;
+  std::vector<uint64_t> bytes_;
+};
+
+}  // namespace blobseer::workload
+
+#endif  // BLOBSEER_WORKLOAD_HISTOGRAM_H_

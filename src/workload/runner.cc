@@ -1,0 +1,327 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+#include <cstring>
+#include <tuple>
+
+#include "common/string_util.h"
+
+namespace blobseer::workload {
+
+void WorkloadReport::Merge(const WorkloadReport& o) {
+  ops_issued += o.ops_issued;
+  creates += o.creates;
+  reads += o.reads;
+  appends += o.appends;
+  writes += o.writes;
+  departures += o.departures;
+  read_bytes += o.read_bytes;
+  written_bytes += o.written_bytes;
+  verify_failures += o.verify_failures;
+  verified_reads += o.verified_reads;
+  not_found_reads += o.not_found_reads;
+  read_errors += o.read_errors;
+  write_errors += o.write_errors;
+  read_latency.Merge(o.read_latency);
+  write_latency.Merge(o.write_latency);
+  timeline.Merge(o.timeline);
+  if (o.start_us && (start_us == 0 || o.start_us < start_us)) {
+    start_us = o.start_us;
+  }
+  end_us = std::max(end_us, o.end_us);
+}
+
+WorkloadRunner::WorkloadRunner(client::BlobClient* client, Clock* clock,
+                               RunnerOptions options)
+    : client_(client), clock_(clock), opts_(options) {
+  if (opts_.window == 0) opts_.window = 1;
+  if (opts_.keep_versions == 0) opts_.keep_versions = 1;
+}
+
+Status WorkloadRunner::Run(const WorkloadSpec& spec,
+                           const Schedule& schedule) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    report_.start_us = clock_->NowMicros();
+    report_.timeline.Init(opts_.epoch_us ? opts_.epoch_us : report_.start_us,
+                          opts_.timeline_bucket_us);
+  }
+  Status result = Status::OK();
+  for (const Op& op : schedule.ops) {
+    if (op.kind == OpKind::kCreate) {
+      Status s = HandleCreate(spec, op);
+      if (!s.ok()) {
+        result = s;
+        break;
+      }
+      continue;
+    }
+    if (op.kind == OpKind::kDepart) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (op.tenant < tenants_.size() && tenants_[op.tenant]) {
+        tenants_[op.tenant]->departed = true;
+        report_.departures++;
+      }
+      continue;
+    }
+    const bool mutating = op.kind != OpKind::kRead;
+    if (opts_.think_time_us > 0) clock_->SleepForMicros(opts_.think_time_us);
+    for (;;) {
+      Tenant* t = nullptr;
+      Future<Unit> tick;
+      bool issue = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        t = op.tenant < tenants_.size() ? tenants_[op.tenant].get() : nullptr;
+        if (t == nullptr) break;  // schedule invariant: created before use
+        if (inflight_ < opts_.window && (!mutating || !t->write_busy)) {
+          inflight_++;
+          report_.ops_issued++;
+          if (mutating) t->write_busy = true;
+          issue = true;
+        } else {
+          tick = ArmTickLocked();
+        }
+      }
+      if (issue) {
+        if (mutating) {
+          IssueMutation(t, op, spec.psize);
+        } else {
+          IssueRead(t, op, spec.psize);
+        }
+        break;
+      }
+      tick.Wait(client_->executor());
+    }
+  }
+  // Drain every in-flight op before returning — completion callbacks
+  // capture `this` and tenant pointers.
+  for (;;) {
+    Future<Unit> tick;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (inflight_ == 0) break;
+      tick = ArmTickLocked();
+    }
+    tick.Wait(client_->executor());
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    report_.end_us = clock_->NowMicros();
+  }
+  return result;
+}
+
+Status WorkloadRunner::HandleCreate(const WorkloadSpec& spec, const Op& op) {
+  auto id = client_->Create(spec.psize);
+  if (!id.ok()) return id.status();
+  std::string init = MakePayload(op.salt, op.pages * spec.psize);
+  auto v = client_->Append(*id, Slice(init));
+  if (!v.ok()) return v.status();
+  Status s = client_->Sync(*id, *v, opts_.sync_timeout_us);
+  if (!s.ok()) return s;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenants_.size() <= op.tenant) tenants_.resize(op.tenant + 1);
+  auto t = std::make_unique<Tenant>();
+  t->id = *id;
+  t->latest = *v;
+  t->latest_content = std::move(init);
+  t->published.emplace(*v,
+                       std::make_shared<const std::string>(t->latest_content));
+  tenants_[op.tenant] = std::move(t);
+  report_.creates++;
+  return Status::OK();
+}
+
+void WorkloadRunner::IssueRead(Tenant* t, const Op& op, uint64_t psize) {
+  Version version = 0;
+  std::shared_ptr<const std::string> expect;
+  uint64_t off = 0;
+  uint64_t len = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!t->published.empty()) {
+      auto it = t->published.rbegin();
+      for (uint32_t lag = op.version_lag;
+           lag > 0 && std::next(it) != t->published.rend(); lag--) {
+        ++it;
+      }
+      version = it->first;
+      expect = it->second;
+      uint64_t vsize = expect->size();
+      uint64_t size_pages = (vsize + psize - 1) / psize;
+      uint64_t off_page = uint64_t(op.offset_ppm) * size_pages / 1000000;
+      if (off_page >= size_pages) off_page = size_pages - 1;
+      off = off_page * psize;
+      len = std::min(op.pages * psize, vsize - off);
+    }
+  }
+  if (!expect || len == 0) {  // unreachable: creates publish >= 1 page
+    FinishOne();
+    return;
+  }
+  const uint64_t issued = clock_->NowMicros();
+  client_->ReadAsync(t->id, version, off, len)
+      .Then([this, expect, off, len, issued](Result<std::string> r)
+                -> Result<Unit> {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          const uint64_t now = clock_->NowMicros();
+          if (r.ok()) {
+            report_.reads++;
+            report_.read_bytes += r->size();
+            if (opts_.verify_reads) {
+              bool match =
+                  r->size() == len &&
+                  std::memcmp(r->data(), expect->data() + off, len) == 0;
+              if (match) {
+                report_.verified_reads++;
+              } else {
+                report_.verify_failures++;
+              }
+            }
+            report_.read_latency.Record(now - issued);
+            report_.timeline.Record(now, len);
+          } else if (r.status().IsNotFound()) {
+            report_.not_found_reads++;
+          } else {
+            report_.read_errors++;
+          }
+        }
+        FinishOne();
+        return Result<Unit>(Unit{});
+      });
+}
+
+void WorkloadRunner::IssueMutation(Tenant* t, const Op& op, uint64_t psize) {
+  const bool append = op.kind == OpKind::kAppend;
+  uint64_t offset = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!append) {
+      // write_busy serializes mutations per tenant, so latest_content is
+      // exactly the preceding snapshot this write lands on.
+      uint64_t size_pages = (t->latest_content.size() + psize - 1) / psize;
+      uint64_t off_page =
+          size_pages ? uint64_t(op.offset_ppm) * size_pages / 1000000 : 0;
+      if (size_pages && off_page >= size_pages) off_page = size_pages - 1;
+      offset = off_page * psize;
+    }
+  }
+  auto payload = std::make_shared<const std::string>(
+      MakePayload(op.salt, op.pages * psize));
+  const uint64_t issued = clock_->NowMicros();
+  const BlobId id = t->id;
+  Future<Version> f = append ? client_->AppendAsync(id, Slice(*payload))
+                             : client_->WriteAsync(id, Slice(*payload), offset);
+  f.Then([this, t, payload, offset, append, issued,
+          id](Result<Version> r) -> Future<Unit> {
+    if (!r.ok()) {
+      OnMutationSettled(t, payload, offset, append, issued, 0, r.status());
+      return MakeReadyFuture(Status::OK());
+    }
+    const Version v = *r;
+    // The reference model only exposes published versions to reads, so
+    // chain the publication wait into the op before settling it.
+    return client_->SyncAsync(id, v, opts_.sync_timeout_us)
+        .Then([this, t, payload, offset, append, issued,
+               v](Result<Unit> s) -> Result<Unit> {
+          OnMutationSettled(t, payload, offset, append, issued, v,
+                            s.ok() ? Status::OK() : s.status());
+          return Result<Unit>(Unit{});
+        });
+  });
+}
+
+void WorkloadRunner::OnMutationSettled(
+    Tenant* t, std::shared_ptr<const std::string> payload, uint64_t offset,
+    bool append, uint64_t issued_us, Version version, const Status& status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t now = clock_->NowMicros();
+    t->write_busy = false;
+    if (status.ok()) {
+      std::string next = t->latest_content;
+      uint64_t off = append ? next.size() : offset;
+      if (off + payload->size() > next.size()) {
+        next.resize(off + payload->size(), '\0');
+      }
+      next.replace(off, payload->size(), *payload);
+      t->latest = version;
+      t->latest_content = std::move(next);
+      t->published.emplace(
+          version, std::make_shared<const std::string>(t->latest_content));
+      while (t->published.size() > opts_.keep_versions) {
+        t->published.erase(t->published.begin());
+      }
+      (append ? report_.appends : report_.writes)++;
+      report_.written_bytes += payload->size();
+      report_.write_latency.Record(now - issued_us);
+      report_.timeline.Record(now, payload->size());
+    } else {
+      // Failed mutations are retracted client-side (no size change, the
+      // version number is consumed but never published) — the reference
+      // model tracks successes only.
+      report_.write_errors++;
+    }
+  }
+  FinishOne();
+}
+
+void WorkloadRunner::FinishOne() {
+  std::optional<Promise<Unit>> wake;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_--;
+    if (tick_) {
+      wake = std::move(*tick_);
+      tick_.reset();
+    }
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (wake) wake->Set(Unit{});
+}
+
+Future<Unit> WorkloadRunner::ArmTickLocked() {
+  tick_.emplace();
+  return tick_->GetFuture();
+}
+
+Status WorkloadRunner::VerifyRetained(bool allow_not_found,
+                                      uint64_t* versions_checked) {
+  std::vector<std::tuple<BlobId, Version, std::shared_ptr<const std::string>>>
+      targets;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& t : tenants_) {
+      if (!t) continue;
+      for (const auto& [v, content] : t->published) {
+        targets.emplace_back(t->id, v, content);
+      }
+    }
+  }
+  uint64_t checked = 0;
+  for (const auto& [id, version, content] : targets) {
+    std::string out;
+    Status s = client_->Read(id, version, 0, content->size(), &out);
+    if (!s.ok()) {
+      if (allow_not_found && s.IsNotFound()) continue;
+      return s.WithContext(StrFormat("verify blob %llu v%llu",
+                                     (unsigned long long)id,
+                                     (unsigned long long)version));
+    }
+    if (out != *content) {
+      std::lock_guard<std::mutex> lock(mu_);
+      report_.verify_failures++;
+      return Status::Corruption(StrFormat(
+          "verify blob %llu v%llu: %zu bytes read, content mismatch",
+          (unsigned long long)id, (unsigned long long)version, out.size()));
+    }
+    checked++;
+  }
+  if (versions_checked) *versions_checked = checked;
+  return Status::OK();
+}
+
+}  // namespace blobseer::workload

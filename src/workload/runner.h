@@ -1,0 +1,147 @@
+// Executes a generated schedule through the async BlobClient API: a closed
+// loop with a bounded in-flight window, per-tenant write serialization, and
+// a pruned reference model (last-K published versions per tenant, full
+// contents) that every read is byte-verified against. Works unchanged on
+// real threads (embedded/TCP harnesses) and on simnet tasks under virtual
+// time — the only clock it consults is the injected one.
+#ifndef BLOBSEER_WORKLOAD_RUNNER_H_
+#define BLOBSEER_WORKLOAD_RUNNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "client/blob_client.h"
+#include "common/clock.h"
+#include "common/future.h"
+#include "workload/generator.h"
+#include "workload/histogram.h"
+#include "workload/spec.h"
+
+namespace blobseer::workload {
+
+struct RunnerOptions {
+  /// Max ops in flight from this runner (the closed-loop window).
+  size_t window = 32;
+  /// Byte-verify every read against the reference model.
+  bool verify_reads = true;
+  /// Published versions retained per tenant for lagged reads + final
+  /// verification (bounds reference-model memory).
+  size_t keep_versions = 8;
+  /// Throughput timeline resolution.
+  uint64_t timeline_bucket_us = 1000000;
+  /// Shared timeline origin across workers (0 = this runner's start time).
+  uint64_t epoch_us = 0;
+  /// Publication-wait timeout chained after each mutation; keeps a stuck
+  /// publish from wedging the loop (it becomes a counted write error).
+  uint64_t sync_timeout_us = 120 * 1000 * 1000;
+  /// Pacing: sleep this long before issuing each scheduled op (0 = issue
+  /// as fast as the window allows). Chaos campaigns use this to stretch
+  /// traffic across failure-detection and rebuild windows in virtual time.
+  uint64_t think_time_us = 0;
+};
+
+/// Aggregated outcome of one runner (mergeable across workers).
+struct WorkloadReport {
+  uint64_t ops_issued = 0;
+  uint64_t creates = 0;
+  uint64_t reads = 0;
+  uint64_t appends = 0;
+  uint64_t writes = 0;
+  uint64_t departures = 0;
+  uint64_t read_bytes = 0;
+  uint64_t written_bytes = 0;
+
+  /// Reads that returned success but the wrong bytes — the campaign-level
+  /// correctness gate. Must be zero.
+  uint64_t verify_failures = 0;
+  uint64_t verified_reads = 0;
+  /// Clean NotFound on a read (acceptable under chaos).
+  uint64_t not_found_reads = 0;
+  /// Reads failing with anything other than NotFound.
+  uint64_t read_errors = 0;
+  /// Mutations that failed (client retracts them; the reference model only
+  /// tracks successes, matching the repo's failed-write semantics).
+  uint64_t write_errors = 0;
+
+  LatencyHistogram read_latency;
+  LatencyHistogram write_latency;
+  Timeline timeline;
+
+  uint64_t start_us = 0;
+  uint64_t end_us = 0;
+  double elapsed_seconds() const {
+    return end_us > start_us ? double(end_us - start_us) / 1e6 : 0.0;
+  }
+
+  void Merge(const WorkloadReport& o);
+};
+
+class WorkloadRunner {
+ public:
+  WorkloadRunner(client::BlobClient* client, Clock* clock,
+                 RunnerOptions options = {});
+
+  /// Executes `schedule` (generated from `spec`) and blocks until every op
+  /// completed. Returns the first setup failure (blob creation); per-op
+  /// read/write failures are counted in the report instead of aborting.
+  /// Call at most once per runner.
+  Status Run(const WorkloadSpec& spec, const Schedule& schedule);
+
+  /// Re-reads every retained published version of every tenant and
+  /// byte-compares against the reference model. NotFound counts as clean
+  /// only when `allow_not_found` (post-chaos campaigns). Returns the first
+  /// mismatch as an error.
+  Status VerifyRetained(bool allow_not_found, uint64_t* versions_checked);
+
+  const WorkloadReport& report() const { return report_; }
+
+  /// Ops completed so far — safe to poll from another task/thread while
+  /// Run is in progress (chaos controllers trigger off this).
+  uint64_t completed_ops() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Tenant {
+    BlobId id = 0;
+    bool write_busy = false;
+    bool departed = false;
+    Version latest = 0;
+    std::string latest_content;
+    /// Retained published versions: full reference contents.
+    std::map<Version, std::shared_ptr<const std::string>> published;
+  };
+
+  Status HandleCreate(const WorkloadSpec& spec, const Op& op);
+  void IssueRead(Tenant* t, const Op& op, uint64_t psize);
+  void IssueMutation(Tenant* t, const Op& op, uint64_t psize);
+  void OnMutationSettled(Tenant* t, std::shared_ptr<const std::string> payload,
+                         uint64_t offset, bool append, uint64_t issued_us,
+                         Version version, const Status& status);
+  /// Completion bookkeeping: frees a window slot and wakes the issue loop.
+  void FinishOne();
+  /// Parks the issue loop until the next completion fires. Must be called
+  /// with a tick already armed under `mu_`.
+  Future<Unit> ArmTickLocked();
+
+  client::BlobClient* client_;
+  Clock* clock_;
+  RunnerOptions opts_;
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  size_t inflight_ = 0;
+  std::optional<Promise<Unit>> tick_;
+  WorkloadReport report_;
+  std::atomic<uint64_t> completed_{0};
+};
+
+}  // namespace blobseer::workload
+
+#endif  // BLOBSEER_WORKLOAD_RUNNER_H_

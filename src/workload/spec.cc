@@ -1,0 +1,255 @@
+#include "workload/spec.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace blobseer::workload {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+Status ParseU64(const std::string& key, const std::string& value,
+                uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  uint64_t v = std::strtoull(value.c_str(), &end, 10);
+  if (errno != 0 || end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StrFormat("workload spec: %s wants an integer, got '%s'", key.c_str(),
+                  value.c_str()));
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status ParseF64(const std::string& key, const std::string& value,
+                double* out) {
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(value.c_str(), &end);
+  if (errno != 0 || end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument(
+        StrFormat("workload spec: %s wants a number, got '%s'", key.c_str(),
+                  value.c_str()));
+  }
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace
+
+const std::vector<std::string>& WorkloadSpec::PresetNames() {
+  static const std::vector<std::string> kNames = {
+      "mixed", "append_stream", "scan", "flash_crowd", "tenant_churn"};
+  return kNames;
+}
+
+Result<WorkloadSpec> WorkloadSpec::Preset(const std::string& name) {
+  WorkloadSpec s;  // defaults are the "mixed" preset
+  s.scenario = name;
+  if (name == "mixed") {
+    return s;
+  }
+  if (name == "append_stream") {
+    // Many small log streams: 1-page appends dominate, reads tail the logs.
+    s.tenants = 16;
+    s.initial_pages = 1;
+    s.read_fraction = 0.2;
+    s.append_fraction = 1.0;
+    s.write_pages_min = 1;
+    s.write_pages_max = 1;
+    s.read_pages_min = 1;
+    s.read_pages_max = 2;
+    s.zipf_theta = 0.6;
+    return s;
+  }
+  if (name == "scan") {
+    // Few huge objects, large sequential-ish reads, occasional rewrites.
+    s.tenants = 2;
+    s.initial_pages = 64;
+    s.read_fraction = 0.95;
+    s.append_fraction = 0.3;
+    s.read_pages_min = 16;
+    s.read_pages_max = 32;
+    s.write_pages_min = 4;
+    s.write_pages_max = 8;
+    s.zipf_theta = 0.3;
+    return s;
+  }
+  if (name == "flash_crowd") {
+    s.flash_crowd_at = 0.5;
+    s.flash_crowd_ops = 64;
+    return s;
+  }
+  if (name == "tenant_churn") {
+    s.tenants = 6;
+    s.arrivals = 4;
+    s.departures = 4;
+    return s;
+  }
+  return Status::InvalidArgument(
+      StrFormat("workload spec: unknown scenario '%s'", name.c_str()));
+}
+
+Status WorkloadSpec::Set(const std::string& key, const std::string& value) {
+  if (key == "scenario") {
+    auto preset = Preset(value);
+    if (!preset.ok()) return preset.status();
+    *this = *preset;
+    return Status::OK();
+  }
+  if (key == "seed") return ParseU64(key, value, &seed);
+  if (key == "tenants") return ParseU64(key, value, &tenants);
+  if (key == "psize") return ParseU64(key, value, &psize);
+  if (key == "initial_pages") return ParseU64(key, value, &initial_pages);
+  if (key == "ops") return ParseU64(key, value, &ops);
+  if (key == "read_fraction") return ParseF64(key, value, &read_fraction);
+  if (key == "zipf_theta") return ParseF64(key, value, &zipf_theta);
+  if (key == "append_fraction") return ParseF64(key, value, &append_fraction);
+  if (key == "read_pages_min") return ParseU64(key, value, &read_pages_min);
+  if (key == "read_pages_max") return ParseU64(key, value, &read_pages_max);
+  if (key == "write_pages_min") return ParseU64(key, value, &write_pages_min);
+  if (key == "write_pages_max") return ParseU64(key, value, &write_pages_max);
+  if (key == "version_lag_max") return ParseU64(key, value, &version_lag_max);
+  if (key == "flash_crowd_at") return ParseF64(key, value, &flash_crowd_at);
+  if (key == "flash_crowd_ops") return ParseU64(key, value, &flash_crowd_ops);
+  if (key == "arrivals") return ParseU64(key, value, &arrivals);
+  if (key == "departures") return ParseU64(key, value, &departures);
+  return Status::InvalidArgument(
+      StrFormat("workload spec: unknown key '%s'", key.c_str()));
+}
+
+Result<WorkloadSpec> WorkloadSpec::Parse(const std::string& text) {
+  // First pass: the scenario preset is the base, wherever the line sits.
+  std::vector<std::pair<std::string, std::string>> entries;
+  std::string scenario = "mixed";
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    lineno++;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(StrFormat(
+          "workload spec line %zu: expected key = value, got '%s'", lineno,
+          line.c_str()));
+    }
+    std::string key = Trim(line.substr(0, eq));
+    std::string value = Trim(line.substr(eq + 1));
+    if (key == "scenario") {
+      scenario = value;
+    } else {
+      entries.emplace_back(std::move(key), std::move(value));
+    }
+  }
+  auto spec = Preset(scenario);
+  if (!spec.ok()) return spec.status();
+  for (const auto& [key, value] : entries) {
+    Status s = spec->Set(key, value);
+    if (!s.ok()) return s;
+  }
+  Status s = spec->Validate();
+  if (!s.ok()) return s;
+  return spec;
+}
+
+Result<WorkloadSpec> WorkloadSpec::ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError(
+        StrFormat("workload spec: cannot open '%s'", path.c_str()));
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return Parse(text.str());
+}
+
+Status WorkloadSpec::Validate() const {
+  if (tenants == 0) {
+    return Status::InvalidArgument("workload spec: tenants must be >= 1");
+  }
+  if (psize == 0 || (psize & (psize - 1)) != 0) {
+    return Status::InvalidArgument(
+        "workload spec: psize must be a power of two");
+  }
+  if (initial_pages == 0) {
+    return Status::InvalidArgument(
+        "workload spec: initial_pages must be >= 1");
+  }
+  if (read_fraction < 0.0 || read_fraction > 1.0 || append_fraction < 0.0 ||
+      append_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "workload spec: fractions must be in [0, 1]");
+  }
+  if (zipf_theta < 0.0) {
+    return Status::InvalidArgument("workload spec: zipf_theta must be >= 0");
+  }
+  if (read_pages_min == 0 || read_pages_min > read_pages_max ||
+      write_pages_min == 0 || write_pages_min > write_pages_max) {
+    return Status::InvalidArgument(
+        "workload spec: page ranges need 1 <= min <= max");
+  }
+  if (flash_crowd_at > 1.0) {
+    return Status::InvalidArgument(
+        "workload spec: flash_crowd_at must be <= 1");
+  }
+  if (departures >= tenants + arrivals) {
+    return Status::InvalidArgument(
+        "workload spec: departures must leave at least one tenant");
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, std::string>> WorkloadSpec::Items() const {
+  std::vector<std::pair<std::string, std::string>> items;
+  auto u = [&](const char* k, uint64_t v) {
+    items.emplace_back(k, StrFormat("%llu", (unsigned long long)v));
+  };
+  auto f = [&](const char* k, double v) {
+    items.emplace_back(k, StrFormat("%g", v));
+  };
+  items.emplace_back("scenario", scenario);
+  u("seed", seed);
+  u("tenants", tenants);
+  u("psize", psize);
+  u("initial_pages", initial_pages);
+  u("ops", ops);
+  f("read_fraction", read_fraction);
+  f("zipf_theta", zipf_theta);
+  f("append_fraction", append_fraction);
+  u("read_pages_min", read_pages_min);
+  u("read_pages_max", read_pages_max);
+  u("write_pages_min", write_pages_min);
+  u("write_pages_max", write_pages_max);
+  u("version_lag_max", version_lag_max);
+  f("flash_crowd_at", flash_crowd_at);
+  u("flash_crowd_ops", flash_crowd_ops);
+  u("arrivals", arrivals);
+  u("departures", departures);
+  return items;
+}
+
+std::string WorkloadSpec::DebugString() const {
+  std::string out;
+  for (const auto& [key, value] : Items()) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace blobseer::workload

@@ -1,0 +1,97 @@
+// Declarative workload specification: a small key=value vocabulary (scenario
+// presets, zipfian skew, reader/writer mix, flash crowds, tenant churn) that
+// fully determines a traffic schedule given a seed. Specs load from `.wl`
+// files or CLI-style key=value overrides; the same spec + seed always
+// expands to a byte-identical op schedule (see generator.h).
+#ifndef BLOBSEER_WORKLOAD_SPEC_H_
+#define BLOBSEER_WORKLOAD_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace blobseer::workload {
+
+/// One workload campaign, fully described. Every field participates in
+/// schedule generation, so two equal specs generate identical schedules.
+struct WorkloadSpec {
+  /// Preset this spec started from: mixed | append_stream | scan |
+  /// flash_crowd | tenant_churn. Informational after preset expansion.
+  std::string scenario = "mixed";
+
+  uint64_t seed = 42;
+
+  /// Blobs created up front. Popularity is zipfian by creation order:
+  /// tenant 0 is the hottest.
+  uint64_t tenants = 8;
+  /// Page size for every blob (bytes, power of two).
+  uint64_t psize = 4096;
+  /// Pages appended to each blob at creation, so reads always have data.
+  uint64_t initial_pages = 4;
+
+  /// Scheduled ops after setup (reads + appends + writes).
+  uint64_t ops = 512;
+  /// Fraction of scheduled ops that are reads; the rest mutate.
+  double read_fraction = 0.7;
+  /// Zipf exponent for blob popularity (0 = uniform).
+  double zipf_theta = 0.9;
+  /// Fraction of mutations that append; the rest are in-place writes at a
+  /// page-aligned offset inside the blob.
+  double append_fraction = 0.8;
+
+  uint64_t read_pages_min = 1;
+  uint64_t read_pages_max = 4;
+  uint64_t write_pages_min = 1;
+  uint64_t write_pages_max = 4;
+
+  /// Reads target a published version up to this many versions behind the
+  /// latest successful one (uniform in [0, version_lag_max]).
+  uint64_t version_lag_max = 3;
+
+  /// Flash crowd: at this fraction of the schedule (<0 disables), inject
+  /// `flash_crowd_ops` back-to-back reads of the hottest blob.
+  double flash_crowd_at = -1.0;
+  uint64_t flash_crowd_ops = 0;
+
+  /// Tenant churn: this many blobs arrive (are created mid-run, entering
+  /// the popularity ranking as coldest) / depart (stop receiving traffic),
+  /// spread evenly across the schedule.
+  uint64_t arrivals = 0;
+  uint64_t departures = 0;
+
+  /// Expands a named preset into a spec. Unknown name => InvalidArgument.
+  static Result<WorkloadSpec> Preset(const std::string& name);
+
+  /// Applies one `key=value` override. Unknown key or unparsable value =>
+  /// InvalidArgument. `scenario` re-expands the preset in place, so apply
+  /// it before other overrides.
+  Status Set(const std::string& key, const std::string& value);
+
+  /// Loads a `.wl` file: one `key = value` per line, `#` comments. A
+  /// `scenario` line (wherever it appears) selects the preset first; the
+  /// remaining lines override it in file order.
+  static Result<WorkloadSpec> ParseFile(const std::string& path);
+
+  /// Same grammar as ParseFile, from an in-memory string.
+  static Result<WorkloadSpec> Parse(const std::string& text);
+
+  /// Sanity checks (psize power of two, fractions in range, min<=max...).
+  Status Validate() const;
+
+  /// Every field as (key, rendered value), in stable order — for echoing
+  /// the spec into bench JSON/config dumps.
+  std::vector<std::pair<std::string, std::string>> Items() const;
+
+  std::string DebugString() const;
+
+  /// Known preset names, for --help text.
+  static const std::vector<std::string>& PresetNames();
+};
+
+}  // namespace blobseer::workload
+
+#endif  // BLOBSEER_WORKLOAD_SPEC_H_
