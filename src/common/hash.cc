@@ -27,9 +27,52 @@ struct Crc32cTable {
   }
 };
 
+#if defined(__x86_64__) || defined(__i386__)
+#define BLOBSEER_CRC32C_HW_DISPATCH 1
+
+/// SSE4.2 CRC32 instruction form, compiled for sse4.2 regardless of the
+/// tree-wide flags and only called after a runtime cpuid check. Processes
+/// 8 bytes per instruction with unaligned head/tail handling.
+__attribute__((target("sse4.2"))) uint32_t Crc32cExtendHw(uint32_t crc,
+                                                          const void* data,
+                                                          size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  while (n > 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    n--;
+  }
+#if defined(__x86_64__)
+  uint64_t crc64 = crc;
+  while (n >= 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    crc64 = __builtin_ia32_crc32di(crc64, chunk);
+    p += 8;
+    n -= 8;
+  }
+  crc = static_cast<uint32_t>(crc64);
+#endif
+  while (n >= 4) {
+    uint32_t chunk;
+    __builtin_memcpy(&chunk, p, 4);
+    crc = __builtin_ia32_crc32si(crc, chunk);
+    p += 4;
+    n -= 4;
+  }
+  while (n > 0) {
+    crc = __builtin_ia32_crc32qi(crc, *p++);
+    n--;
+  }
+  return ~crc;
+}
+#endif  // x86
+
 }  // namespace
 
-uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+namespace internal {
+
+uint32_t Crc32cExtendPortable(uint32_t crc, const void* data, size_t n) {
   static const Crc32cTable table;
   const uint8_t* p = static_cast<const uint8_t*>(data);
   crc = ~crc;
@@ -37,6 +80,16 @@ uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
     crc = table.entry[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
   }
   return ~crc;
+}
+
+}  // namespace internal
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+#ifdef BLOBSEER_CRC32C_HW_DISPATCH
+  static const bool hw = __builtin_cpu_supports("sse4.2");
+  if (hw) return Crc32cExtendHw(crc, data, n);
+#endif
+  return internal::Crc32cExtendPortable(crc, data, n);
 }
 
 uint32_t Crc32c(Slice data) {

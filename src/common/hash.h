@@ -20,8 +20,17 @@ uint64_t Mix64(uint64_t x);
 uint32_t Crc32c(Slice data);
 
 /// Incremental form: extends `crc` (result of a previous Crc32c/Extend call,
-/// or 0 for an empty prefix) over another byte range.
+/// or 0 for an empty prefix) over another byte range. Dispatches to the
+/// SSE4.2 CRC32 instruction when the CPU has it (the pagelog append path
+/// checksums every payload byte; the byte-table fallback caps appends at a
+/// few hundred MB/s), with the portable table otherwise.
 uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+namespace internal {
+/// Portable byte-table implementation, exposed so tests can cross-check the
+/// hardware-accelerated dispatch against it on arbitrary inputs.
+uint32_t Crc32cExtendPortable(uint32_t crc, const void* data, size_t n);
+}  // namespace internal
 
 /// Combines two 64-bit hashes.
 inline uint64_t HashCombine(uint64_t a, uint64_t b) {

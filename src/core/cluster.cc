@@ -22,6 +22,7 @@ std::unique_ptr<provider::PageStore> MakeStore(const ClusterOptions& options,
   if (StartsWith(spec, "log:")) {
     pagelog::LogPageStoreOptions lo;
     lo.compact_dead_ratio = options.log_compact_dead_ratio;
+    lo.io_backend = options.io_backend;
     if (options.log_segment_target_bytes > 0)
       lo.segment_target_bytes = options.log_segment_target_bytes;
     return pagelog::MakeLogPageStore(

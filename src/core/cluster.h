@@ -70,6 +70,11 @@ struct ClusterOptions {
   /// Benches shrink it so GC deletes land in sealed segments and the
   /// auto-compaction path above actually runs at test scale.
   uint64_t log_segment_target_bytes = 0;
+  /// Raw-I/O backend for "log:" page stores: "psync", "uring",
+  /// "uring-direct", or "" to consult BLOBSEER_IO_BACKEND / default to
+  /// psync (LogPageStoreOptions::io_backend; unsupported values fall back
+  /// to psync with a logged note).
+  std::string io_backend;
   uint64_t provider_capacity_pages = 0;  // 0 = unbounded
   size_t dht_shards = 16;
 };

@@ -1,0 +1,716 @@
+#include "pagelog/io_backend.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#if __has_include(<linux/io_uring.h>) && defined(__NR_io_uring_setup) && \
+    defined(__NR_io_uring_enter) && defined(__NR_io_uring_register)
+#include <linux/io_uring.h>
+#define BLOBSEER_HAS_IO_URING 1
+#endif
+#endif
+
+namespace blobseer::pagelog {
+
+namespace {
+
+Status ErrnoStatus(const char* op, const std::string& path, uint64_t off) {
+  int e = errno;
+  return Status::IOError(StrFormat("%s %s @%llu: %s", op, path.c_str(),
+                                   static_cast<unsigned long long>(off),
+                                   std::strerror(e)));
+}
+
+}  // namespace
+
+Status PwriteFull(int fd, const char* p, size_t n, uint64_t off,
+                  const std::string& path) {
+  while (n > 0) {
+    ssize_t w = ::pwrite(fd, p, n, static_cast<off_t>(off));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pwrite", path, off);
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+    off += static_cast<uint64_t>(w);
+  }
+  return Status::OK();
+}
+
+Status PreadFull(int fd, char* p, size_t n, uint64_t off,
+                 const std::string& path) {
+  while (n > 0) {
+    ssize_t r = ::pread(fd, p, n, static_cast<off_t>(off));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("pread", path, off);
+    }
+    if (r == 0) {
+      return Status::Corruption(
+          StrFormat("short read: %s @%llu: %zu bytes past EOF", path.c_str(),
+                    static_cast<unsigned long long>(off), n));
+    }
+    p += r;
+    n -= static_cast<size_t>(r);
+    off += static_cast<uint64_t>(r);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// psync: the pre-seam code path, verbatim. Every Append issues buffered
+// pwrites immediately; Flush is one fdatasync. Exists so "psync" stores are
+// bit-for-bit and syscall-for-syscall what PR 2 shipped.
+// ---------------------------------------------------------------------------
+
+class PsyncBackend final : public IoBackend {
+ public:
+  const char* name() const override { return "psync"; }
+
+  Status BeginAppend(int fd, const std::string& path, uint64_t size) override {
+    std::lock_guard<std::mutex> l(mu_);
+    fd_ = fd;
+    path_ = path;
+    (void)size;
+    return Status::OK();
+  }
+
+  Status Append(uint64_t off, Slice header, Slice payload) override {
+    int fd;
+    std::string path;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      fd = fd_;
+      path = path_;
+    }
+    BS_RETURN_NOT_OK(PwriteFull(fd, header.data(), header.size(), off, path));
+    Bump(1, header.size());
+    if (!payload.empty()) {
+      BS_RETURN_NOT_OK(PwriteFull(fd, payload.data(), payload.size(),
+                                  off + header.size(), path));
+      Bump(1, payload.size());
+    }
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    int fd;
+    std::string path;
+    {
+      std::lock_guard<std::mutex> l(mu_);
+      fd = fd_;
+      path = path_;
+    }
+    if (fd < 0) return Status::OK();
+    Bump(1, 0);
+    if (::fdatasync(fd) < 0) return ErrnoStatus("fdatasync", path, 0);
+    return Status::OK();
+  }
+
+  Status TruncateActive(uint64_t size) override {
+    std::lock_guard<std::mutex> l(mu_);
+    if (fd_ < 0) return Status::OK();
+    if (::ftruncate(fd_, static_cast<off_t>(size)) < 0) {
+      return ErrnoStatus("ftruncate", path_, size);
+    }
+    return Status::OK();
+  }
+
+  Status FinishAppend() override { return Flush(); }
+
+  void AbandonActive() override {
+    std::lock_guard<std::mutex> l(mu_);
+    fd_ = -1;
+    path_.clear();
+  }
+
+  Status Pread(int fd, char* p, size_t n, uint64_t off,
+               const std::string& path) override {
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    return PreadFull(fd, p, n, off, path);
+  }
+
+  IoBackendStats stats() const override {
+    IoBackendStats s;
+    s.io_submissions = subs_.load(std::memory_order_relaxed);
+    s.io_sqes = s.io_submissions;
+    s.bytes_written = bytes_.load(std::memory_order_relaxed);
+    s.read_syscalls = reads_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  void Bump(uint64_t calls, uint64_t bytes) {
+    subs_.fetch_add(calls, std::memory_order_relaxed);
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  std::mutex mu_;  // guards fd_/path_ against BeginAppend vs leader Flush
+  int fd_ = -1;
+  std::string path_;
+  std::atomic<uint64_t> subs_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> reads_{0};
+};
+
+#ifdef BLOBSEER_HAS_IO_URING
+
+// ---------------------------------------------------------------------------
+// uring: appends are memcpys into a registered staging arena; a flush turns
+// the whole staged window into one io_uring submission — a single
+// WRITE(_FIXED) SQE chained (IOSQE_IO_LINK) to an fdatasync SQE — so a
+// group-commit window costs one io_uring_enter instead of two pwrite
+// syscalls per record plus a sync. Optional O_DIRECT opens a second
+// write-only fd and keeps spans block-aligned by rewriting the partial tail
+// block from the arena; reads and truncates stay on the buffered fd, and
+// FinishAppend trims alignment padding so files are byte-identical to psync.
+//
+// Lock order: store mu_ -> flush_mu_ -> io_mu_. flush_mu_ serializes ring
+// use; io_mu_ guards the arena watermarks:
+//
+//   base_off_ ......... file offset of arena byte 0 (block-aligned when
+//                       O_DIRECT is active, so arena offsets stay aligned)
+//   written_end_ ...... file bytes below this are on the file
+//   end_ .............. logical end of file; [written_end_, end_) is staged
+//
+// Crash-durability note: staged bytes live only in the arena until the next
+// flush, so with sync=false the process-crash loss window is bounded by
+// staging_bytes (psync's window is the kernel page cache instead). With
+// sync=true every Put is flushed before it is acknowledged — same guarantee
+// as psync.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kDirectAlign = 4096;
+
+uint64_t AlignDown(uint64_t v, uint64_t a) { return v & ~(a - 1); }
+uint64_t AlignUp(uint64_t v, uint64_t a) { return (v + a - 1) & ~(a - 1); }
+
+int UringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int UringEnter(int fd, unsigned to_submit, unsigned min_complete,
+               unsigned flags) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, nullptr, 0));
+}
+
+int UringRegister(int fd, unsigned op, const void* arg, unsigned nr) {
+  return static_cast<int>(::syscall(__NR_io_uring_register, fd, op, arg, nr));
+}
+
+class UringBackend final : public IoBackend {
+ public:
+  explicit UringBackend(const IoBackendOptions& opts)
+      : direct_(opts.direct_io),
+        cap_(AlignUp(opts.staging_bytes < (64 << 10) ? (64 << 10)
+                                                     : opts.staging_bytes,
+                     kDirectAlign)) {}
+
+  ~UringBackend() override {
+    if (wfd_ >= 0 && wfd_ != fd_) ::close(wfd_);
+    if (sqes_ != nullptr) ::munmap(sqes_, sqes_len_);
+    if (cq_mm_ != nullptr && cq_mm_ != sq_mm_) ::munmap(cq_mm_, cq_mm_len_);
+    if (sq_mm_ != nullptr) ::munmap(sq_mm_, sq_mm_len_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+    if (arena_ != nullptr) ::munmap(arena_, cap_);
+  }
+
+  /// Sets up the ring and the staging arena; false leaves the object unusable
+  /// (the factory returns nullptr and callers fall back to psync).
+  bool Init() {
+    io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    ring_fd_ = UringSetup(kRingEntries, &p);
+    if (ring_fd_ < 0) return false;
+
+    size_t sq_sz = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+    size_t cq_sz = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    bool single = false;
+#ifdef IORING_FEAT_SINGLE_MMAP
+    single = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+#endif
+    if (single && cq_sz > sq_sz) sq_sz = cq_sz;
+    sq_mm_len_ = sq_sz;
+    sq_mm_ = ::mmap(nullptr, sq_sz, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_mm_ == MAP_FAILED) {
+      sq_mm_ = nullptr;
+      return false;
+    }
+    if (single) {
+      cq_mm_ = sq_mm_;
+      cq_mm_len_ = sq_mm_len_;
+    } else {
+      cq_mm_len_ = cq_sz;
+      cq_mm_ = ::mmap(nullptr, cq_sz, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+      if (cq_mm_ == MAP_FAILED) {
+        cq_mm_ = nullptr;
+        return false;
+      }
+    }
+    sqes_len_ = p.sq_entries * sizeof(io_uring_sqe);
+    void* sqes = ::mmap(nullptr, sqes_len_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+    if (sqes == MAP_FAILED) return false;
+    sqes_ = static_cast<io_uring_sqe*>(sqes);
+
+    char* sq = static_cast<char*>(sq_mm_);
+    sq_head_ = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+    sq_tail_ = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+    sq_array_ = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+    char* cq = static_cast<char*>(cq_mm_);
+    cq_head_ = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+    cq_tail_ = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+
+    void* arena = ::mmap(nullptr, cap_, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (arena == MAP_FAILED) return false;
+    arena_ = static_cast<char*>(arena);
+
+    // Registered buffers save per-op pin/unpin; kernels with tight memlock
+    // accounting may refuse, in which case plain WRITE SQEs work the same.
+    struct iovec iov;
+    iov.iov_base = arena_;
+    iov.iov_len = cap_;
+    fixed_ = UringRegister(ring_fd_, IORING_REGISTER_BUFFERS, &iov, 1) == 0;
+    return true;
+  }
+
+  const char* name() const override { return direct_ ? "uring-direct" : "uring"; }
+
+  Status BeginAppend(int fd, const std::string& path, uint64_t size) override {
+    std::lock_guard<std::mutex> fl(flush_mu_);
+    if (fd_ >= 0) {
+      BS_RETURN_NOT_OK(WriteStagedLocked(false));
+      BS_RETURN_NOT_OK(TrimPaddingLocked());
+      if (wfd_ != fd_) ::close(wfd_);
+    }
+    std::lock_guard<std::mutex> il(io_mu_);
+    fd_ = fd;
+    wfd_ = fd;
+    path_ = path;
+    direct_active_ = false;
+    if (direct_) {
+      int t = ::open(path.c_str(), O_WRONLY | O_DIRECT | O_CLOEXEC);
+      if (t >= 0) {
+        wfd_ = t;
+        direct_active_ = true;
+      } else {
+        BS_LOG(Warn) << "O_DIRECT unavailable for " << path << " ("
+                     << std::strerror(errno) << "); writing buffered";
+      }
+    }
+    written_end_ = size;
+    end_ = size;
+    base_off_ = direct_active_ ? AlignDown(size, kDirectAlign) : size;
+    if (direct_active_ && size > base_off_) {
+      // Prime the arena with the partial tail block so the next aligned
+      // write can rewrite it in place.
+      Status st = PreadFull(fd_, arena_, size - base_off_, base_off_, path_);
+      if (!st.ok()) {
+        ::close(wfd_);
+        wfd_ = fd_;
+        direct_active_ = false;
+        base_off_ = size;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Append(uint64_t off, Slice header, Slice payload) override {
+    std::unique_lock<std::mutex> il(io_mu_);
+    if (fd_ < 0) return Status::Internal("uring append with no active file");
+    if (off != end_) {
+      return Status::Internal(StrFormat(
+          "non-contiguous uring append: off=%llu logical end=%llu",
+          static_cast<unsigned long long>(off),
+          static_cast<unsigned long long>(end_)));
+    }
+    BS_RETURN_NOT_OK(StageLocked(il, header));
+    BS_RETURN_NOT_OK(StageLocked(il, payload));
+    return Status::OK();
+  }
+
+  Status Flush() override {
+    std::lock_guard<std::mutex> fl(flush_mu_);
+    if (fd_ < 0) return Status::OK();
+    return WriteStagedLocked(true);
+  }
+
+  Status TruncateActive(uint64_t size) override {
+    std::lock_guard<std::mutex> fl(flush_mu_);
+    std::lock_guard<std::mutex> il(io_mu_);
+    if (fd_ < 0) return Status::OK();
+    if (size >= written_end_ && size <= end_) {
+      end_ = size;  // only staged bytes past `size` — drop them
+      return Status::OK();
+    }
+    if (::ftruncate(fd_, static_cast<off_t>(size)) < 0) {
+      return ErrnoStatus("ftruncate", path_, size);
+    }
+    written_end_ = size;
+    end_ = size;
+    base_off_ = direct_active_ ? AlignDown(size, kDirectAlign) : size;
+    if (direct_active_ && size > base_off_) {
+      BS_RETURN_NOT_OK(
+          PreadFull(fd_, arena_, size - base_off_, base_off_, path_));
+    }
+    return Status::OK();
+  }
+
+  Status FinishAppend() override {
+    std::lock_guard<std::mutex> fl(flush_mu_);
+    if (fd_ < 0) return Status::OK();
+    BS_RETURN_NOT_OK(WriteStagedLocked(true));
+    return TrimPaddingLocked();
+  }
+
+  void AbandonActive() override {
+    std::lock_guard<std::mutex> fl(flush_mu_);
+    std::lock_guard<std::mutex> il(io_mu_);
+    if (wfd_ >= 0 && wfd_ != fd_) ::close(wfd_);
+    fd_ = -1;
+    wfd_ = -1;
+    path_.clear();
+    base_off_ = written_end_ = end_ = 0;
+  }
+
+  Status Pread(int fd, char* p, size_t n, uint64_t off,
+               const std::string& path) override {
+    {
+      std::lock_guard<std::mutex> il(io_mu_);
+      if (fd == fd_ && fd >= 0 && off + n > written_end_) {
+        // Tail bytes are staged: serve them from the arena, fall through to
+        // the file for the on-disk prefix (immutable once written).
+        if (off + n > end_) {
+          return Status::Corruption(StrFormat(
+              "short read: %s @%llu: %llu bytes past staged end",
+              path.c_str(), static_cast<unsigned long long>(off),
+              static_cast<unsigned long long>(off + n - end_)));
+        }
+        uint64_t split = off > written_end_ ? off : written_end_;
+        std::memcpy(p + (split - off), arena_ + (split - base_off_),
+                    off + n - split);
+        if (split == off) return Status::OK();
+        n = split - off;
+      }
+    }
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    return PreadFull(fd, p, n, off, path);
+  }
+
+  IoBackendStats stats() const override {
+    IoBackendStats s;
+    s.io_submissions = subs_.load(std::memory_order_relaxed);
+    s.io_sqes = sqes_n_.load(std::memory_order_relaxed);
+    s.bytes_written = bytes_.load(std::memory_order_relaxed);
+    s.read_syscalls = reads_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  static constexpr unsigned kRingEntries = 8;
+
+  /// Copies one slice into the arena, writing staged bytes back (without
+  /// sync) whenever the arena fills; handles slices larger than the arena by
+  /// streaming. io_mu_ is held on entry and exit.
+  Status StageLocked(std::unique_lock<std::mutex>& il, Slice s) {
+    const char* p = s.data();
+    size_t n = s.size();
+    while (n > 0) {
+      uint64_t space = cap_ - (end_ - base_off_);
+      if (space == 0) {
+        il.unlock();
+        {
+          std::lock_guard<std::mutex> fl(flush_mu_);
+          Status st = WriteStagedLocked(false);
+          if (!st.ok()) {
+            il.lock();
+            return st;
+          }
+        }
+        il.lock();
+        continue;
+      }
+      size_t take = n < space ? n : static_cast<size_t>(space);
+      std::memcpy(arena_ + (end_ - base_off_), p, take);
+      end_ += take;
+      p += take;
+      n -= take;
+    }
+    return Status::OK();
+  }
+
+  /// Writes the staged window as one chained submission (write SQE linked to
+  /// an fdatasync SQE when `datasync`). Requires flush_mu_; takes io_mu_
+  /// only to snapshot and to advance watermarks, so appends keep staging
+  /// while the kernel works. Falls back to buffered pwrite + fdatasync on
+  /// any ring-level failure.
+  Status WriteStagedLocked(bool datasync) {
+    uint64_t we, e, b;
+    int wfd;
+    bool direct;
+    {
+      std::lock_guard<std::mutex> il(io_mu_);
+      we = written_end_;
+      e = end_;
+      b = base_off_;
+      wfd = wfd_;
+      direct = direct_active_;
+    }
+    if (we == e && !datasync) return Status::OK();
+
+    unsigned k = 0;
+    uint64_t foff = 0, flen = 0;
+    if (we != e) {
+      if (direct) {
+        foff = AlignDown(we, kDirectAlign);
+        flen = AlignUp(e, kDirectAlign) - foff;
+      } else {
+        foff = we;
+        flen = e - we;
+      }
+      io_uring_sqe* w = NextSqe(k++);
+      w->opcode = fixed_ ? IORING_OP_WRITE_FIXED : IORING_OP_WRITE;
+      w->fd = wfd;
+      w->addr = reinterpret_cast<uint64_t>(arena_ + (foff - b));
+      w->len = static_cast<unsigned>(flen);
+      w->off = foff;
+      if (datasync) w->flags |= IOSQE_IO_LINK;
+    }
+    if (datasync) {
+      io_uring_sqe* f = NextSqe(k++);
+      f->opcode = IORING_OP_FSYNC;
+      f->fd = wfd;
+      f->fsync_flags = IORING_FSYNC_DATASYNC;
+    }
+
+    int res[2] = {0, 0};
+    Status st = SubmitAndWait(k, res);
+    bool write_ok = st.ok();
+    if (write_ok && we != e) {
+      if (res[0] < 0) {
+        errno = -res[0];
+        st = ErrnoStatus("uring write", path_, foff);
+        write_ok = false;
+      } else if (static_cast<uint64_t>(res[0]) < flen) {
+        // Short write: finish the span with buffered pwrite, then force a
+        // plain fdatasync since the linked fsync was cancelled or stale.
+        write_ok = false;
+        st = Status::OK();
+      }
+    }
+    if (!write_ok) {
+      if (!st.ok()) {
+        BS_LOG(Warn) << "uring submission failed (" << st.ToString()
+                     << "); falling back to buffered pwrite";
+      }
+      BS_RETURN_NOT_OK(PwriteFull(fd_, arena_ + (we - b), e - we, we, path_));
+      subs_.fetch_add(1, std::memory_order_relaxed);
+      sqes_n_.fetch_add(1, std::memory_order_relaxed);
+      if (datasync) {
+        if (::fdatasync(fd_) < 0) return ErrnoStatus("fdatasync", path_, 0);
+        subs_.fetch_add(1, std::memory_order_relaxed);
+        sqes_n_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (datasync && res[k - 1] < 0) {
+      errno = -res[k - 1];
+      return ErrnoStatus("uring fdatasync", path_, 0);
+    }
+    bytes_.fetch_add(write_ok ? flen : e - we, std::memory_order_relaxed);
+
+    std::lock_guard<std::mutex> il(io_mu_);
+    written_end_ = e;
+    // Compact: keep the (aligned) tail so the next write can rewrite its
+    // block; concurrent appends may have grown end_ past the snapshot, so
+    // move everything still live. memmove runs under io_mu_, the same lock
+    // appenders hold while memcpying.
+    uint64_t nb = direct_active_ ? AlignDown(e, kDirectAlign) : e;
+    if (nb > b) {
+      std::memmove(arena_, arena_ + (nb - b), end_ - nb);
+      base_off_ = nb;
+    }
+    return Status::OK();
+  }
+
+  /// Fills SQE slot `i` of the current batch (zeroed, user_data = i).
+  io_uring_sqe* NextSqe(unsigned i) {
+    unsigned tail = *sq_tail_ + i;
+    unsigned idx = tail & sq_mask_;
+    io_uring_sqe* sqe = &sqes_[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sqe->user_data = i;
+    sq_array_[idx] = idx;
+    return sqe;
+  }
+
+  /// Publishes `k` SQEs, submits and waits for all completions in (normally)
+  /// one io_uring_enter, and scatters cqe->res by user_data into `res`.
+  Status SubmitAndWait(unsigned k, int* res) {
+    if (k == 0) return Status::OK();
+    __atomic_store_n(sq_tail_, *sq_tail_ + k, __ATOMIC_RELEASE);
+    unsigned submitted = 0, done = 0;
+    while (submitted < k) {
+      int r = UringEnter(ring_fd_, k - submitted, k, IORING_ENTER_GETEVENTS);
+      subs_.fetch_add(1, std::memory_order_relaxed);
+      if (r < 0) {
+        if (errno == EINTR) {
+          // The kernel may have consumed SQEs before the signal; recount.
+          submitted =
+              k - (*sq_tail_ - __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE));
+          continue;
+        }
+        return ErrnoStatus("io_uring_enter", path_, 0);
+      }
+      submitted += static_cast<unsigned>(r);
+    }
+    sqes_n_.fetch_add(k, std::memory_order_relaxed);
+    while (done < k) {
+      unsigned head = *cq_head_;
+      unsigned tail = __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE);
+      if (head == tail) {
+        int r = UringEnter(ring_fd_, 0, k - done, IORING_ENTER_GETEVENTS);
+        subs_.fetch_add(1, std::memory_order_relaxed);
+        if (r < 0 && errno != EINTR) {
+          return ErrnoStatus("io_uring_enter(wait)", path_, 0);
+        }
+        continue;
+      }
+      while (head != tail && done < k) {
+        const io_uring_cqe* cqe = &cqes_[head & cq_mask_];
+        if (cqe->user_data < 2) res[cqe->user_data] = cqe->res;
+        head++;
+        done++;
+      }
+      __atomic_store_n(cq_head_, head, __ATOMIC_RELEASE);
+    }
+    return Status::OK();
+  }
+
+  /// Drops O_DIRECT alignment padding past the logical end. Requires
+  /// flush_mu_ with nothing staged.
+  Status TrimPaddingLocked() {
+    std::lock_guard<std::mutex> il(io_mu_);
+    if (!direct_active_ || fd_ < 0) return Status::OK();
+    if (::ftruncate(fd_, static_cast<off_t>(end_)) < 0) {
+      return ErrnoStatus("ftruncate", path_, end_);
+    }
+    return Status::OK();
+  }
+
+  const bool direct_;
+  const uint64_t cap_;
+
+  int ring_fd_ = -1;
+  void* sq_mm_ = nullptr;
+  size_t sq_mm_len_ = 0;
+  void* cq_mm_ = nullptr;
+  size_t cq_mm_len_ = 0;
+  io_uring_sqe* sqes_ = nullptr;
+  size_t sqes_len_ = 0;
+  unsigned* sq_head_ = nullptr;
+  unsigned* sq_tail_ = nullptr;
+  unsigned sq_mask_ = 0;
+  unsigned* sq_array_ = nullptr;
+  unsigned* cq_head_ = nullptr;
+  unsigned* cq_tail_ = nullptr;
+  unsigned cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  bool fixed_ = false;
+  char* arena_ = nullptr;
+
+  std::mutex flush_mu_;  // serializes ring use; taken before io_mu_
+  std::mutex io_mu_;     // guards arena watermarks + active-file fields
+  int fd_ = -1;
+  int wfd_ = -1;
+  std::string path_;
+  bool direct_active_ = false;
+  uint64_t base_off_ = 0;
+  uint64_t written_end_ = 0;
+  uint64_t end_ = 0;
+
+  std::atomic<uint64_t> subs_{0};
+  std::atomic<uint64_t> sqes_n_{0};
+  std::atomic<uint64_t> bytes_{0};
+  std::atomic<uint64_t> reads_{0};
+};
+
+#endif  // BLOBSEER_HAS_IO_URING
+
+}  // namespace
+
+bool IoUringSupported() {
+#ifdef BLOBSEER_HAS_IO_URING
+  static const bool supported = [] {
+    io_uring_params p;
+    std::memset(&p, 0, sizeof(p));
+    int fd = UringSetup(2, &p);
+    if (fd < 0) return false;
+    ::close(fd);
+    return true;
+  }();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+std::unique_ptr<IoBackend> MakePsyncIoBackend() {
+  return std::make_unique<PsyncBackend>();
+}
+
+std::unique_ptr<IoBackend> MakeUringIoBackend(const IoBackendOptions& opts) {
+#ifdef BLOBSEER_HAS_IO_URING
+  auto b = std::make_unique<UringBackend>(opts);
+  if (!b->Init()) return nullptr;
+  return b;
+#else
+  (void)opts;
+  return nullptr;
+#endif
+}
+
+std::unique_ptr<IoBackend> MakeIoBackend(const std::string& spec,
+                                         const IoBackendOptions& opts) {
+  std::string s = spec;
+  if (s.empty()) {
+    const char* env = std::getenv("BLOBSEER_IO_BACKEND");
+    if (env != nullptr && env[0] != '\0') s = env;
+  }
+  if (s.empty() || s == "psync") return MakePsyncIoBackend();
+  if (s == "uring" || s == "uring-direct") {
+    IoBackendOptions o = opts;
+    if (s == "uring-direct") o.direct_io = true;
+    auto b = MakeUringIoBackend(o);
+    if (b != nullptr) return b;
+    BS_LOG(Warn) << "io backend '" << s
+                 << "' unavailable (io_uring unsupported on this kernel); "
+                    "falling back to psync";
+    return MakePsyncIoBackend();
+  }
+  BS_LOG(Warn) << "unknown io backend '" << s << "'; falling back to psync";
+  return MakePsyncIoBackend();
+}
+
+}  // namespace blobseer::pagelog

@@ -1,0 +1,134 @@
+// Pluggable raw-I/O seam under the log-structured page store.
+//
+// The store's hot path is "append records, then make them durable as one
+// group-commit window". IoBackend abstracts how those bytes reach the disk:
+//
+//   * psync — the portable baseline: one buffered pwrite per record part
+//     and one fdatasync per flush, exactly the code the store ran before
+//     the seam existed (zero behavior change).
+//   * uring — Linux io_uring: records are staged into a registered,
+//     page-aligned arena (a memcpy, no syscall), and a flush submits the
+//     whole staged window as one chained submission — a WRITE_FIXED SQE
+//     linked to an fdatasync SQE, so an entire group-commit window costs
+//     one io_uring_enter instead of 2 syscalls per record plus a sync.
+//     Optionally opens the append fd with O_DIRECT and rewrites the tail
+//     block with aligned boundaries (reads always use the buffered fd).
+//
+// Selection is by name ("psync", "uring", "uring-direct"); unknown or
+// unsupported names fall back to psync with a logged note, so a store
+// directory is always openable regardless of kernel support.
+#ifndef BLOBSEER_PAGELOG_IO_BACKEND_H_
+#define BLOBSEER_PAGELOG_IO_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace blobseer::pagelog {
+
+/// Raw-I/O counters, surfaced through PageStoreStats so the syscall savings
+/// of a batched backend are observable end to end.
+struct IoBackendStats {
+  /// Batched submission calls: io_uring_enter calls for uring; every
+  /// pwrite/fdatasync syscall for psync (its "batch" is one operation).
+  uint64_t io_submissions = 0;
+  /// Individual I/O operations submitted (SQEs for uring; equal to
+  /// io_submissions for psync).
+  uint64_t io_sqes = 0;
+  /// File bytes written through the append path (O_DIRECT alignment
+  /// padding included — it hits the device too).
+  uint64_t bytes_written = 0;
+  /// pread/preadv syscalls issued by the read path (arena-served staged
+  /// reads don't count — they cost no syscall).
+  uint64_t read_syscalls = 0;
+};
+
+struct IoBackendOptions {
+  /// uring only: open the append fd with O_DIRECT and write block-aligned
+  /// spans (the staging arena keeps the partial tail block so it can be
+  /// rewritten). Falls back to buffered writes when the filesystem
+  /// rejects O_DIRECT.
+  bool direct_io = false;
+  /// Staging arena capacity. Appends larger than the arena stream through
+  /// it in chunks; a bigger arena means fewer, larger write submissions on
+  /// the open-durability-window path.
+  uint64_t staging_bytes = 2ull << 20;
+};
+
+/// One active append target at a time (the store's active segment), plus
+/// positional reads against any segment fd. Appends and reads may be called
+/// concurrently from multiple threads; Flush is internally serialized.
+class IoBackend {
+ public:
+  virtual ~IoBackend() = default;
+
+  /// Resolved backend name ("psync" / "uring" / "uring-direct").
+  virtual const char* name() const = 0;
+
+  /// Makes `fd` (open R/W, `size` valid bytes, living at `path`) the active
+  /// append target. Any previous target is flushed and finalized first.
+  virtual Status BeginAppend(int fd, const std::string& path,
+                             uint64_t size) = 0;
+
+  /// Appends a record (header + payload) at `off`, which must equal the
+  /// current logical end of the active file. psync writes through
+  /// immediately; uring stages for the next Flush.
+  virtual Status Append(uint64_t off, Slice header, Slice payload) = 0;
+
+  /// Writes any staged bytes and makes the active file durable — the
+  /// group-commit flush. One batched submission for uring (chained
+  /// write + fdatasync), pwrites + fdatasync for psync.
+  virtual Status Flush() = 0;
+
+  /// Rolls the active file back to `size` logical bytes after a failed
+  /// append: discards staged bytes past it and truncates the file if any
+  /// were already written.
+  virtual Status TruncateActive(uint64_t size) = 0;
+
+  /// Flushes the active file and restores its physical size to the logical
+  /// end (drops O_DIRECT alignment padding). Called on clean shutdown.
+  virtual Status FinishAppend() = 0;
+
+  /// Drops the active append target without touching the file (failed
+  /// segment creation cleanup).
+  virtual void AbandonActive() = 0;
+
+  /// Positional read with context-rich errors; serves the staged tail of
+  /// the active file from memory when the bytes have not reached the file
+  /// yet.
+  virtual Status Pread(int fd, char* p, size_t n, uint64_t off,
+                       const std::string& path) = 0;
+
+  virtual IoBackendStats stats() const = 0;
+};
+
+/// True when this kernel accepts io_uring_setup (cached probe).
+bool IoUringSupported();
+
+std::unique_ptr<IoBackend> MakePsyncIoBackend();
+
+/// nullptr when io_uring is unavailable (compiled out, or io_uring_setup
+/// fails at runtime) — callers fall back to psync.
+std::unique_ptr<IoBackend> MakeUringIoBackend(const IoBackendOptions& opts);
+
+/// Resolves a backend spec with automatic fallback: "" consults the
+/// BLOBSEER_IO_BACKEND environment variable, then defaults to "psync".
+/// "uring" / "uring-direct" fall back to psync (with a logged note) when
+/// the kernel lacks io_uring. Never returns nullptr.
+std::unique_ptr<IoBackend> MakeIoBackend(const std::string& spec,
+                                         const IoBackendOptions& opts = {});
+
+/// Shared low-level helpers with context-rich errors: loop until the full
+/// range is transferred; short reads report path, offset and byte counts so
+/// torn-tail truncation reports are actionable.
+Status PwriteFull(int fd, const char* p, size_t n, uint64_t off,
+                  const std::string& path);
+Status PreadFull(int fd, char* p, size_t n, uint64_t off,
+                 const std::string& path);
+
+}  // namespace blobseer::pagelog
+
+#endif  // BLOBSEER_PAGELOG_IO_BACKEND_H_

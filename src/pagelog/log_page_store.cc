@@ -16,8 +16,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "pagelog/format.h"
+#include "pagelog/io_backend.h"
 
 namespace blobseer::pagelog {
 
@@ -30,37 +33,11 @@ using provider::PageStoreStats;
 /// larger is treated as a corrupt length field.
 constexpr uint64_t kMaxRecordPayload = 1ull << 30;
 
+/// Chunk size for sequential segment scans (recovery, compaction).
+constexpr size_t kScanChunk = 256u << 10;
+
 Status ErrnoError(const std::string& what) {
   return Status::IOError(what + ": " + strerror(errno));
-}
-
-Status PwriteFull(int fd, const char* p, size_t n, uint64_t off) {
-  while (n > 0) {
-    ssize_t w = ::pwrite(fd, p, n, static_cast<off_t>(off));
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoError("pwrite");
-    }
-    p += w;
-    n -= static_cast<size_t>(w);
-    off += static_cast<uint64_t>(w);
-  }
-  return Status::OK();
-}
-
-Status PreadFull(int fd, char* p, size_t n, uint64_t off) {
-  while (n > 0) {
-    ssize_t r = ::pread(fd, p, n, static_cast<off_t>(off));
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return ErrnoError("pread");
-    }
-    if (r == 0) return Status::Corruption("short read");
-    p += r;
-    n -= static_cast<size_t>(r);
-    off += static_cast<uint64_t>(r);
-  }
-  return Status::OK();
 }
 
 /// One on-disk segment. The fd stays open for the Segment's lifetime so
@@ -69,6 +46,7 @@ Status PreadFull(int fd, char* p, size_t n, uint64_t off) {
 struct Segment {
   uint32_t seq = 0;
   int fd = -1;
+  std::string path;
   uint64_t size = 0;  ///< append offset == bytes of valid records + header
   /// Payload bytes of all put records in the file vs. those still indexed;
   /// the difference is reclaimable garbage (delete tombstones and duplicate
@@ -86,25 +64,76 @@ struct Segment {
   }
 };
 
+/// Buffered sequential reader for segment scans: bytes come out of a
+/// kScanChunk staging buffer refilled with large backend reads, so a scan
+/// costs O(file_size / kScanChunk) syscalls instead of two per record.
+/// Payloads bigger than a chunk bypass the buffer and read straight into
+/// the destination.
+class ChunkReader {
+ public:
+  ChunkReader(IoBackend* io, int fd, const std::string& path,
+              uint64_t file_size)
+      : io_(io), fd_(fd), path_(path), file_size_(file_size) {}
+
+  Status Read(uint64_t off, char* dst, size_t n) {
+    while (n > 0) {
+      if (off >= buf_off_ && off < buf_off_ + buf_len_) {
+        size_t take = buf_off_ + buf_len_ - off;
+        if (take > n) take = n;
+        std::memcpy(dst, buffer_.data() + (off - buf_off_), take);
+        off += take;
+        dst += take;
+        n -= take;
+        continue;
+      }
+      if (off + n > file_size_) {
+        return Status::Corruption(StrFormat(
+            "short read: %s @%llu: %llu bytes past EOF", path_.c_str(),
+            static_cast<unsigned long long>(off),
+            static_cast<unsigned long long>(off + n - file_size_)));
+      }
+      if (n >= kScanChunk) return io_->Pread(fd_, dst, n, off, path_);
+      size_t fill = kScanChunk;
+      if (fill > file_size_ - off) fill = file_size_ - off;
+      buffer_.resize(fill);
+      BS_RETURN_NOT_OK(io_->Pread(fd_, buffer_.data(), fill, off, path_));
+      buf_off_ = off;
+      buf_len_ = fill;
+    }
+    return Status::OK();
+  }
+
+ private:
+  IoBackend* io_;
+  int fd_;
+  const std::string& path_;
+  uint64_t file_size_;
+  std::string buffer_;
+  uint64_t buf_off_ = 0;
+  size_t buf_len_ = 0;
+};
+
 /// Walks the records of a segment file, invoking `fn(header, payload_offset,
 /// payload)` for every structurally valid record, and returns the byte offset
 /// of the first torn/corrupt record (== `file_size` when the tail is clean).
 using RecordFn =
     std::function<void(const RecordHeader&, uint64_t, const std::string&)>;
 
-uint64_t ScanRecords(int fd, uint64_t file_size, const RecordFn& fn) {
+uint64_t ScanRecords(IoBackend* io, int fd, const std::string& path,
+                     uint64_t file_size, const RecordFn& fn) {
+  ChunkReader reader(io, fd, path, file_size);
   uint64_t off = kSegmentHeaderSize;
   char header[kRecordHeaderSize];
   std::string payload;
   while (off + kRecordHeaderSize <= file_size) {
-    if (!PreadFull(fd, header, kRecordHeaderSize, off).ok()) return off;
+    if (!reader.Read(off, header, kRecordHeaderSize).ok()) return off;
     RecordHeader h;
     if (!DecodeRecordHeader(header, &h)) return off;
     if (h.len > kMaxRecordPayload) return off;
     if (off + kRecordHeaderSize + h.len > file_size) return off;
     payload.resize(h.len);
     if (h.len > 0 &&
-        !PreadFull(fd, payload.data(), h.len, off + kRecordHeaderSize).ok())
+        !reader.Read(off + kRecordHeaderSize, payload.data(), h.len).ok())
       return off;
     if (!RecordCrcMatches(header, h, Slice(payload))) return off;
     fn(h, off + kRecordHeaderSize, payload);
@@ -117,17 +146,30 @@ class LogPageStore : public PageStore {
  public:
   LogPageStore(std::string dir, LogPageStoreOptions opts)
       : dir_(std::move(dir)), opts_(opts) {
+    IoBackendOptions io_opts;
+    io_opts.staging_bytes = opts_.staging_bytes;
+    io_ = MakeIoBackend(opts_.io_backend, io_opts);
     init_error_ = Open();
     if (!init_error_.ok()) {
       BS_LOG(Error) << "pagelog open " << dir_
                     << " failed: " << init_error_.ToString();
+    } else {
+      BS_LOG(Info) << "pagelog " << dir_ << " using io backend "
+                   << io_->name();
     }
   }
 
   ~LogPageStore() override {
-    // Best-effort durability on clean shutdown when running with sync off.
-    if (init_error_.ok() && active_ && active_->fd >= 0)
-      (void)::fdatasync(active_->fd);
+    // Best-effort durability on clean shutdown when running with sync off;
+    // also writes back any uring-staged tail and trims O_DIRECT padding.
+    if (init_error_.ok() && active_ && active_->fd >= 0) {
+      Status s = io_->FinishAppend();
+      if (!s.ok()) {
+        BS_LOG(Warn) << "pagelog shutdown flush of " << dir_
+                     << " failed: " << s.ToString()
+                     << " (records in the open durability window may be lost)";
+      }
+    }
     if (dir_fd_ >= 0) ::close(dir_fd_);
   }
 
@@ -176,9 +218,10 @@ class LogPageStore : public PageStore {
     BS_RETURN_NOT_OK(provider::CheckReadRange(e.len, offset, &len));
     out->resize(len);
     if (len == 0) return Status::OK();
-    // Record payloads are immutable once indexed, so the pread needs no lock;
-    // the shared_ptr keeps the fd usable even if compaction unlinks the file.
-    return PreadFull(seg->fd, out->data(), len, e.offset + offset)
+    // Record payloads are immutable once indexed, so the read needs no store
+    // lock; the shared_ptr keeps the fd usable even if compaction unlinks the
+    // file, and the backend serves any still-staged tail bytes from memory.
+    return io_->Pread(seg->fd, out->data(), len, e.offset + offset, seg->path)
         .WithContext("page " + id.ToString());
   }
 
@@ -299,6 +342,11 @@ class LogPageStore : public PageStore {
     st.dead_bytes = 0;
     for (const auto& [seq, seg] : segments_)
       st.dead_bytes += seg->total_payload - seg->live_payload;
+    IoBackendStats io = io_->stats();
+    st.io_submissions = io.io_submissions;
+    st.io_sqes = io.io_sqes;
+    st.bytes_written = io.bytes_written;
+    st.read_syscalls = io.read_syscalls;
     return st;
   }
 
@@ -332,12 +380,16 @@ class LogPageStore : public PageStore {
     ::closedir(d);
     std::sort(seqs.begin(), seqs.end());
 
+    Stopwatch recovery_timer;
     for (uint32_t seq : seqs) BS_RETURN_NOT_OK(RecoverSegment(seq));
+    if (!seqs.empty()) stats_.recovery_us = recovery_timer.ElapsedMicros();
     if (segments_.empty()) {
       std::lock_guard<std::mutex> lock(mu_);
       BS_RETURN_NOT_OK(CreateSegmentLocked(1));
     } else {
       active_ = segments_.rbegin()->second;
+      BS_RETURN_NOT_OK(
+          io_->BeginAppend(active_->fd, active_->path, active_->size));
     }
     return Status::OK();
   }
@@ -351,6 +403,7 @@ class LogPageStore : public PageStore {
     auto seg = std::make_shared<Segment>();
     seg->seq = seq;
     seg->fd = fd;
+    seg->path = path;
 
     struct stat st;
     if (::fstat(fd, &st) != 0) return ErrnoError("fstat " + path);
@@ -358,22 +411,23 @@ class LogPageStore : public PageStore {
 
     char header[kSegmentHeaderSize];
     uint64_t hdr_seq = 0;
-    bool header_ok = file_size >= kSegmentHeaderSize &&
-                     PreadFull(fd, header, kSegmentHeaderSize, 0).ok() &&
-                     DecodeSegmentHeader(header, &hdr_seq) && hdr_seq == seq;
+    bool header_ok =
+        file_size >= kSegmentHeaderSize &&
+        io_->Pread(fd, header, kSegmentHeaderSize, 0, path).ok() &&
+        DecodeSegmentHeader(header, &hdr_seq) && hdr_seq == seq;
     if (!header_ok) {
       // A segment whose header never hit the disk holds nothing durable;
       // reset it to an empty segment.
       BS_LOG(Warn) << "pagelog: resetting segment with bad header: " << path;
       if (::ftruncate(fd, 0) != 0) return ErrnoError("ftruncate " + path);
       EncodeSegmentHeader(seq, header);
-      BS_RETURN_NOT_OK(PwriteFull(fd, header, kSegmentHeaderSize, 0));
+      BS_RETURN_NOT_OK(PwriteFull(fd, header, kSegmentHeaderSize, 0, path));
       file_size = kSegmentHeaderSize;
     }
 
     segments_.emplace(seq, seg);
     uint64_t valid_end = ScanRecords(
-        fd, file_size,
+        io_.get(), fd, path, file_size,
         [&](const RecordHeader& h, uint64_t payload_off,
             const std::string& payload) {
           if (h.type == kRecordPut) {
@@ -424,10 +478,13 @@ class LogPageStore : public PageStore {
     auto seg = std::make_shared<Segment>();
     seg->seq = seq;
     seg->fd = fd;
+    seg->path = path;
+    BS_RETURN_NOT_OK(io_->BeginAppend(fd, path, 0));
     char header[kSegmentHeaderSize];
     EncodeSegmentHeader(seq, header);
-    Status s = PwriteFull(fd, header, kSegmentHeaderSize, 0);
+    Status s = io_->Append(0, Slice(header, kSegmentHeaderSize), Slice());
     if (!s.ok()) {
+      io_->AbandonActive();
       ::unlink(path.c_str());
       return s;
     }
@@ -443,7 +500,7 @@ class LogPageStore : public PageStore {
 
   /// Seals the active segment (flushing it) and opens the next one.
   Status RotateLocked() {
-    if (::fdatasync(active_->fd) != 0) return ErrnoError("fdatasync segment");
+    BS_RETURN_NOT_OK(io_->Flush());
     stats_.syncs++;
     return CreateSegmentLocked(active_->seq + 1);
   }
@@ -461,14 +518,15 @@ class LogPageStore : public PageStore {
     char header[kRecordHeaderSize];
     EncodeRecordHeader(type, id, payload, header);
     uint64_t off = active_->size;
-    Status s = PwriteFull(active_->fd, header, kRecordHeaderSize, off);
-    if (s.ok() && !payload.empty())
-      s = PwriteFull(active_->fd, payload.data(), payload.size(),
-                     off + kRecordHeaderSize);
+    Status s = io_->Append(off, Slice(header, kRecordHeaderSize), payload);
     if (!s.ok()) {
       // Roll back the partial record so the in-memory size keeps matching
-      // the on-disk valid prefix.
-      (void)::ftruncate(active_->fd, static_cast<off_t>(off));
+      // the valid (written or staged) prefix.
+      Status rb = io_->TruncateActive(off);
+      if (!rb.ok()) {
+        BS_LOG(Warn) << "pagelog: append rollback of " << active_->path
+                     << " failed: " << rb.ToString();
+      }
       return s;
     }
     active_->size += rec_size;
@@ -493,20 +551,19 @@ class LogPageStore : public PageStore {
       }
       sync_in_flight_ = true;
       uint64_t target;
-      std::shared_ptr<Segment> seg;
       {
         std::lock_guard<std::mutex> lock(mu_);
         target = append_seq_;
-        seg = active_;
       }
       l.unlock();
-      // Records up to `target` are either in `seg` or in a segment that was
-      // already flushed when it was sealed, so one fdatasync covers them all.
-      int rc = ::fdatasync(seg->fd);
+      // Records up to `target` are either staged for the active segment or
+      // in a segment that was already flushed when it was sealed, so one
+      // backend flush covers them all.
+      Status fs = io_->Flush();
       l.lock();
       sync_in_flight_ = false;
       sync_cv_.notify_all();
-      if (rc != 0) return ErrnoError("fdatasync segment");
+      if (!fs.ok()) return fs;
       if (target > synced_seq_) synced_seq_ = target;
       std::lock_guard<std::mutex> lock(mu_);
       stats_.syncs++;
@@ -516,12 +573,7 @@ class LogPageStore : public PageStore {
 
   /// Unconditional flush of the active segment (compaction durability).
   Status SyncActive() {
-    std::shared_ptr<Segment> seg;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      seg = active_;
-    }
-    if (::fdatasync(seg->fd) != 0) return ErrnoError("fdatasync segment");
+    BS_RETURN_NOT_OK(io_->Flush());
     std::lock_guard<std::mutex> lock(mu_);
     stats_.syncs++;
     return Status::OK();
@@ -540,7 +592,7 @@ class LogPageStore : public PageStore {
                         const std::set<uint32_t>& victim_seqs) {
     Status io = Status::OK();
     ScanRecords(
-        victim.fd, victim.size,
+        io_.get(), victim.fd, victim.path, victim.size,
         [&](const RecordHeader& h, uint64_t payload_off,
             const std::string& payload) {
           if (!io.ok()) return;
@@ -582,6 +634,7 @@ class LogPageStore : public PageStore {
 
   const std::string dir_;
   const LogPageStoreOptions opts_;
+  std::unique_ptr<IoBackend> io_;
   Status init_error_;
   int dir_fd_ = -1;
 

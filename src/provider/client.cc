@@ -105,6 +105,11 @@ Result<PageStoreStats> ProviderClient::FetchStats(const std::string& address) {
   st.dead_bytes = rsp.dead_bytes;
   st.syncs = rsp.syncs;
   st.compactions = rsp.compactions;
+  st.io_submissions = rsp.io_submissions;
+  st.io_sqes = rsp.io_sqes;
+  st.bytes_written = rsp.bytes_written;
+  st.read_syscalls = rsp.read_syscalls;
+  st.recovery_us = rsp.recovery_us;
   return st;
 }
 

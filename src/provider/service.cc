@@ -169,6 +169,11 @@ Status ProviderService::Handle(rpc::Method method, Slice payload,
             rsp->dead_bytes = st.dead_bytes;
             rsp->syncs = st.syncs;
             rsp->compactions = st.compactions;
+            rsp->io_submissions = st.io_submissions;
+            rsp->io_sqes = st.io_sqes;
+            rsp->bytes_written = st.bytes_written;
+            rsp->read_syscalls = st.read_syscalls;
+            rsp->recovery_us = st.recovery_us;
             return Status::OK();
           });
     default:

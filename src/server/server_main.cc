@@ -10,6 +10,10 @@
 // --store selects the provider page engine: "memory" (default), "null",
 // "file:<dir>" (one fsynced file per page), or "log:<dir>" (log-structured
 // segment store with group-commit durability; see docs/pagelog_format.md).
+// --io-backend selects the raw-I/O path of a "log:" store: "psync"
+// (default), "uring" (batched io_uring submissions), or "uring-direct"
+// (io_uring + O_DIRECT); unknown or kernel-unsupported values fall back to
+// psync with a logged note. Empty consults BLOBSEER_IO_BACKEND.
 // --compact-interval=SECONDS (0 = off, the default) runs a background
 // PageStore::Compact() pass on that period so deleted pages are reclaimed
 // without an operator in the loop.
@@ -69,6 +73,7 @@ int main(int argc, char** argv) {
   std::string roles = FlagValue(argc, argv, "roles", "provider,meta");
   std::string pm_addr = FlagValue(argc, argv, "pmanager", "");
   std::string store_spec = FlagValue(argc, argv, "store", "memory");
+  std::string io_backend = FlagValue(argc, argv, "io-backend", "");
   std::string allocation = FlagValue(argc, argv, "allocation", "round_robin");
   uint64_t capacity =
       strtoull(FlagValue(argc, argv, "capacity", "0").c_str(), nullptr, 10);
@@ -136,6 +141,7 @@ int main(int argc, char** argv) {
       } else if (StartsWith(store_spec, "log:")) {
         pagelog::LogPageStoreOptions lo;
         lo.compact_dead_ratio = compact_dead_ratio;
+        lo.io_backend = io_backend;
         store = pagelog::MakeLogPageStore(store_spec.substr(4), lo);
       } else {
         store = provider::MakeMemoryPageStore();
@@ -231,7 +237,8 @@ int main(int argc, char** argv) {
     provider::PageStoreStats st = provider_service->store().GetStats();
     printf("provider stats: pages=%llu bytes=%llu writes=%llu reads=%llu "
            "deletes=%llu segments=%llu dead_bytes=%llu syncs=%llu "
-           "compactions=%llu\n",
+           "compactions=%llu io_submissions=%llu io_sqes=%llu "
+           "bytes_written=%llu read_syscalls=%llu recovery_us=%llu\n",
            static_cast<unsigned long long>(st.pages),
            static_cast<unsigned long long>(st.bytes),
            static_cast<unsigned long long>(st.writes),
@@ -240,7 +247,12 @@ int main(int argc, char** argv) {
            static_cast<unsigned long long>(st.segments),
            static_cast<unsigned long long>(st.dead_bytes),
            static_cast<unsigned long long>(st.syncs),
-           static_cast<unsigned long long>(st.compactions));
+           static_cast<unsigned long long>(st.compactions),
+           static_cast<unsigned long long>(st.io_submissions),
+           static_cast<unsigned long long>(st.io_sqes),
+           static_cast<unsigned long long>(st.bytes_written),
+           static_cast<unsigned long long>(st.read_syscalls),
+           static_cast<unsigned long long>(st.recovery_us));
   }
   return 0;
 }

@@ -225,6 +225,26 @@ TEST(HashTest, Crc32cExtendMatchesOneShot) {
   EXPECT_EQ(crc, Crc32c(Slice(data)));
 }
 
+TEST(HashTest, Crc32cHardwarePathMatchesPortable) {
+  // Crc32cExtend dispatches to SSE4.2 CRC32 instructions where the CPU has
+  // them; whatever path runs must agree with the table-driven portable
+  // implementation on every length (the hardware path handles 8/4/2/1-byte
+  // tails differently).
+  std::string data(1025, '\0');
+  for (size_t i = 0; i < data.size(); i++) {
+    data[i] = static_cast<char>(i * 131 + 17);
+  }
+  for (size_t len : {0u, 1u, 2u, 3u, 7u, 8u, 9u, 63u, 64u, 255u, 1024u,
+                     1025u}) {
+    EXPECT_EQ(Crc32cExtend(0, data.data(), len),
+              internal::Crc32cExtendPortable(0, data.data(), len))
+        << "len " << len;
+    EXPECT_EQ(Crc32cExtend(0xDEADBEEF, data.data(), len),
+              internal::Crc32cExtendPortable(0xDEADBEEF, data.data(), len))
+        << "len " << len;
+  }
+}
+
 TEST(RngTest, DeterministicGivenSeed) {
   Rng a(7), b(7), c(8);
   EXPECT_EQ(a.Next(), b.Next());

@@ -229,11 +229,18 @@ TEST(ProviderServiceTest, ExtendedStatsTravelTheRpc) {
   EXPECT_EQ(stats->dead_bytes, direct.dead_bytes);
   EXPECT_EQ(stats->syncs, direct.syncs);
   EXPECT_EQ(stats->compactions, direct.compactions);
+  EXPECT_EQ(stats->io_submissions, direct.io_submissions);
+  EXPECT_EQ(stats->io_sqes, direct.io_sqes);
+  EXPECT_EQ(stats->bytes_written, direct.bytes_written);
+  EXPECT_EQ(stats->read_syscalls, direct.read_syscalls);
+  EXPECT_EQ(stats->recovery_us, direct.recovery_us);
   // The log backend actually populates the extension fields.
   EXPECT_EQ(stats->deletes, 1u);
   EXPECT_GE(stats->segments, 1u);
   EXPECT_GT(stats->dead_bytes, 0u);
   EXPECT_GE(stats->syncs, 1u);
+  EXPECT_GT(stats->io_submissions, 0u);
+  EXPECT_GT(stats->bytes_written, 0u);
   std::filesystem::remove_all(dir);
 }
 
