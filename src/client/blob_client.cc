@@ -72,21 +72,29 @@ struct BlobClient::SyncOp {
   uint64_t waited = 0;
   Promise<Unit> promise;
 
-  static constexpr uint64_t kSliceUs = 250 * 1000;
+  // Server-push mode (blocking_sync): a single AwaitPublished RPC carries
+  // the full timeout; the server parks a subscription and completes the
+  // response from the publisher (or its timeout watchdog), so the client
+  // hears about publication one network trip after it happens — no re-armed
+  // wait slices, and no thread held anywhere in between.
+  void Subscribe(const std::shared_ptr<SyncOp>& self) {
+    c->vm_.AwaitPublishedAsync(id, version, timeout_us)
+        .OnReady(nullptr, [self](Result<Unit> r) {
+          if (r.ok()) {
+            self->promise.Set(Unit{});
+          } else {
+            self->promise.Set(r.status());
+          }
+        });
+  }
 
-  // One AwaitPublished round per Step; re-arms itself until published,
-  // error, or timeout. The server holds the call in blocking mode (the
-  // completion thread, not a caller thread, sees the response); polling
-  // mode re-polls after a nap taken on an executor task so the virtual
-  // clock drives it under simnet.
+  // Polling fallback (blocking_sync = false): non-blocking probes separated
+  // by sync_poll_us naps taken on an executor task. Kept as an operational
+  // knob for deployments that would rather trade publication latency than
+  // hold server-side subscription state.
   void Step(const std::shared_ptr<SyncOp>& self) {
-    uint64_t remaining =
-        timeout_us == kNoTimeout ? kSliceUs : timeout_us - waited;
-    uint64_t server_wait =
-        c->options_.blocking_sync ? std::min(remaining, kSliceUs) : 0;
-    c->vm_.AwaitPublishedAsync(id, version, server_wait)
-        .OnReady(nullptr, [self, server_wait,
-                           remaining](Result<Unit> r) {
+    c->vm_.AwaitPublishedAsync(id, version, 0)
+        .OnReady(nullptr, [self](Result<Unit> r) {
           if (r.ok()) {
             self->promise.Set(Unit{});
             return;
@@ -95,23 +103,18 @@ struct BlobClient::SyncOp {
             self->promise.Set(r.status());
             return;
           }
-          if (!self->c->options_.blocking_sync) {
-            // Sleep first, charge after: the final (partial) nap must
-            // elapse before the timeout fires, like the classic poll loop.
-            uint64_t nap =
-                std::min<uint64_t>(self->c->options_.sync_poll_us, remaining);
-            self->c->executor_->Schedule([self, nap] {
-              self->c->clock_->SleepForMicros(nap);
-              if (!self->Account(nap)) return;
-              self->Step(self);
-            });
-            return;
-          }
-          if (!self->Account(server_wait)) return;
-          // Re-arm on the executor: over an inline-completing transport
-          // (inproc) a direct Step here would recurse on this stack for
-          // the whole wait.
-          self->c->executor_->Schedule([self] { self->Step(self); });
+          uint64_t remaining = self->timeout_us == kNoTimeout
+                                   ? UINT64_MAX
+                                   : self->timeout_us - self->waited;
+          // Sleep first, charge after: the final (partial) nap must
+          // elapse before the timeout fires, like the classic poll loop.
+          uint64_t nap =
+              std::min<uint64_t>(self->c->options_.sync_poll_us, remaining);
+          self->c->executor_->Schedule([self, nap] {
+            self->c->clock_->SleepForMicros(nap);
+            if (!self->Account(nap)) return;
+            self->Step(self);
+          });
         });
   }
 
@@ -156,6 +159,9 @@ BlobClient::BlobClient(rpc::Transport* transport, std::string vmanager_address,
                                     options.cache_capacity,
                                     options.meta_fanout}),
       providers_(transport, options.channels_per_endpoint) {
+  // A zero (or near-zero) poll interval would busy-spin probe RPCs through
+  // the executor for the whole wait; enforce a floor.
+  options_.sync_poll_us = std::max<uint64_t>(options_.sync_poll_us, 50);
   // Non-zero, process-unique prefix for page ids.
   Rng rng(RealClock::Default()->NowMicros() ^
           reinterpret_cast<uintptr_t>(this));
@@ -1418,7 +1424,11 @@ Future<Unit> BlobClient::SyncAsync(BlobId id, Version version,
   op->version = version;
   op->timeout_us = timeout_us;
   Future<Unit> f = op->promise.GetFuture();
-  op->Step(op);
+  if (options_.blocking_sync) {
+    op->Subscribe(op);
+  } else {
+    op->Step(op);
+  }
   return f;
 }
 

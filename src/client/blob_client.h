@@ -64,9 +64,12 @@ struct ClientOptions {
   /// Leaf fragment-chain length that triggers page compaction on the next
   /// write to the page (unaligned-write bookkeeping; DESIGN.md 3.2).
   uint32_t max_chain = 16;
-  /// If true, SYNC uses server-side blocking waits; otherwise it polls
-  /// (required under the virtual-time simulator).
+  /// If true (default), SYNC subscribes: one AwaitPublished RPC carries the
+  /// full timeout and the server pushes the response at publish time.
+  /// Otherwise SYNC polls with non-blocking probes every sync_poll_us.
   bool blocking_sync = true;
+  /// Poll interval for the non-subscribing SYNC mode; clamped to a minimum
+  /// of 50us (0 would busy-spin probes through the executor).
   uint64_t sync_poll_us = 1000;
   /// Metadata node cache (immutable nodes; safe to cache).
   bool cache_metadata = true;
@@ -164,8 +167,8 @@ class BlobClient {
   Future<uint64_t> GetSizeAsync(BlobId id, Version version);
 
   /// SYNC: resolves once `version` is published (or TimedOut). The wait is
-  /// held server-side (blocking_sync) or re-polled through the executor,
-  /// so no caller thread is parked either way.
+  /// a server-push subscription (blocking_sync) or re-polled through the
+  /// executor, so no caller thread is parked either way.
   Future<Unit> SyncAsync(BlobId id, Version version,
                          uint64_t timeout_us = kNoTimeout);
 

@@ -56,7 +56,9 @@ Result<std::unique_ptr<EmbeddedCluster>> EmbeddedCluster::Start(
 
   // Version manager and provider manager on dedicated endpoints (the paper
   // deploys each on a dedicated node).
-  c->vm_service_ = std::make_shared<vmanager::VersionManagerService>();
+  c->vm_executor_ = std::make_unique<ThreadPoolExecutor>(2);
+  c->vm_service_ = std::make_shared<vmanager::VersionManagerService>(
+      nullptr, c->vm_executor_.get());
   {
     auto addr = c->transport_->Serve(bind_addr("vmanager"), c->vm_service_);
     if (!addr.ok()) return addr.status();

@@ -146,6 +146,8 @@ class EmbeddedCluster {
   // Declared before the services: heartbeat loops run on this executor and
   // are stopped by the service destructors, so it must outlive them.
   std::unique_ptr<ThreadPoolExecutor> hb_executor_;
+  // AwaitPublished timeout watchdogs; same ordering constraint.
+  std::unique_ptr<ThreadPoolExecutor> vm_executor_;
   std::unique_ptr<pmanager::ProviderManagerClient> pm_client_;
 
   std::shared_ptr<vmanager::VersionManagerService> vm_service_;

@@ -24,7 +24,8 @@ SimCluster::SimCluster(simnet::SimScheduler* sched,
   simnet::SimServiceProfile provider_profile{options.provider_cpu_us,
                                              options.provider_concurrency};
 
-  vm_service_ = std::make_shared<vmanager::VersionManagerService>();
+  vm_service_ = std::make_shared<vmanager::VersionManagerService>(
+      clock_.get(), executor_.get());
   vm_address_ = simnet::SimTransport::MakeAddress(vm_node(), "vmanager");
   transport_->SetServiceProfile(vm_address_, manager_profile);
   BS_CHECK(transport_->Serve(vm_address_, vm_service_).ok());
@@ -149,7 +150,6 @@ void SimCluster::StopHeartbeats() {
 
 std::unique_ptr<client::BlobClient> SimCluster::NewClient(
     client::ClientOptions base) {
-  base.blocking_sync = false;  // handlers must not block in virtual time
   base.replication = std::max(base.replication, options_.replication);
   if (base.write_quorum == 0) base.write_quorum = options_.write_quorum;
   return std::make_unique<client::BlobClient>(

@@ -7,14 +7,31 @@ ChannelPool::ChannelPool(Transport* transport, size_t channels_per_endpoint)
       per_endpoint_(channels_per_endpoint == 0 ? 1 : channels_per_endpoint) {}
 
 Result<std::shared_ptr<Channel>> ChannelPool::Get(const std::string& address) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Entry& e = entries_[address];
+    if (e.channels.size() >= per_endpoint_) {
+      e.next = (e.next + 1) % e.channels.size();
+      return e.channels[e.next];
+    }
+  }
+  // Connect outside the lock: a TCP connect can block for seconds (SYN
+  // retries to a dead endpoint), and holding the pool-wide mutex through it
+  // would stall every Get to every *other* endpoint for the duration.
+  auto ch = transport_->Connect(address);
+  if (!ch.ok()) return ch.status();
+  std::shared_ptr<Channel> fresh = std::move(ch).ValueUnsafe();
+
   std::lock_guard<std::mutex> lock(mu_);
   Entry& e = entries_[address];
   if (e.channels.size() < per_endpoint_) {
-    auto ch = transport_->Connect(address);
-    if (!ch.ok()) return ch.status();
-    e.channels.push_back(std::move(ch).ValueUnsafe());
+    e.channels.push_back(std::move(fresh));
     return e.channels.back();
   }
+  // Raced: concurrent Gets filled the slot. Return a pooled channel — the
+  // pool must retain whatever it hands out (callers hold raw Channel*
+  // across async completions on the strength of that retention) — and let
+  // the unpooled fresh one die here.
   e.next = (e.next + 1) % e.channels.size();
   return e.channels[e.next];
 }

@@ -1,10 +1,9 @@
 // Channel pooling: the client library spreads requests to one endpoint
-// across several channels. TCP channels pipeline (many requests in flight
-// per connection, FIFO per connection), so the pool's job is server-side
-// parallelism — the TCP server processes each connection serially, and
-// distinct connections are what let requests overlap in the handler — plus
-// isolation from head-of-line blocking behind a slow request (e.g. a
-// blocking AwaitPublished hold).
+// across several channels. A single TCP channel already pipelines many
+// requests, the server dispatches them concurrently, and responses are
+// matched by correlation id (so a slow call does not block the ones behind
+// it); the pool's remaining job is client-side send parallelism — spreading
+// request serialization and socket writes across connections.
 #ifndef BLOBSEER_RPC_CHANNEL_POOL_H_
 #define BLOBSEER_RPC_CHANNEL_POOL_H_
 

@@ -22,13 +22,20 @@ class InProcChannel : public Channel {
     return handler_->Handle(method, request, response);
   }
 
-  // Native async path: in-process handlers are ordinary function calls, so
-  // "non-blocking" means completing inline on the caller — no thread is
-  // parked waiting on I/O and no completion thread exists to hand off to.
+  // Native async path: the handler's async entry point runs as an ordinary
+  // function call, but a handler that parks the request (server-push, e.g.
+  // an AwaitPublished subscription) completes `done` later from whatever
+  // thread resolves it. The registration pin is held only across the
+  // HandleAsync invocation — deliberately NOT captured into `done`, which
+  // would cycle (service waiter -> callback -> pin -> registration ->
+  // handler -> service) and leak every never-fired subscription.
   void CallAsync(Method method, Slice request, CallCallback done) override {
-    std::string response;
-    Status st = Call(method, request, &response);
-    done(std::move(st), std::move(response));
+    std::shared_ptr<void> pin = registration_.lock();
+    if (!pin) {
+      done(Status::Unavailable("endpoint gone: " + address_), std::string());
+      return;
+    }
+    handler_->HandleAsync(method, request, std::move(done));
   }
 
  private:

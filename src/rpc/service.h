@@ -20,8 +20,12 @@ class CompositeHandler : public ServiceHandler {
                 std::shared_ptr<ServiceHandler> handler);
 
   Status Handle(Method method, Slice payload, std::string* response) override;
+  void HandleAsync(Method method, Slice payload, HandlerDone done) override;
 
  private:
+  /// nullptr when no service owns the method's block.
+  ServiceHandler* RouteFor(Method method) const;
+
   std::map<uint32_t, std::shared_ptr<ServiceHandler>> blocks_;
 };
 

@@ -1,20 +1,21 @@
 #include "rpc/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cstring>
 #include <deque>
-#include <set>
 #include <thread>
 #include <vector>
 
 #include "common/executor.h"
-
 #include "common/logging.h"
 #include "common/serde.h"
 #include "common/string_util.h"
@@ -24,6 +25,10 @@ namespace blobseer::rpc {
 namespace {
 
 constexpr uint32_t kMaxFrame = 256u * 1024 * 1024;
+/// Request body prefix: [u64 corr_id][u32 method].
+constexpr uint32_t kReqHeaderBytes = 12;
+/// Response body prefix: [u64 corr_id][u8 code][u32 msg_len].
+constexpr uint32_t kRspHeaderBytes = 13;
 
 Status ReadFull(int fd, void* buf, size_t n) {
   char* p = static_cast<char*>(buf);
@@ -83,132 +88,380 @@ Status FillSockaddr(const std::string& host, uint16_t port,
   return Status::OK();
 }
 
-// Request body: [u32 method][payload]; response body:
-// [u8 code][u32 msg_len][msg][payload].
-Status WriteResponse(int fd, const Status& st, Slice payload) {
-  std::string head;
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Encodes a complete response frame (see rpc/wire.h frame format v2).
+std::string EncodeResponseFrame(uint64_t corr, const Status& st,
+                                const std::string& payload) {
   uint32_t msg_len = static_cast<uint32_t>(st.message().size());
-  uint64_t body = 1 + 4 + msg_len + (st.ok() ? payload.size() : 0);
-  if (body > kMaxFrame) return Status::InvalidArgument("response too large");
+  uint64_t body = kRspHeaderBytes + msg_len + (st.ok() ? payload.size() : 0);
+  if (body > kMaxFrame) {
+    // Oversized response: fail the call instead of corrupting the stream.
+    Status err = Status::InvalidArgument("response too large");
+    return EncodeResponseFrame(corr, err, std::string());
+  }
+  std::string frame;
+  frame.reserve(4 + body);
   uint32_t len = static_cast<uint32_t>(body);
-  head.append(reinterpret_cast<const char*>(&len), 4);
-  uint8_t code = static_cast<uint8_t>(st.code());
-  head.push_back(static_cast<char>(code));
-  head.append(reinterpret_cast<const char*>(&msg_len), 4);
-  head.append(st.message());
-  BS_RETURN_NOT_OK(WriteFull(fd, head.data(), head.size()));
-  if (st.ok() && !payload.empty())
-    return WriteFull(fd, payload.data(), payload.size());
-  return Status::OK();
+  frame.append(reinterpret_cast<const char*>(&len), 4);
+  frame.append(reinterpret_cast<const char*>(&corr), 8);
+  frame.push_back(static_cast<char>(static_cast<uint8_t>(st.code())));
+  frame.append(reinterpret_cast<const char*>(&msg_len), 4);
+  frame.append(st.message());
+  if (st.ok()) frame.append(payload);
+  return frame;
 }
 
 }  // namespace
 
-/// One listening endpoint with its accept loop and connection threads.
+/// One listening endpoint, served by an epoll reactor thread.
+///
+/// The reactor owns every socket: it accepts connections, reads and parses
+/// request frames, and writes response frames. Requests are dispatched to
+/// the transport's worker executor, which invokes the service handler's
+/// async entry point; the completion callback enqueues the encoded response
+/// frame back to the reactor (eventfd wakeup), which writes it out whenever
+/// the socket accepts it. Responses therefore leave in *completion* order —
+/// a held call (e.g. a parked AwaitPublished subscription) does not block
+/// the requests pipelined behind it on the same connection, and an idle
+/// hold costs no thread anywhere.
+///
+/// Completion callbacks may outlive both their connection and this server
+/// (a subscription can fire after StopServing); they reach the reactor only
+/// through a shared Core with an `alive` flag, so late completions are
+/// dropped instead of touching freed state.
 class TcpServer {
  public:
-  TcpServer(int listen_fd, std::shared_ptr<ServiceHandler> handler)
-      : listen_fd_(listen_fd), handler_(std::move(handler)) {
-    accept_thread_ = std::thread([this] { AcceptLoop(); });
+  TcpServer(int listen_fd, std::shared_ptr<ServiceHandler> handler,
+            Executor* dispatch)
+      : listen_fd_(listen_fd),
+        handler_(std::move(handler)),
+        dispatch_(dispatch),
+        core_(std::make_shared<Core>()) {
+    SetNonBlocking(listen_fd_);
+    epoll_fd_ = ::epoll_create1(0);
+    BS_CHECK(epoll_fd_ >= 0) << "epoll_create1: " << strerror(errno);
+    core_->wake_fd = ::eventfd(0, EFD_NONBLOCK);
+    BS_CHECK(core_->wake_fd >= 0) << "eventfd: " << strerror(errno);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.ptr = &listen_tag_;
+    BS_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
+    ev.data.ptr = &wake_tag_;
+    BS_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, core_->wake_fd, &ev) == 0);
+    reactor_ = std::thread([this] { ReactorLoop(); });
   }
 
   ~TcpServer() {
-    stop_.store(true);
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+      std::lock_guard<std::mutex> lock(core_->mu);
+      core_->stop = true;
+      core_->WakeLocked();
     }
-    accept_thread_.join();
-    for (auto& t : conn_threads_) t.join();
+    reactor_.join();
+    // In-flight handler invocations drain on the transport's dispatch
+    // executor; their completions see core_->alive == false and drop.
   }
 
  private:
-  void AcceptLoop() {
+  struct Conn {
+    int fd = -1;
+    /// Set (under Core::mu) by the reactor when the connection dies; late
+    /// completions for it are discarded.
+    bool closed = false;
+    // Reactor-thread-only state below.
+    std::string inbuf;
+    size_t inpos = 0;
+    std::deque<std::string> outq;  ///< encoded frames awaiting the socket
+    size_t outpos = 0;             ///< bytes of outq.front() already sent
+    bool want_write = false;       ///< EPOLLOUT interest registered
+  };
+
+  /// State shared with handler-completion callbacks.
+  struct Core {
+    std::mutex mu;
+    bool alive = true;
+    bool stop = false;
+    int wake_fd = -1;
+    std::deque<std::pair<std::shared_ptr<Conn>, std::string>> completions;
+
+    void WakeLocked() {
+      if (wake_fd < 0) return;
+      uint64_t one = 1;
+      ssize_t r = ::write(wake_fd, &one, sizeof(one));
+      (void)r;  // EAGAIN (counter saturated) still leaves the fd readable
+    }
+
+    void EnqueueResponse(std::shared_ptr<Conn> conn, std::string frame) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!alive || conn->closed) return;
+      completions.emplace_back(std::move(conn), std::move(frame));
+      WakeLocked();
+    }
+  };
+
+  void ReactorLoop() {
+    epoll_event events[64];
     for (;;) {
-      int fd = ::accept(listen_fd_, nullptr, nullptr);
-      if (fd < 0) {
-        if (stop_.load()) return;
+      int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+      if (n < 0) {
         if (errno == EINTR) continue;
-        BS_LOG(Warn) << "accept failed: " << strerror(errno);
+        BS_LOG(Warn) << "epoll_wait: " << strerror(errno);
+        break;
+      }
+      bool stop = false;
+      for (int i = 0; i < n; i++) {
+        void* tag = events[i].data.ptr;
+        if (tag == &listen_tag_) {
+          AcceptReady();
+        } else if (tag == &wake_tag_) {
+          uint64_t drain;
+          while (::read(core_->wake_fd, &drain, sizeof(drain)) > 0) {
+          }
+          DrainCompletions();
+          std::lock_guard<std::mutex> lock(core_->mu);
+          stop = core_->stop;
+        } else {
+          Conn* c = static_cast<Conn*>(tag);
+          // The conn may have been closed by an earlier event in this
+          // batch; its epoll registration is gone then, but the kernel can
+          // still deliver events armed before the EPOLL_CTL_DEL.
+          auto it = conns_.find(c->fd);
+          if (it == conns_.end() || it->second.get() != c) continue;
+          if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+            CloseConn(it->second);
+            continue;
+          }
+          if (events[i].events & EPOLLIN) {
+            if (!ReadReady(it->second)) continue;  // closed
+          }
+          if (events[i].events & EPOLLOUT) FlushWrites(it->second);
+        }
+      }
+      if (stop) break;
+    }
+    // Teardown on the reactor thread: close every socket, then mark the
+    // core dead so late completions become no-ops.
+    std::vector<std::shared_ptr<Conn>> victims;
+    for (auto& [fd, conn] : conns_) victims.push_back(conn);
+    for (auto& conn : victims) CloseConn(conn);
+    ::close(listen_fd_);
+    ::close(epoll_fd_);
+    std::lock_guard<std::mutex> lock(core_->mu);
+    core_->alive = false;
+    ::close(core_->wake_fd);
+    core_->wake_fd = -1;
+    core_->completions.clear();
+  }
+
+  void AcceptReady() {
+    for (;;) {
+      int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno != ECONNABORTED) {
+          BS_LOG(Warn) << "accept failed: " << strerror(errno);
+        }
         return;
       }
       int one = 1;
       setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-      std::lock_guard<std::mutex> lock(mu_);
-      if (stop_.load()) {
+      auto conn = std::make_shared<Conn>();
+      conn->fd = fd;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.ptr = conn.get();
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
         ::close(fd);
-        return;
+        continue;
       }
-      conn_fds_.insert(fd);
-      conn_threads_.emplace_back([this, fd] { ConnLoop(fd); });
+      conns_.emplace(fd, std::move(conn));
     }
   }
 
-  void ConnLoop(int fd) {
-    std::string body;
+  /// Returns false when the connection was closed.
+  bool ReadReady(const std::shared_ptr<Conn>& conn) {
+    Conn* c = conn.get();
+    char buf[64 * 1024];
     for (;;) {
-      uint32_t len = 0;
-      if (!ReadFull(fd, &len, 4).ok()) break;
-      if (len < 4 || len > kMaxFrame) break;
-      body.resize(len);
-      if (!ReadFull(fd, body.data(), len).ok()) break;
-      uint32_t method;
-      std::memcpy(&method, body.data(), 4);
-      std::string response;
-      Status st = handler_->Handle(static_cast<Method>(method),
-                                   Slice(body.data() + 4, len - 4), &response);
-      if (!WriteResponse(fd, st, Slice(response)).ok()) break;
+      ssize_t r = ::recv(c->fd, buf, sizeof(buf), 0);
+      if (r > 0) {
+        c->inbuf.append(buf, static_cast<size_t>(r));
+        if (r < static_cast<ssize_t>(sizeof(buf))) break;
+        continue;
+      }
+      if (r == 0) {
+        CloseConn(conn);
+        return false;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(conn);
+      return false;
     }
-    ::close(fd);
-    std::lock_guard<std::mutex> lock(mu_);
-    conn_fds_.erase(fd);
+    return ParseFrames(conn);
+  }
+
+  /// Splits the connection's input buffer into request frames and
+  /// dispatches each; returns false if a malformed frame closed the
+  /// connection.
+  bool ParseFrames(const std::shared_ptr<Conn>& conn) {
+    Conn* c = conn.get();
+    for (;;) {
+      size_t avail = c->inbuf.size() - c->inpos;
+      if (avail < 4) break;
+      uint32_t len;
+      std::memcpy(&len, c->inbuf.data() + c->inpos, 4);
+      if (len < kReqHeaderBytes || len > kMaxFrame) {
+        CloseConn(conn);
+        return false;
+      }
+      if (avail < 4 + static_cast<uint64_t>(len)) break;
+      const char* body = c->inbuf.data() + c->inpos + 4;
+      uint64_t corr;
+      uint32_t method;
+      std::memcpy(&corr, body, 8);
+      std::memcpy(&method, body + 8, 4);
+      std::string payload(body + kReqHeaderBytes, len - kReqHeaderBytes);
+      c->inpos += 4 + len;
+      Dispatch(conn, corr, method, std::move(payload));
+    }
+    if (c->inpos > 0) {
+      c->inbuf.erase(0, c->inpos);
+      c->inpos = 0;
+    }
+    return true;
+  }
+
+  void Dispatch(std::shared_ptr<Conn> conn, uint64_t corr, uint32_t method,
+                std::string payload) {
+    // The dispatch task owns the handler (keeps the service alive past
+    // StopServing while it runs) and the payload (HandleAsync only borrows
+    // it); the completion needs neither — just the route back.
+    dispatch_->Schedule([handler = handler_, core = core_,
+                         conn = std::move(conn), corr, method,
+                         payload = std::move(payload)] {
+      handler->HandleAsync(
+          static_cast<Method>(method), Slice(payload),
+          [core, conn, corr](Status st, std::string rsp) {
+            core->EnqueueResponse(conn, EncodeResponseFrame(corr, st, rsp));
+          });
+    });
+  }
+
+  void DrainCompletions() {
+    std::deque<std::pair<std::shared_ptr<Conn>, std::string>> batch;
+    {
+      std::lock_guard<std::mutex> lock(core_->mu);
+      batch.swap(core_->completions);
+    }
+    for (auto& [conn, frame] : batch) {
+      if (conn->closed) continue;
+      conn->outq.push_back(std::move(frame));
+      FlushWrites(conn);
+    }
+  }
+
+  void FlushWrites(const std::shared_ptr<Conn>& conn) {
+    Conn* c = conn.get();
+    if (c->closed) return;
+    while (!c->outq.empty()) {
+      const std::string& front = c->outq.front();
+      ssize_t r = ::send(c->fd, front.data() + c->outpos,
+                         front.size() - c->outpos, MSG_NOSIGNAL);
+      if (r >= 0) {
+        c->outpos += static_cast<size_t>(r);
+        if (c->outpos == front.size()) {
+          c->outq.pop_front();
+          c->outpos = 0;
+        }
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        SetWriteInterest(c, true);
+        return;
+      }
+      CloseConn(conn);
+      return;
+    }
+    SetWriteInterest(c, false);
+  }
+
+  void SetWriteInterest(Conn* c, bool want) {
+    if (c->want_write == want) return;
+    c->want_write = want;
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+    ev.data.ptr = c;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
+  }
+
+  void CloseConn(const std::shared_ptr<Conn>& conn) {
+    Conn* c = conn.get();
+    if (c->closed) return;
+    {
+      std::lock_guard<std::mutex> lock(core_->mu);
+      c->closed = true;
+    }
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
+    ::close(c->fd);
+    conns_.erase(c->fd);
   }
 
   int listen_fd_;
+  int epoll_fd_ = -1;
+  int listen_tag_ = 0;  ///< epoll data.ptr sentinel for the listen socket
+  int wake_tag_ = 0;    ///< epoll data.ptr sentinel for the wake eventfd
   std::shared_ptr<ServiceHandler> handler_;
-  std::atomic<bool> stop_{false};
-  std::thread accept_thread_;
-  std::mutex mu_;
-  std::set<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  Executor* dispatch_;
+  std::shared_ptr<Core> core_;
+  std::map<int, std::shared_ptr<Conn>> conns_;  // reactor-thread only
+  std::thread reactor_;
 };
 
 namespace {
 
 /// Reads one response frame. The returned status is transport-level; on OK,
-/// `*app_status` carries the application outcome and `*payload` the body.
-Status ReadResponseFrame(int fd, Status* app_status, std::string* payload) {
+/// `*corr` identifies the request, `*app_status` carries the application
+/// outcome and `*payload` the body.
+Status ReadResponseFrame(int fd, uint64_t* corr, Status* app_status,
+                         std::string* payload) {
   uint32_t rlen = 0;
   BS_RETURN_NOT_OK(ReadFull(fd, &rlen, 4));
-  if (rlen < 5 || rlen > kMaxFrame)
+  if (rlen < kRspHeaderBytes || rlen > kMaxFrame)
     return Status::Corruption("bad response frame length");
   std::string frame;
   frame.resize(rlen);
   BS_RETURN_NOT_OK(ReadFull(fd, frame.data(), rlen));
-  uint8_t code = static_cast<uint8_t>(frame[0]);
+  std::memcpy(corr, frame.data(), 8);
+  uint8_t code = static_cast<uint8_t>(frame[8]);
   uint32_t msg_len;
-  std::memcpy(&msg_len, frame.data() + 1, 4);
-  if (5 + static_cast<uint64_t>(msg_len) > rlen)
+  std::memcpy(&msg_len, frame.data() + 9, 4);
+  if (kRspHeaderBytes + static_cast<uint64_t>(msg_len) > rlen)
     return Status::Corruption("bad response message length");
   if (code != 0) {
     *app_status = Status::FromCode(static_cast<StatusCode>(code),
-                                   frame.substr(5, msg_len));
+                                   frame.substr(kRspHeaderBytes, msg_len));
     payload->clear();
   } else {
     *app_status = Status::OK();
-    payload->assign(frame.data() + 5 + msg_len, rlen - 5 - msg_len);
+    payload->assign(frame.data() + kRspHeaderBytes + msg_len,
+                    rlen - kRspHeaderBytes - msg_len);
   }
   return Status::OK();
 }
 
 /// Pipelined channel: requests are framed onto the connection as they
-/// arrive (writers serialized under mu_) and a per-connection reader thread
-/// matches responses to callbacks in FIFO order — the server processes each
-/// connection sequentially, so response order equals request order. Call is
-/// a thin park-on-event wrapper over CallAsync, and a caller thread is
-/// never blocked on the network on the async path.
+/// arrive (writers serialized under mu_) carrying a per-channel correlation
+/// id, and a per-connection reader thread matches each response to its
+/// callback by that id — responses complete in whatever order the server
+/// finishes them. Call is a thin park-on-event wrapper over CallAsync, and
+/// a caller thread is never blocked on the network on the async path.
 ///
 /// On connection failure every in-flight request is transparently re-issued
 /// once over a fresh connection (handles servers restarted between calls;
@@ -244,7 +497,7 @@ class TcpChannel : public Channel {
     // Local validation failures never touch the wire, so they must not
     // disturb the healthy pipeline (Submit treats write failures as
     // connection failures and re-issues every in-flight request).
-    if (4 + static_cast<uint64_t>(request.size()) > kMaxFrame) {
+    if (kReqHeaderBytes + static_cast<uint64_t>(request.size()) > kMaxFrame) {
       done(Status::InvalidArgument("request too large"), std::string());
       return;
     }
@@ -274,10 +527,13 @@ class TcpChannel : public Channel {
         orphans.push_back(std::move(p));
       } else {
         if (fd_ < 0) failure = ConnectLocked();
-        if (failure.ok()) failure = WriteRequestLocked(p);
         if (failure.ok()) {
-          pending_.push_back(std::move(p));
-          return;
+          uint64_t corr = next_corr_++;
+          failure = WriteRequestLocked(corr, p);
+          if (failure.ok()) {
+            pending_.emplace(corr, std::move(p));
+            return;
+          }
         }
         // A mid-pipeline write failure strands every in-flight request:
         // tear the connection down and take them all for retry/failure.
@@ -286,11 +542,18 @@ class TcpChannel : public Channel {
           fd_ = -1;
           gen_++;
         }
-        orphans.swap(pending_);
+        orphans = TakeAllPendingLocked();
         orphans.push_back(std::move(p));
       }
     }
     FailOrRetry(std::move(orphans), failure);
+  }
+
+  std::deque<Pending> TakeAllPendingLocked() {
+    std::deque<Pending> out;
+    for (auto& [corr, p] : pending_) out.push_back(std::move(p));
+    pending_.clear();
+    return out;
   }
 
   /// Re-issues each orphaned request once; requests already retried (or
@@ -327,12 +590,13 @@ class TcpChannel : public Channel {
     return Status::OK();
   }
 
-  Status WriteRequestLocked(const Pending& p) {
-    uint64_t body = 4 + p.request.size();
+  Status WriteRequestLocked(uint64_t corr, const Pending& p) {
+    uint64_t body = kReqHeaderBytes + p.request.size();
     if (body > kMaxFrame) return Status::InvalidArgument("request too large");
     uint32_t len = static_cast<uint32_t>(body);
     std::string head;
     head.append(reinterpret_cast<const char*>(&len), 4);
+    head.append(reinterpret_cast<const char*>(&corr), 8);
     head.append(reinterpret_cast<const char*>(&p.method), 4);
     BS_RETURN_NOT_OK(WriteFull(fd_, head.data(), head.size()));
     if (!p.request.empty())
@@ -342,9 +606,10 @@ class TcpChannel : public Channel {
 
   void ReaderLoop(int fd, uint64_t gen) {
     for (;;) {
+      uint64_t corr = 0;
       Status app_status;
       std::string payload;
-      Status rs = ReadResponseFrame(fd, &app_status, &payload);
+      Status rs = ReadResponseFrame(fd, &corr, &app_status, &payload);
       if (!rs.ok()) {
         std::deque<Pending> orphans;
         {
@@ -353,7 +618,7 @@ class TcpChannel : public Channel {
             // This connection is still current: this thread owns teardown.
             fd_ = -1;
             gen_++;
-            orphans.swap(pending_);
+            orphans = TakeAllPendingLocked();
           }
         }
         ::close(fd);
@@ -361,6 +626,8 @@ class TcpChannel : public Channel {
         return;
       }
       CallCallback done;
+      bool protocol_violation = false;
+      std::deque<Pending> orphans;
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (gen_ != gen) {
@@ -369,17 +636,26 @@ class TcpChannel : public Channel {
           ::close(fd);
           return;
         }
-        if (pending_.empty()) {
-          // Unsolicited response: protocol violation. Tear the connection
-          // down exactly like a read failure so later Submits reconnect
-          // instead of writing into a stale descriptor.
+        auto it = pending_.find(corr);
+        if (it == pending_.end()) {
+          // Unknown correlation id: protocol violation. Tear the
+          // connection down like a read failure (remaining in-flight
+          // requests retry over a fresh connection) so later Submits
+          // never write into a stream we no longer trust.
           fd_ = -1;
           gen_++;
-          ::close(fd);
-          return;
+          orphans = TakeAllPendingLocked();
+          protocol_violation = true;
+        } else {
+          done = std::move(it->second.done);
+          pending_.erase(it);
         }
-        done = std::move(pending_.front().done);
-        pending_.pop_front();
+      }
+      if (protocol_violation) {
+        ::close(fd);
+        FailOrRetry(std::move(orphans),
+                    Status::Corruption("unknown correlation id"));
+        return;
       }
       done(std::move(app_status), std::move(payload));
     }
@@ -389,9 +665,10 @@ class TcpChannel : public Channel {
   std::mutex mu_;
   int fd_ = -1;
   uint64_t gen_ = 0;
+  uint64_t next_corr_ = 1;
   bool closed_ = false;
-  std::deque<Pending> pending_;
-  std::vector<std::thread> readers_;  // joined in the destructor
+  std::map<uint64_t, Pending> pending_;  ///< corr id -> in-flight request
+  std::vector<std::thread> readers_;     // joined in the destructor
 };
 
 }  // namespace
@@ -437,7 +714,12 @@ Result<std::string> TcpTransport::Serve(
     ::close(fd);
     return Status::AlreadyExists("already serving: " + bound_addr);
   }
-  servers_[bound_addr] = std::make_unique<TcpServer>(fd, std::move(handler));
+  // The dispatch workers are shared by every server on this transport and
+  // created lazily so client-only transports never spawn them.
+  if (!dispatch_)
+    dispatch_ = std::make_unique<ThreadPoolExecutor>(kDispatchThreads);
+  servers_[bound_addr] =
+      std::make_unique<TcpServer>(fd, std::move(handler), dispatch_.get());
   return bound_addr;
 }
 
@@ -450,7 +732,7 @@ Status TcpTransport::StopServing(const std::string& address) {
     victim = std::move(it->second);
     servers_.erase(it);
   }
-  return Status::OK();  // destructor joins threads
+  return Status::OK();  // destructor joins the reactor thread
 }
 
 Result<std::shared_ptr<Channel>> TcpTransport::Connect(

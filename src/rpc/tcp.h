@@ -1,6 +1,9 @@
-// TCP socket transport: length-prefixed frames, one OS thread per accepted
-// connection (appropriate for the deployment sizes BlobSeer targets per
-// node: tens of concurrent clients).
+// TCP socket transport: length-prefixed, correlation-id-tagged frames served
+// by one epoll reactor thread per listening endpoint. The reactor never runs
+// application code — requests are handed to a shared dispatch pool and the
+// encoded responses are written back in completion order, so a held call
+// (e.g. a parked AwaitPublished subscription) blocks neither its connection
+// nor a server thread.
 #ifndef BLOBSEER_RPC_TCP_H_
 #define BLOBSEER_RPC_TCP_H_
 
@@ -9,6 +12,7 @@
 #include <mutex>
 #include <string>
 
+#include "common/executor.h"
 #include "rpc/transport.h"
 
 namespace blobseer::rpc {
@@ -28,7 +32,13 @@ class TcpTransport : public Transport {
   Result<std::shared_ptr<Channel>> Connect(const std::string& address) override;
 
  private:
+  /// Handler-dispatch workers shared by every server on this transport.
+  static constexpr size_t kDispatchThreads = 16;
+
   std::mutex mu_;
+  // Declared before servers_ so it is destroyed after them: server teardown
+  // only joins the reactor; in-flight handler tasks drain here.
+  std::unique_ptr<ThreadPoolExecutor> dispatch_;
   std::map<std::string, std::unique_ptr<TcpServer>> servers_;
 };
 

@@ -14,8 +14,13 @@
 
 namespace blobseer::rpc {
 
+/// Completion callback for one handled request: application status plus the
+/// encoded response payload (empty on error). Invoked exactly once — inline
+/// or later from any thread.
+using HandlerDone = std::function<void(Status, std::string)>;
+
 /// Server-side request handler. Implementations must be thread-safe: the
-/// TCP transport invokes Handle concurrently from connection threads.
+/// TCP transport invokes handlers concurrently from its dispatch workers.
 class ServiceHandler {
  public:
   virtual ~ServiceHandler() = default;
@@ -24,18 +29,32 @@ class ServiceHandler {
   /// response payload. A non-OK status is propagated to the caller verbatim.
   virtual Status Handle(Method method, Slice payload,
                         std::string* response) = 0;
+
+  /// Async completion path: the handler may return before the request is
+  /// answered and invoke `done` later from another thread (server-push —
+  /// e.g. a parked AwaitPublished subscription completed at publish time).
+  /// `payload` is only borrowed for the duration of this call: a handler
+  /// that parks the request must copy what it needs first. Every transport
+  /// drives requests through this entry point; the default wraps the
+  /// synchronous Handle and completes inline.
+  virtual void HandleAsync(Method method, Slice payload, HandlerDone done) {
+    std::string response;
+    Status st = Handle(method, payload, &response);
+    done(std::move(st), std::move(response));
+  }
 };
 
 /// Completion callback for CallAsync: transport-or-application status plus
 /// the decoded response payload (empty on error).
-using CallCallback = std::function<void(Status, std::string)>;
+using CallCallback = HandlerDone;
 
 /// Client-side connection to one service endpoint. Call blocks the caller;
 /// CallAsync never parks a caller thread on transports with a native
-/// implementation (inproc runs the handler inline, tcp pipelines frames and
-/// completes from a per-connection reader thread, simnet completes from a
-/// spawned sim task). Open several channels (see ChannelPool) for parallel
-/// requests on transports that serialize per connection.
+/// implementation (inproc dispatches the handler inline, tcp pipelines
+/// correlation-id-tagged frames and completes from a per-connection reader
+/// thread — responses may complete out of request order — simnet completes
+/// from a spawned sim task). Channels pipeline, so one channel already
+/// overlaps requests; a ChannelPool adds client-side send parallelism.
 class Channel {
  public:
   virtual ~Channel() = default;

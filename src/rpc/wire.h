@@ -1,9 +1,18 @@
 // Wire-level constants shared by all transports: method identifiers and
 // frame layouts.
 //
-// Request frame  (TCP): [u32 body_len][u32 method][payload...]
-// Response frame (TCP): [u32 body_len][u8 status_code][u32 msg_len][msg]
-//                       [payload...]
+// TCP frame format v2 (correlation ids; body_len counts everything after
+// itself):
+//   Request frame : [u32 body_len][u64 corr_id][u32 method][payload...]
+//   Response frame: [u32 body_len][u64 corr_id][u8 status_code]
+//                   [u32 msg_len][msg][payload...]
+// The correlation id is chosen by the client and echoed back verbatim, so
+// the server answers each request the moment its handler completes —
+// responses travel in completion order, not request order, and a held call
+// (e.g. a parked AwaitPublished subscription) no longer blocks the requests
+// pipelined behind it. v2 is a hard format bump over the id-less v1 frames:
+// client and server always ship from the same tree.
+//
 // The in-process and simulated transports skip framing and pass the payload
 // and Status through directly.
 #ifndef BLOBSEER_RPC_WIRE_H_

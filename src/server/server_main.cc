@@ -108,6 +108,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<ThreadPoolExecutor> compaction_executor;
   std::unique_ptr<ThreadPoolExecutor> heartbeat_executor;
   std::unique_ptr<ThreadPoolExecutor> gc_executor;
+  std::unique_ptr<ThreadPoolExecutor> vm_executor;
   rpc::TcpTransport transport;
   auto composite = std::make_shared<rpc::CompositeHandler>();
   bool has_provider = false;
@@ -116,8 +117,11 @@ int main(int argc, char** argv) {
 
   for (const std::string& role : StrSplit(roles, ',')) {
     if (role == "vmanager") {
+      // Watchdog executor for parked AwaitPublished subscriptions.
+      vm_executor = std::make_unique<ThreadPoolExecutor>(4);
       composite->Register(400,
-                          std::make_shared<vmanager::VersionManagerService>());
+                          std::make_shared<vmanager::VersionManagerService>(
+                              nullptr, vm_executor.get()));
     } else if (role == "pmanager") {
       pmanager_service = std::make_shared<pmanager::ProviderManagerService>(
           pmanager::MakeStrategy(allocation), RealClock::Default(),

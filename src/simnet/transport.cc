@@ -35,9 +35,37 @@ class SimChannel : public rpc::Channel {
     ep->queue->Acquire();
     if (ep->profile.request_cpu_us > 0)
       sched_->SleepFor(ep->profile.request_cpu_us);
-    response->clear();
-    Status st = ep->handler->Handle(method, request, response);
+
+    // Drive the handler's async entry point so a parked request
+    // (server-push, e.g. an AwaitPublished subscription) suspends only this
+    // sim task in virtual time. The stack-allocated event is safe: the
+    // completion always fires on a sim task (publish, watchdog, or inline)
+    // and this task awaits it before returning; tasks are serialized, so
+    // the shared state needs no lock.
+    struct PendingState {
+      bool done = false;
+      Status status;
+      std::string payload;
+    };
+    auto state = std::make_shared<PendingState>();
+    SimWaitEvent event(sched_);
+    ep->handler->HandleAsync(method, request,
+                             [state, &event](Status st, std::string payload) {
+                               state->status = std::move(st);
+                               state->payload = std::move(payload);
+                               state->done = true;
+                               event.Signal();
+                             });
+    // A parked request must not pin a service concurrency slot: the
+    // server's worker is free the moment the handler returns.
     ep->queue->Release();
+    if (!state->done) event.Await();
+
+    // The response is charged at completion (virtual "now" = publish time
+    // for a push), so a pushed publication lands one network transfer after
+    // the event that resolved it.
+    Status st = std::move(state->status);
+    *response = std::move(state->payload);
     uint64_t resp_bytes =
         (st.ok() ? response->size() : st.message().size()) +
         rpc::kWireOverheadBytes;

@@ -8,18 +8,10 @@ namespace blobseer::vmanager {
 VersionManagerClient::VersionManagerClient(rpc::Transport* transport,
                                            std::string address,
                                            size_t channels)
-    : address_(std::move(address)),
-      pool_(transport, channels),
-      sync_pool_(transport, channels) {}
+    : address_(std::move(address)), pool_(transport, channels) {}
 
 Result<rpc::Channel*> VersionManagerClient::Chan() {
   auto ch = pool_.Get(address_);
-  if (!ch.ok()) return ch.status();
-  return ch->get();
-}
-
-Result<rpc::Channel*> VersionManagerClient::SyncChan() {
-  auto ch = sync_pool_.Get(address_);
   if (!ch.ok()) return ch.status();
   return ch->get();
 }
@@ -184,7 +176,7 @@ Future<uint64_t> VersionManagerClient::GetSizeAsync(BlobId id,
 
 Status VersionManagerClient::AwaitPublished(BlobId id, Version version,
                                             uint64_t timeout_us) {
-  auto ch = SyncChan();
+  auto ch = Chan();
   if (!ch.ok()) return ch.status();
   AwaitRequest req{id, version, timeout_us};
   AwaitResponse rsp;
@@ -196,7 +188,7 @@ Status VersionManagerClient::AwaitPublished(BlobId id, Version version,
 Future<Unit> VersionManagerClient::AwaitPublishedAsync(BlobId id,
                                                        Version version,
                                                        uint64_t timeout_us) {
-  auto ch = SyncChan();
+  auto ch = Chan();
   if (!ch.ok()) return MakeReadyFuture(ch.status());
   return rpc::CallMethodAsync<AwaitRequest, AwaitResponse>(
              *ch, rpc::Method::kVmAwaitPublished,
@@ -232,6 +224,7 @@ Result<VmStats> VersionManagerClient::GetStats() {
   st.published = rsp.published;
   st.aborted = rsp.aborted;
   st.discarded = rsp.discarded;
+  st.sync_waiters = rsp.sync_waiters;
   return st;
 }
 

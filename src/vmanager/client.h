@@ -55,8 +55,10 @@ class VersionManagerClient {
   Future<AbortOutcome> AbortUpdateAsync(BlobId id, Version version);
   Future<RecentVersion> GetRecentAsync(BlobId id);
   Future<uint64_t> GetSizeAsync(BlobId id, Version version);
-  /// Resolves OK once published, TimedOut after `timeout_us` (server-side
-  /// wait: no client thread is parked while the server holds the call).
+  /// Resolves OK once published, TimedOut after `timeout_us` (server-push:
+  /// the server parks a subscription and answers from the publisher, so no
+  /// thread is held on either side and the shared channel pool stays usable
+  /// — responses are matched by correlation id, not arrival order).
   Future<Unit> AwaitPublishedAsync(BlobId id, Version version,
                                    uint64_t timeout_us);
 
@@ -64,15 +66,9 @@ class VersionManagerClient {
 
  private:
   Result<rpc::Channel*> Chan();
-  /// Channel reserved for blocking AwaitPublished holds: the server parks
-  /// such calls for up to 250 ms per slice, and TCP channels serve
-  /// responses FIFO, so routing them over the shared pool would queue
-  /// pipelined async ops behind the hold.
-  Result<rpc::Channel*> SyncChan();
 
   std::string address_;
   rpc::ChannelPool pool_;
-  rpc::ChannelPool sync_pool_;
 };
 
 }  // namespace blobseer::vmanager

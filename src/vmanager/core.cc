@@ -10,6 +10,18 @@
 
 namespace blobseer::vmanager {
 
+VersionManagerCore::~VersionManagerCore() {
+  // Fire remaining subscriptions outside mu_ — a callback may touch other
+  // locks (it must not touch this core; there is no core left to touch).
+  std::map<uint64_t, PublishWaiter> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphans.swap(waiters_);
+  }
+  for (auto& [token, w] : orphans)
+    w.done(Status::Unavailable("version manager shutting down"));
+}
+
 Result<BlobDescriptor> VersionManagerCore::CreateBlob(uint64_t psize) {
   if (psize == 0 || !IsPow2(psize) || psize > (1ull << 30)) {
     return Status::InvalidArgument(
@@ -146,7 +158,8 @@ Result<AssignTicket> VersionManagerCore::AssignVersion(BlobId id,
   return ticket;
 }
 
-void VersionManagerCore::AdvancePublishedLocked(BlobMeta* blob) {
+void VersionManagerCore::AdvancePublishedLocked(
+    BlobMeta* blob, std::vector<std::function<void(Status)>>* fired) {
   bool advanced = false;
   for (;;) {
     auto it = blob->updates.find(blob->published + 1);
@@ -156,19 +169,36 @@ void VersionManagerCore::AdvancePublishedLocked(BlobMeta* blob) {
     total_published_++;
     advanced = true;
   }
-  if (advanced) publish_cv_.notify_all();
+  if (!advanced) return;
+  publish_cv_.notify_all();
+  // Detach every subscription the new frontier satisfies; the caller
+  // invokes them with OK after releasing mu_.
+  while (!blob->waiter_index.empty() &&
+         blob->waiter_index.begin()->first <= blob->published) {
+    auto idx = blob->waiter_index.begin();
+    auto w = waiters_.find(idx->second);
+    if (w != waiters_.end()) {
+      fired->push_back(std::move(w->second.done));
+      waiters_.erase(w);
+    }
+    blob->waiter_index.erase(idx);
+  }
 }
 
 Status VersionManagerCore::NotifySuccess(BlobId id, Version version) {
-  std::lock_guard<std::mutex> lock(mu_);
-  BlobMeta* blob = FindLocked(id);
-  if (!blob) return Status::NotFound("blob " + std::to_string(id));
-  if (version <= blob->published) return Status::OK();  // idempotent replay
-  auto it = blob->updates.find(version);
-  if (it == blob->updates.end())
-    return Status::NotFound("version never assigned");
-  it->second.completed = true;
-  AdvancePublishedLocked(blob);
+  std::vector<std::function<void(Status)>> fired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    BlobMeta* blob = FindLocked(id);
+    if (!blob) return Status::NotFound("blob " + std::to_string(id));
+    if (version <= blob->published) return Status::OK();  // idempotent replay
+    auto it = blob->updates.find(version);
+    if (it == blob->updates.end())
+      return Status::NotFound("version never assigned");
+    it->second.completed = true;
+    AdvancePublishedLocked(blob, &fired);
+  }
+  for (auto& done : fired) done(Status::OK());
   return Status::OK();
 }
 
@@ -256,11 +286,72 @@ Status VersionManagerCore::AwaitPublished(BlobId id, Version version,
   auto published = [&] { return blob->published >= version; };
   if (published()) return Status::OK();
   if (timeout_us == 0) return Status::TimedOut("not yet published");
+  if (timeout_us == UINT64_MAX) {
+    // "Forever" must not pass through chrono::microseconds — the uint64 max
+    // becomes a negative int64 duration and times out instantly.
+    publish_cv_.wait(lock, published);
+    return Status::OK();
+  }
   if (publish_cv_.wait_for(lock, std::chrono::microseconds(timeout_us),
                            published)) {
     return Status::OK();
   }
   return Status::TimedOut("not yet published");
+}
+
+uint64_t VersionManagerCore::SubscribePublished(
+    BlobId id, Version version, std::function<void(Status)> done) {
+  Status inline_outcome;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    BlobMeta* blob = FindLocked(id);
+    if (!blob) {
+      inline_outcome = Status::NotFound("blob " + std::to_string(id));
+    } else if (blob->published >= version) {
+      inline_outcome = Status::OK();
+    } else {
+      uint64_t token = next_waiter_token_++;
+      waiters_.emplace(token,
+                       PublishWaiter{id, version, std::move(done)});
+      blob->waiter_index.emplace(version, token);
+      return token;
+    }
+  }
+  done(std::move(inline_outcome));
+  return 0;
+}
+
+bool VersionManagerCore::CancelWaiter(uint64_t token, const Status& outcome) {
+  std::function<void(Status)> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = waiters_.find(token);
+    if (it == waiters_.end()) return false;  // already fired
+    done = std::move(it->second.done);
+    BlobMeta* blob = FindLocked(it->second.id);
+    if (blob) {
+      auto [lo, hi] = blob->waiter_index.equal_range(it->second.version);
+      for (auto idx = lo; idx != hi; ++idx) {
+        if (idx->second == token) {
+          blob->waiter_index.erase(idx);
+          break;
+        }
+      }
+    }
+    waiters_.erase(it);
+  }
+  done(outcome);
+  return true;
+}
+
+bool VersionManagerCore::HasWaiter(uint64_t token) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_.count(token) != 0;
+}
+
+size_t VersionManagerCore::waiter_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_.size();
 }
 
 Result<BlobDescriptor> VersionManagerCore::Branch(BlobId id, Version version) {
@@ -405,6 +496,7 @@ VmStats VersionManagerCore::GetStats() const {
   st.published = total_published_;
   st.aborted = total_aborted_;
   st.discarded = total_discarded_;
+  st.sync_waiters = waiters_.size();
   return st;
 }
 

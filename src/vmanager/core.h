@@ -10,6 +10,7 @@
 #define BLOBSEER_VMANAGER_CORE_H_
 
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -105,6 +106,7 @@ struct VmStats {
   uint64_t published = 0;
   uint64_t aborted = 0;
   uint64_t discarded = 0;
+  uint64_t sync_waiters = 0;  ///< parked publication subscriptions
 };
 
 /// One version's lifecycle facts, as reported by ListVersions (the GC
@@ -148,6 +150,9 @@ class VersionManagerCore {
   explicit VersionManagerCore(Clock* clock = nullptr)
       : clock_(clock ? clock : RealClock::Default()) {}
 
+  /// Fails every still-parked publication waiter with Unavailable.
+  ~VersionManagerCore();
+
   /// Creates a blob with the given page size (power of two) and an empty,
   /// already-published snapshot 0.
   Result<BlobDescriptor> CreateBlob(uint64_t psize);
@@ -178,8 +183,32 @@ class VersionManagerCore {
   Result<uint64_t> GetSize(BlobId id, Version version);
 
   /// Blocks up to timeout_us until `version` is published (0 = non-blocking
-  /// probe). OK when published, TimedOut otherwise.
+  /// probe, UINT64_MAX = forever). OK when published, TimedOut otherwise.
   Status AwaitPublished(BlobId id, Version version, uint64_t timeout_us);
+
+  /// Non-blocking publication subscription (the server-push path behind
+  /// AwaitPublished RPCs). If the outcome is already decided — version
+  /// published (OK) or blob missing (NotFound) — `done` is invoked inline
+  /// and 0 is returned. Otherwise the waiter parks in the registry and a
+  /// non-zero token is returned; `done` fires exactly once, with OK when
+  /// publication reaches `version`, or with the status a later CancelWaiter
+  /// supplies (timeout watchdog, shutdown). A version retracted by
+  /// AbortUpdate keeps its waiters parked: the version number is reassigned
+  /// to the next update, and the waiter resolves when that one publishes.
+  /// `done` runs under no core lock but may run on the publisher's thread —
+  /// keep it cheap.
+  uint64_t SubscribePublished(BlobId id, Version version,
+                              std::function<void(Status)> done);
+
+  /// Completes a parked waiter with `outcome`; returns false when the token
+  /// is unknown (already fired). Safe to race with publication.
+  bool CancelWaiter(uint64_t token, const Status& outcome);
+
+  /// True while the token's waiter is still parked.
+  bool HasWaiter(uint64_t token) const;
+
+  /// Parked publication waiters (exposed as VmStats.sync_waiters).
+  size_t waiter_count() const;
 
   /// BRANCH: new blob identical to `id` up to and including published
   /// version `version` (paper section 2.1).
@@ -233,6 +262,16 @@ class VersionManagerCore {
     std::map<Version, UpdateRecord> updates;  ///< versions > branch_version
     std::vector<AncestrySegment> ancestry;
     lifecycle::RetentionPolicy retention;
+    /// Parked subscription tokens keyed by the version they wait for;
+    /// drained (lowest first) as `published` advances past each key.
+    std::multimap<Version, uint64_t> waiter_index;
+  };
+
+  /// One parked AwaitPublished subscription.
+  struct PublishWaiter {
+    BlobId id = kInvalidBlobId;
+    Version version = kNoVersion;
+    std::function<void(Status)> done;
   };
 
   BlobMeta* FindLocked(BlobId id);
@@ -250,12 +289,19 @@ class VersionManagerCore {
                                                 const Extent& range,
                                                 uint64_t old_size,
                                                 uint64_t new_size);
-  void AdvancePublishedLocked(BlobMeta* blob);
+  /// Advances `published` over completed successors; collects the `done`
+  /// callbacks of waiters this satisfies into `*fired` (never invoked under
+  /// mu_ — the caller runs them after unlocking, since an inline-transport
+  /// callback may re-enter the core).
+  void AdvancePublishedLocked(BlobMeta* blob,
+                              std::vector<std::function<void(Status)>>* fired);
 
   Clock* clock_;
   mutable std::mutex mu_;
   std::condition_variable publish_cv_;
   std::map<BlobId, std::unique_ptr<BlobMeta>> blobs_;
+  std::map<uint64_t, PublishWaiter> waiters_;  ///< token -> subscription
+  uint64_t next_waiter_token_ = 1;
   BlobId next_blob_id_ = 1;
   uint64_t total_assigned_ = 0;
   uint64_t total_published_ = 0;

@@ -194,21 +194,25 @@ struct VmStatsResponse {
   uint64_t published = 0;
   uint64_t aborted = 0;
   uint64_t discarded = 0;
+  uint64_t sync_waiters = 0;  ///< parked AwaitPublished subscriptions
   void EncodeTo(BinaryWriter* w) const {
     w->PutU64(blobs);
     w->PutU64(assigned);
     w->PutU64(published);
     w->PutU64(aborted);
     w->PutU64(discarded);
+    w->PutU64(sync_waiters);
   }
   Status DecodeFrom(BinaryReader* r) {
     BS_RETURN_NOT_OK(r->GetU64(&blobs));
     BS_RETURN_NOT_OK(r->GetU64(&assigned));
     BS_RETURN_NOT_OK(r->GetU64(&published));
     BS_RETURN_NOT_OK(r->GetU64(&aborted));
-    // Gated trailing decode: pre-lifecycle peers omit the field.
+    // Gated trailing decodes: older peers omit these fields.
     if (r->remaining() == 0) return Status::OK();
-    return r->GetU64(&discarded);
+    BS_RETURN_NOT_OK(r->GetU64(&discarded));
+    if (r->remaining() == 0) return Status::OK();
+    return r->GetU64(&sync_waiters);
   }
 };
 
